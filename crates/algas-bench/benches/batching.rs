@@ -1,0 +1,78 @@
+//! Figs 13–15 backing bench: the two batching simulators across batch
+//! sizes on identical synthetic work (pure scheduler cost — no search).
+
+use algas_gpu_sim::sched::dynamic::{run_dynamic, DynamicConfig};
+use algas_gpu_sim::sched::static_batch::{run_static, StaticBatchConfig};
+use algas_gpu_sim::{MergePlacement, QueryWork};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic_works(n: usize, seed: u64) -> Vec<QueryWork> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Log-normal-ish skew: most queries ~50 µs, tail to ~300 µs.
+            let base: f64 = rng.gen_range(30_000.0..70_000.0);
+            let tail: f64 = if rng.gen_bool(0.1) { rng.gen_range(2.0..5.0) } else { 1.0 };
+            let ns = (base * tail) as u64;
+            QueryWork::synthetic(&[ns, ns * 9 / 10, ns * 8 / 10, ns * 7 / 10], 128, 16)
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let works = synthetic_works(512, 9);
+    let arrivals = vec![0u64; works.len()];
+    let mut group = c.benchmark_group("scheduler");
+    for batch in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("static", batch), &batch, |b, &batch| {
+            let cfg = StaticBatchConfig {
+                batch_size: batch,
+                merge: MergePlacement::Gpu,
+                ..Default::default()
+            };
+            b.iter(|| black_box(run_static(&works, &arrivals, &cfg).makespan_ns))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", batch), &batch, |b, &batch| {
+            let cfg = DynamicConfig { n_slots: batch, ..Default::default() };
+            b.iter(|| black_box(run_dynamic(&works, &arrivals, &cfg).makespan_ns))
+        });
+    }
+    group.finish();
+}
+
+/// Regression guard as a bench: the dynamic discipline's simulated
+/// makespan must beat static's on skewed work (printed via criterion's
+/// output when run with --verbose assertions in tests; here we assert
+/// once at setup).
+fn bench_makespan_comparison(c: &mut Criterion) {
+    let works = synthetic_works(256, 11);
+    let arrivals = vec![0u64; works.len()];
+    let stat = run_static(
+        &works,
+        &arrivals,
+        &StaticBatchConfig { batch_size: 16, merge: MergePlacement::Gpu, ..Default::default() },
+    );
+    let dynv = run_dynamic(&works, &arrivals, &DynamicConfig { n_slots: 16, ..Default::default() });
+    assert!(
+        dynv.makespan_ns < stat.makespan_ns,
+        "dynamic {} should beat static {}",
+        dynv.makespan_ns,
+        stat.makespan_ns
+    );
+    c.bench_function("dynamic_vs_static_16slots", |b| {
+        b.iter(|| {
+            let d = run_dynamic(
+                black_box(&works),
+                &arrivals,
+                &DynamicConfig { n_slots: 16, ..Default::default() },
+            );
+            black_box(d.mean_latency_ns)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedulers, bench_makespan_comparison);
+criterion_main!(benches);

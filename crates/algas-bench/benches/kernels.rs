@@ -1,0 +1,92 @@
+//! Microbenchmarks of the hot kernels: distance functions, candidate
+//! list maintenance, TopK merge, visited bitmap — the operations the
+//! cost model prices (Fig 3's constituents).
+
+use algas_core::lists::{CandidateList, VisitedBitmap};
+use algas_core::merge::merge_topk;
+use algas_vector::metric::{inner_product, l2_squared, subvector_partials, DistValue, Metric};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    let mut rng = StdRng::seed_from_u64(1);
+    for dim in [128usize, 200, 256, 960] {
+        let a: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("l2", dim), &dim, |bch, _| {
+            bch.iter(|| l2_squared(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ip", dim), &dim, |bch, _| {
+            bch.iter(|| inner_product(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("warp_partials", dim), &dim, |bch, _| {
+            bch.iter(|| subvector_partials(Metric::L2, black_box(&a), black_box(&b), 32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_list");
+    let mut rng = StdRng::seed_from_u64(2);
+    for l in [32usize, 64, 128, 256] {
+        let batches: Vec<Vec<(DistValue, u32)>> = (0..16)
+            .map(|i| {
+                (0..32)
+                    .map(|j| (DistValue(rng.gen::<f32>()), (i * 1000 + j) as u32))
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("merge_batches", l), &l, |bch, &l| {
+            bch.iter(|| {
+                let mut list = CandidateList::new(l);
+                for b in &batches {
+                    list.merge_batch(black_box(b));
+                }
+                black_box(list.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_topk_merge");
+    let mut rng = StdRng::seed_from_u64(3);
+    for n_ctas in [2usize, 4, 8, 16] {
+        let lists: Vec<Vec<(DistValue, u32)>> = (0..n_ctas)
+            .map(|i| {
+                let mut l: Vec<(DistValue, u32)> = (0..16)
+                    .map(|j| (DistValue(rng.gen::<f32>()), (i * 100 + j) as u32))
+                    .collect();
+                l.sort_by_key(|&(d, id)| (d, id));
+                l
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_ctas), &n_ctas, |bch, _| {
+            bch.iter(|| merge_topk(black_box(&lists), 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let ids: Vec<u32> = (0..4096).map(|_| rng.gen_range(0..60_000)).collect();
+    c.bench_function("visited_bitmap_4096_ops", |bch| {
+        bch.iter(|| {
+            let mut bm = VisitedBitmap::new(60_000);
+            let mut fresh = 0usize;
+            for &id in &ids {
+                fresh += bm.test_and_set(black_box(id)) as usize;
+            }
+            black_box(fresh)
+        })
+    });
+}
+
+criterion_group!(benches, bench_distances, bench_candidate_list, bench_topk_merge, bench_bitmap);
+criterion_main!(benches);

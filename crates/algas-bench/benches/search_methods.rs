@@ -1,0 +1,69 @@
+//! Figs 10–12 backing bench: full workload (functional search +
+//! discipline simulation) per method on one prepared dataset.
+//!
+//! Criterion measures the *harness* cost (wall-clock of running the
+//! reproduction); the simulated latency/throughput numbers the paper
+//! compares live in the `figures` binary output.
+
+use algas_baselines::{AlgasMethod, CagraMethod, GannsMethod, IvfMethod, IvfParams, SearchMethod};
+use algas_core::engine::AlgasIndex;
+use algas_graph::cagra::CagraParams;
+use algas_graph::GraphKind;
+use algas_vector::datasets::DatasetSpec;
+use algas_vector::Metric;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let ds = DatasetSpec::tiny(2_000, 32, Metric::L2, 1001).generate();
+    let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    assert_eq!(index.kind, GraphKind::Cagra);
+    let k = 16;
+    let batch = 16;
+    let arrivals = vec![0u64; ds.queries.len()];
+
+    let mut group = c.benchmark_group("method_workload");
+    group.sample_size(10);
+
+    let algas = AlgasMethod::new(index.clone(), k, 64, batch).unwrap();
+    group.bench_function("ALGAS", |b| {
+        b.iter(|| {
+            let run = algas.run_workload(black_box(&ds.queries));
+            black_box(algas.simulate(&run.works, &arrivals).throughput_qps)
+        })
+    });
+
+    let cagra = CagraMethod::new(index.clone(), k, 64, batch).unwrap();
+    group.bench_function("CAGRA", |b| {
+        b.iter(|| {
+            let run = cagra.run_workload(black_box(&ds.queries));
+            black_box(cagra.simulate(&run.works, &arrivals).throughput_qps)
+        })
+    });
+
+    let ganns = GannsMethod::new(index.clone(), k, 96, batch).unwrap();
+    group.bench_function("GANNS", |b| {
+        b.iter(|| {
+            let run = ganns.run_workload(black_box(&ds.queries));
+            black_box(ganns.simulate(&run.works, &arrivals).throughput_qps)
+        })
+    });
+
+    let ivf = IvfMethod::new(
+        ds.base.clone(),
+        Metric::L2,
+        IvfParams { nlist: 44, nprobe: 8, ..Default::default() },
+        k,
+        batch,
+    );
+    group.bench_function("IVF", |b| {
+        b.iter(|| {
+            let run = ivf.run_workload(black_box(&ds.queries));
+            black_box(ivf.simulate(&run.works, &arrivals).throughput_qps)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Report plumbing: measurement of a method over a prepared dataset,
+//! and markdown rendering helpers shared by every experiment.
+
+use algas_baselines::SearchMethod;
+use algas_gpu_sim::SimReport;
+use algas_vector::ground_truth::{mean_recall, GroundTruth};
+use algas_vector::VectorStore;
+
+/// One experiment's rendered output.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Identifier matching the paper ("fig10", "table2", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Markdown body (tables + commentary with measured numbers).
+    pub body: String,
+}
+
+impl ExperimentReport {
+    /// Renders the full markdown section.
+    pub fn render(&self) -> String {
+        format!("## {} — {}\n\n{}\n", self.id, self.title, self.body)
+    }
+}
+
+/// Aggregate metrics of one (method, dataset, parameters) run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Mean recall@k against exact ground truth.
+    pub recall: f64,
+    /// Mean service latency in microseconds.
+    pub mean_latency_us: f64,
+    /// p99 service latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Throughput in kilo-queries/second.
+    pub throughput_kqps: f64,
+    /// The raw simulator report.
+    pub sim: SimReport,
+}
+
+/// Runs a method over a query set (closed loop) and aggregates.
+pub fn measure(
+    method: &dyn SearchMethod,
+    queries: &VectorStore,
+    gt: &GroundTruth,
+    k: usize,
+) -> Measurement {
+    let run = method.run_workload(queries);
+    let arrivals = vec![0u64; queries.len()];
+    let sim = method.simulate(&run.works, &arrivals);
+    Measurement {
+        recall: mean_recall(&run.results, gt, k),
+        mean_latency_us: sim.mean_latency_ns / 1_000.0,
+        p99_latency_us: sim.p99_latency_ns as f64 / 1_000.0,
+        throughput_kqps: sim.throughput_qps / 1_000.0,
+        sim,
+    }
+}
+
+/// A markdown table builder.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as GitHub markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 3 decimals (recalls).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Nearest-rank percentile of a pre-sorted slice.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&p));
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("|---|---|"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![10, 20, 30, 40];
+        assert_eq!(percentile_sorted(&v, 0.0), 10);
+        assert_eq!(percentile_sorted(&v, 0.5), 20);
+        assert_eq!(percentile_sorted(&v, 0.75), 30);
+        assert_eq!(percentile_sorted(&v, 1.0), 40);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(f3(0.9994), "0.999");
+        assert_eq!(pct(0.339), "33.9%");
+    }
+}

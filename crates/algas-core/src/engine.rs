@@ -1,0 +1,406 @@
+//! The ALGAS engine: index + tuned configuration + traced search.
+//!
+//! [`AlgasEngine`] is the crate's main entry point. It owns an
+//! [`AlgasIndex`], runs the §IV-C tuner once at construction, executes
+//! multi-CTA beam-extend searches (functionally exact, cost-traced),
+//! and packages each query's timed work as
+//! [`algas_gpu_sim::QueryWork`] for the batching simulators.
+
+use crate::merge::{merge_topk, HostCostModel};
+use crate::search::intra::IntraParams;
+use crate::search::multi::{search_multi, MultiParams, MultiResult};
+use crate::search::{BeamParams, SearchContext};
+use crate::tuning::{tune, TuningError, TuningInput, TuningPlan};
+use algas_graph::entry::{medoid, EntryPolicy};
+use algas_graph::{CagraBuilder, FixedDegreeGraph, GraphKind, NswBuilder};
+use algas_gpu_sim::{CostModel, CtaWork, DeviceProps, QueryWork};
+use algas_vector::metric::DistValue;
+use algas_vector::{Metric, VectorStore};
+
+/// A searchable index: corpus + graph + metadata.
+#[derive(Clone, Debug)]
+pub struct AlgasIndex {
+    /// The indexed vectors (normalized when the metric demands it).
+    pub base: VectorStore,
+    /// The proximity graph.
+    pub graph: FixedDegreeGraph,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Precomputed medoid (single-entry policies).
+    pub medoid: u32,
+    /// Which family the graph was built as.
+    pub kind: GraphKind,
+}
+
+impl AlgasIndex {
+    /// Builds an NSW index (GANNS-style graph).
+    pub fn build_nsw(base: VectorStore, metric: Metric, params: algas_graph::nsw::NswParams) -> Self {
+        let graph = NswBuilder::new(metric, params).build(&base);
+        let medoid = medoid(&base, metric);
+        Self { base, graph, metric, medoid, kind: GraphKind::Nsw }
+    }
+
+    /// Builds a CAGRA-style fixed out-degree index.
+    pub fn build_cagra(
+        base: VectorStore,
+        metric: Metric,
+        params: algas_graph::cagra::CagraParams,
+    ) -> Self {
+        let graph = CagraBuilder::new(metric, params).build(&base);
+        let medoid = medoid(&base, metric);
+        Self { base, graph, metric, medoid, kind: GraphKind::Cagra }
+    }
+
+    /// Wraps pre-built parts (e.g. graphs loaded from a cache).
+    ///
+    /// # Panics
+    /// Panics if graph and corpus sizes disagree.
+    pub fn from_parts(
+        base: VectorStore,
+        graph: FixedDegreeGraph,
+        metric: Metric,
+        kind: GraphKind,
+    ) -> Self {
+        assert_eq!(base.len(), graph.len(), "graph/corpus size mismatch");
+        let medoid = medoid(&base, metric);
+        Self { base, graph, metric, medoid, kind }
+    }
+
+    /// Corpus size.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+}
+
+/// Engine configuration. `Default` matches the paper's headline
+/// setting: TopK 16, batch(slots) 16, adaptive `N_parallel`.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Simulated device.
+    pub device: DeviceProps,
+    /// GPU cycle cost model.
+    pub cost: CostModel,
+    /// Host-side merge cost model.
+    pub host_cost: HostCostModel,
+    /// Results per query (TopK).
+    pub k: usize,
+    /// Candidate-list capacity per CTA (recall knob).
+    pub l: usize,
+    /// Dynamic-batching slots.
+    pub slots: usize,
+    /// CTAs per query; `None` lets the §IV-C tuner decide.
+    pub n_parallel: Option<usize>,
+    /// Beam extend on/off (`None` = greedy; `Some` overrides the
+    /// tuner's trigger offset).
+    pub beam: BeamMode,
+    /// Entry policy for the CTAs.
+    pub entry: EntryPolicy,
+}
+
+/// How beam extend is configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BeamMode {
+    /// Pure greedy search ("Greedy Extend").
+    Greedy,
+    /// Beam extend with the tuner's trigger (`offset_beam = L/4`).
+    Auto,
+    /// Beam extend with explicit parameters.
+    Manual(BeamParams),
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            device: DeviceProps::rtx_a6000(),
+            cost: CostModel::default(),
+            host_cost: HostCostModel::default(),
+            k: 16,
+            l: 64,
+            slots: 16,
+            n_parallel: None,
+            beam: BeamMode::Auto,
+            entry: EntryPolicy::Hashed { seed: 0xA16A5 },
+        }
+    }
+}
+
+/// One query's outcome: exact ids found + timed work for the sims.
+#[derive(Clone, Debug)]
+pub struct TracedSearch {
+    /// Final TopK after the host merge, ascending by distance.
+    pub topk: Vec<(DistValue, u32)>,
+    /// The raw multi-CTA output (per-CTA lists + traces).
+    pub multi: MultiResult,
+    /// The timed work descriptor for the batching simulators.
+    pub work: QueryWork,
+}
+
+/// The engine.
+pub struct AlgasEngine {
+    index: AlgasIndex,
+    cfg: EngineConfig,
+    plan: TuningPlan,
+    beam: Option<BeamParams>,
+}
+
+impl AlgasEngine {
+    /// Creates an engine, running the adaptive tuner.
+    ///
+    /// # Errors
+    /// Returns the tuner's error when the slot count or list sizes
+    /// cannot be made resident on the device.
+    pub fn new(index: AlgasIndex, cfg: EngineConfig) -> Result<Self, TuningError> {
+        assert!(cfg.k > 0 && cfg.l >= cfg.k, "need 0 < k <= L");
+        let mut input = TuningInput::new(cfg.device, cfg.slots, index.base.dim(), cfg.l, cfg.k);
+        input.graph_degree = index.graph.degree();
+        input.beam_width = match cfg.beam {
+            BeamMode::Greedy => 1,
+            BeamMode::Auto => BeamParams::default_for(cfg.l).beam_width,
+            BeamMode::Manual(b) => b.beam_width,
+        };
+        if let Some(np) = cfg.n_parallel {
+            assert!(np >= 1, "n_parallel must be at least 1");
+            input.max_n_parallel = np;
+        }
+        let mut plan = tune(&input)?;
+        if let Some(np) = cfg.n_parallel {
+            // An explicit N_parallel is honored only if resident.
+            if plan.n_parallel != np {
+                return Err(TuningError::TooManySlots {
+                    slots: cfg.slots * np,
+                    max_blocks: cfg.device.max_resident_blocks(),
+                });
+            }
+        }
+        plan.offset_beam = match cfg.beam {
+            BeamMode::Manual(b) => b.offset_beam,
+            _ => plan.offset_beam,
+        };
+        let beam = match cfg.beam {
+            BeamMode::Greedy => None,
+            BeamMode::Auto => {
+                let d = BeamParams::default_for(cfg.l);
+                Some(BeamParams { offset_beam: plan.offset_beam, beam_width: d.beam_width })
+            }
+            BeamMode::Manual(b) => Some(b),
+        };
+        Ok(Self { index, cfg, plan, beam })
+    }
+
+    /// The tuner's decision.
+    pub fn plan(&self) -> &TuningPlan {
+        &self.plan
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &AlgasIndex {
+        &self.index
+    }
+
+    /// Effective beam parameters (`None` = greedy).
+    pub fn beam(&self) -> Option<BeamParams> {
+        self.beam
+    }
+
+    fn multi_params(&self) -> MultiParams {
+        MultiParams {
+            intra: IntraParams {
+                l: self.cfg.l,
+                beam: self.beam,
+                bitmap_in_shared: self.plan.n_parallel == 1,
+            },
+            n_ctas: self.plan.n_parallel,
+            entry: self.cfg.entry,
+        }
+    }
+
+    /// Searches one query: exact ids plus the timed work descriptor.
+    ///
+    /// `query_id` seeds the per-CTA entry hashing; use the query's
+    /// index in its workload for reproducibility.
+    pub fn search_traced(&self, query: &[f32], query_id: u64) -> TracedSearch {
+        let ctx = SearchContext::new(
+            &self.index.graph,
+            &self.index.base,
+            self.index.metric,
+            &self.cfg.cost,
+        );
+        let multi = search_multi(
+            ctx,
+            self.multi_params(),
+            query,
+            query_id,
+            self.index.medoid,
+            self.cfg.k,
+        );
+        let topk = merge_topk(&multi.per_cta, self.cfg.k);
+        let work = self.work_from(&multi, query.len());
+        TracedSearch { topk, multi, work }
+    }
+
+    /// Plain search: just the TopK ids (ascending by distance).
+    pub fn search(&self, query: &[f32], query_id: u64) -> Vec<u32> {
+        self.search_traced(query, query_id).topk.into_iter().map(|(_, id)| id).collect()
+    }
+
+    fn work_from(&self, multi: &MultiResult, dim: usize) -> QueryWork {
+        let dev = &self.cfg.device;
+        let ctas: Vec<CtaWork> = multi
+            .traces
+            .iter()
+            .map(|t| CtaWork {
+                search_ns: dev.cycles_to_ns(t.total_cycles()),
+                steps: t.n_steps() as u32,
+            })
+            .collect();
+        let n_ctas = ctas.len();
+        QueryWork {
+            ctas,
+            query_bytes: (dim * 4) as u64,
+            result_bytes: (n_ctas * self.cfg.k * 8) as u64,
+            gpu_merge_ns: dev
+                .cycles_to_ns(self.cfg.cost.gpu_topk_merge_cycles(n_ctas, self.cfg.k)),
+            host_merge_ns: self.cfg.host_cost.merge_ns(n_ctas, self.cfg.k),
+        }
+    }
+
+    /// Runs a whole query set, returning per-query results and work
+    /// descriptors (inputs to the batching simulators).
+    pub fn run_workload(&self, queries: &VectorStore) -> Workload {
+        assert_eq!(queries.dim(), self.index.base.dim(), "query dimension mismatch");
+        let mut results = Vec::with_capacity(queries.len());
+        let mut works = Vec::with_capacity(queries.len());
+        let mut traces = Vec::with_capacity(queries.len());
+        for qid in 0..queries.len() {
+            let t = self.search_traced(queries.get(qid), qid as u64);
+            results.push(t.topk.iter().map(|&(_, id)| id).collect());
+            works.push(t.work);
+            traces.push(t.multi);
+        }
+        Workload { results, works, traces }
+    }
+}
+
+/// A fully traced query set.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// TopK ids per query.
+    pub results: Vec<Vec<u32>>,
+    /// Timed work per query.
+    pub works: Vec<QueryWork>,
+    /// Raw multi-CTA traces per query (motivation figures).
+    pub traces: Vec<MultiResult>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algas_graph::cagra::CagraParams;
+    use algas_vector::datasets::DatasetSpec;
+    use algas_vector::ground_truth::{brute_force_knn, mean_recall};
+
+    fn small_engine(l: usize, beam: BeamMode) -> (AlgasEngine, algas_vector::datasets::GeneratedDataset) {
+        let ds = DatasetSpec::tiny(700, 16, Metric::L2, 101).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg = EngineConfig { k: 10, l, slots: 8, beam, ..Default::default() };
+        (AlgasEngine::new(index, cfg).unwrap(), ds)
+    }
+
+    #[test]
+    fn engine_reaches_high_recall() {
+        let (engine, ds) = small_engine(64, BeamMode::Auto);
+        let wl = engine.run_workload(&ds.queries);
+        let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, 10);
+        let r = mean_recall(&wl.results, &gt, 10);
+        assert!(r > 0.9, "engine recall too low: {r}");
+    }
+
+    #[test]
+    fn work_descriptors_are_consistent() {
+        let (engine, ds) = small_engine(32, BeamMode::Auto);
+        let t = engine.search_traced(ds.queries.get(0), 0);
+        assert_eq!(t.work.n_ctas(), engine.plan().n_parallel);
+        assert_eq!(t.work.query_bytes, 16 * 4);
+        assert_eq!(t.work.result_bytes, (engine.plan().n_parallel * 10 * 8) as u64);
+        assert!(t.work.max_cta_ns() > 0);
+        assert!(t.work.host_merge_ns < t.work.gpu_merge_ns || engine.plan().n_parallel == 1);
+        assert_eq!(t.topk.len(), 10);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (engine, ds) = small_engine(32, BeamMode::Auto);
+        assert_eq!(engine.search(ds.queries.get(3), 3), engine.search(ds.queries.get(3), 3));
+    }
+
+    #[test]
+    fn beam_mode_controls_searcher() {
+        let (greedy, _) = small_engine(64, BeamMode::Greedy);
+        assert!(greedy.beam().is_none());
+        let (auto, _) = small_engine(64, BeamMode::Auto);
+        assert_eq!(auto.beam().unwrap().offset_beam, 4);
+        let manual = BeamParams { offset_beam: 5, beam_width: 7 };
+        let (m, _) = small_engine(64, BeamMode::Manual(manual));
+        assert_eq!(m.beam().unwrap(), manual);
+    }
+
+    #[test]
+    fn explicit_n_parallel_is_honored() {
+        let ds = DatasetSpec::tiny(300, 8, Metric::L2, 7).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg = EngineConfig { k: 8, l: 32, slots: 4, n_parallel: Some(2), ..Default::default() };
+        let engine = AlgasEngine::new(index, cfg).unwrap();
+        assert_eq!(engine.plan().n_parallel, 2);
+        let t = engine.search_traced(ds.queries.get(0), 0);
+        assert_eq!(t.multi.per_cta.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_config_is_an_error() {
+        let ds = DatasetSpec::tiny(300, 8, Metric::L2, 7).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg = EngineConfig { slots: 5000, ..Default::default() };
+        assert!(AlgasEngine::new(index, cfg).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let (engine, _) = small_engine(32, BeamMode::Auto);
+        engine.search(&[0.0; 3], 0);
+    }
+
+    #[test]
+    fn merged_topk_beats_any_single_cta() {
+        let (engine, ds) = small_engine(48, BeamMode::Greedy);
+        let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, 10);
+        let mut merged_sum = 0.0;
+        let mut best_single_sum = 0.0;
+        for qid in 0..ds.queries.len().min(50) {
+            let t = engine.search_traced(ds.queries.get(qid), qid as u64);
+            let merged: Vec<u32> = t.topk.iter().map(|&(_, id)| id).collect();
+            merged_sum += algas_vector::ground_truth::recall(&merged, &gt.neighbors[qid], 10);
+            let best = t
+                .multi
+                .per_cta
+                .iter()
+                .map(|l| {
+                    let ids: Vec<u32> = l.iter().map(|&(_, id)| id).collect();
+                    algas_vector::ground_truth::recall(&ids, &gt.neighbors[qid], 10)
+                })
+                .fold(0.0f64, f64::max);
+            best_single_sum += best;
+        }
+        assert!(merged_sum >= best_single_sum, "merge must not lose results");
+    }
+}

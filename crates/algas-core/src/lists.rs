@@ -1,0 +1,283 @@
+//! The CTA-local data structures: candidate list, expand list, and the
+//! visited bitmap.
+//!
+//! These mirror the shared-memory structures of §IV-B: a bounded sorted
+//! candidate list of capacity `L`, an expand list that buffers the
+//! neighbors of the step's selected candidate(s), and a bitmap that
+//! records which corpus points already had their distance computed.
+//! The functional behaviour here is exact; the *cost* of maintaining
+//! them (bitonic stages etc.) is charged by the searcher through
+//! `algas_gpu_sim::CostModel`.
+
+use algas_vector::metric::DistValue;
+
+/// One candidate-list entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// Distance to the query.
+    pub dist: DistValue,
+    /// Corpus id.
+    pub id: u32,
+    /// Whether this entry was already selected and neighbor-expanded.
+    pub expanded: bool,
+}
+
+/// A bounded, ascending-sorted candidate list of capacity `L`.
+#[derive(Clone, Debug)]
+pub struct CandidateList {
+    items: Vec<Candidate>,
+    cap: usize,
+}
+
+impl CandidateList {
+    /// Creates an empty list with capacity `l`.
+    ///
+    /// # Panics
+    /// Panics if `l == 0`.
+    pub fn new(l: usize) -> Self {
+        assert!(l > 0, "candidate list capacity must be positive");
+        Self { items: Vec::with_capacity(l + 1), cap: l }
+    }
+
+    /// Capacity `L`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current entries, ascending by distance.
+    pub fn items(&self) -> &[Candidate] {
+        &self.items
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Offset of the closest not-yet-expanded entry (§IV-B step ①).
+    pub fn closest_unexpanded(&self) -> Option<usize> {
+        self.items.iter().position(|c| !c.expanded)
+    }
+
+    /// Offsets of up to `width` closest not-yet-expanded entries — the
+    /// beam-extend selection (multiple candidates per maintenance
+    /// round, §IV-B "Beam Extend in Intra-CTA").
+    pub fn closest_unexpanded_beam(&self, width: usize) -> Vec<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.expanded)
+            .map(|(i, _)| i)
+            .take(width)
+            .collect()
+    }
+
+    /// Marks the entry at `offset` as expanded and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `offset` is out of bounds or already expanded.
+    pub fn mark_expanded(&mut self, offset: usize) -> u32 {
+        let c = &mut self.items[offset];
+        assert!(!c.expanded, "candidate at offset {offset} already expanded");
+        c.expanded = true;
+        c.id
+    }
+
+    /// Merges a batch of scored newcomers into the list, keeping the
+    /// best `L` (§IV-B step ④: sort expand list, merge, truncate).
+    ///
+    /// Newcomers must be distinct from existing entries — the visited
+    /// bitmap guarantees a point is scored at most once per query — and
+    /// enter unexpanded.
+    pub fn merge_batch(&mut self, newcomers: &[(DistValue, u32)]) {
+        debug_assert!(
+            newcomers
+                .iter()
+                .all(|&(_, id)| self.items.iter().all(|c| c.id != id)),
+            "bitmap must prevent duplicate candidates"
+        );
+        self.items.extend(
+            newcomers.iter().map(|&(dist, id)| Candidate { dist, id, expanded: false }),
+        );
+        // (dist, id) keys make the order total and deterministic.
+        self.items.sort_by_key(|c| (c.dist, c.id));
+        self.items.truncate(self.cap);
+    }
+
+    /// The best `k` ids currently held (ascending by distance).
+    pub fn top_k(&self, k: usize) -> Vec<(DistValue, u32)> {
+        self.items.iter().take(k).map(|c| (c.dist, c.id)).collect()
+    }
+
+    /// Sortedness invariant (exposed for property tests).
+    pub fn is_sorted(&self) -> bool {
+        self.items.windows(2).all(|w| (w[0].dist, w[0].id) <= (w[1].dist, w[1].id))
+    }
+}
+
+/// A visited bitmap over corpus ids (§IV-B step ②'s filter).
+///
+/// In the intra-CTA case each query owns one; in multi-CTA all of a
+/// query's CTAs share one, which both avoids redundant distance
+/// computations and implicitly partitions the explored region.
+#[derive(Clone, Debug)]
+pub struct VisitedBitmap {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl VisitedBitmap {
+    /// A cleared bitmap over `n` ids.
+    pub fn new(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(64)], n }
+    }
+
+    /// Marks `id`; returns `true` when `id` was previously unmarked
+    /// (i.e. the caller owns computing its distance).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn test_and_set(&mut self, id: u32) -> bool {
+        assert!((id as usize) < self.n, "id {id} out of bitmap range {}", self.n);
+        let w = id as usize / 64;
+        let bit = 1u64 << (id % 64);
+        let was = self.words[w] & bit != 0;
+        self.words[w] |= bit;
+        !was
+    }
+
+    /// Whether `id` is marked.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let w = id as usize / 64;
+        self.words[w] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Number of marked ids.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitmap capacity in ids.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Clears all marks (slot reuse between queries).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Bitmap footprint in bytes (for shared-memory sizing).
+    pub fn nbytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: f32) -> DistValue {
+        DistValue(x)
+    }
+
+    #[test]
+    fn merge_keeps_best_l_sorted() {
+        let mut list = CandidateList::new(3);
+        list.merge_batch(&[(d(5.0), 5), (d(1.0), 1), (d(3.0), 3)]);
+        assert_eq!(list.top_k(3), vec![(d(1.0), 1), (d(3.0), 3), (d(5.0), 5)]);
+        list.merge_batch(&[(d(2.0), 2), (d(9.0), 9)]);
+        assert_eq!(list.top_k(3), vec![(d(1.0), 1), (d(2.0), 2), (d(3.0), 3)]);
+        assert!(list.is_sorted());
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn selection_skips_expanded() {
+        let mut list = CandidateList::new(4);
+        list.merge_batch(&[(d(1.0), 1), (d(2.0), 2)]);
+        assert_eq!(list.closest_unexpanded(), Some(0));
+        assert_eq!(list.mark_expanded(0), 1);
+        assert_eq!(list.closest_unexpanded(), Some(1));
+        assert_eq!(list.mark_expanded(1), 2);
+        assert_eq!(list.closest_unexpanded(), None);
+    }
+
+    #[test]
+    fn expanded_survives_merge() {
+        let mut list = CandidateList::new(4);
+        list.merge_batch(&[(d(2.0), 2)]);
+        list.mark_expanded(0);
+        list.merge_batch(&[(d(1.0), 1)]);
+        // Entry 2 moved to offset 1 but stays expanded.
+        assert_eq!(list.closest_unexpanded(), Some(0));
+        assert_eq!(list.items()[1].id, 2);
+        assert!(list.items()[1].expanded);
+    }
+
+    #[test]
+    fn beam_selection_takes_width_closest() {
+        let mut list = CandidateList::new(8);
+        list.merge_batch(&[(d(1.0), 1), (d(2.0), 2), (d(3.0), 3), (d(4.0), 4)]);
+        list.mark_expanded(0);
+        assert_eq!(list.closest_unexpanded_beam(2), vec![1, 2]);
+        assert_eq!(list.closest_unexpanded_beam(10), vec![1, 2, 3]);
+        assert_eq!(list.closest_unexpanded_beam(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn equal_distances_order_by_id() {
+        let mut list = CandidateList::new(4);
+        list.merge_batch(&[(d(1.0), 9), (d(1.0), 3)]);
+        assert_eq!(list.top_k(2), vec![(d(1.0), 3), (d(1.0), 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already expanded")]
+    fn double_expand_panics() {
+        let mut list = CandidateList::new(2);
+        list.merge_batch(&[(d(1.0), 1)]);
+        list.mark_expanded(0);
+        list.mark_expanded(0);
+    }
+
+    #[test]
+    fn bitmap_test_and_set_semantics() {
+        let mut b = VisitedBitmap::new(130);
+        assert!(b.test_and_set(0));
+        assert!(!b.test_and_set(0));
+        assert!(b.test_and_set(129));
+        assert!(b.contains(129));
+        assert!(!b.contains(64));
+        assert_eq!(b.count(), 2);
+        b.clear();
+        assert_eq!(b.count(), 0);
+        assert!(b.test_and_set(0));
+    }
+
+    #[test]
+    fn bitmap_sizing() {
+        assert_eq!(VisitedBitmap::new(0).nbytes(), 0);
+        assert_eq!(VisitedBitmap::new(1).nbytes(), 8);
+        assert_eq!(VisitedBitmap::new(64).nbytes(), 8);
+        assert_eq!(VisitedBitmap::new(65).nbytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bitmap range")]
+    fn bitmap_oob_panics() {
+        VisitedBitmap::new(10).test_and_set(10);
+    }
+}

@@ -1,0 +1,162 @@
+//! Index persistence: one self-describing file holding the corpus, the
+//! graph, and the index metadata, so a built index can be shipped and
+//! served without rebuilding.
+
+use crate::engine::AlgasIndex;
+use algas_graph::GraphKind;
+use algas_vector::Metric;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const INDEX_MAGIC: u32 = 0x414C_4958; // "ALIX"
+const FORMAT_VERSION: u32 = 1;
+
+/// Serializes an index into a writer.
+pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
+    let store_blob = algas_vector::binary::encode_store(&index.base);
+    let graph_blob = algas_graph::binary::encode_graph(&index.graph);
+    let mut header = BytesMut::with_capacity(32);
+    header.put_u32_le(INDEX_MAGIC);
+    header.put_u32_le(FORMAT_VERSION);
+    header.put_u8(match index.metric {
+        Metric::L2 => 0,
+        Metric::Cosine => 1,
+    });
+    header.put_u8(match index.kind {
+        GraphKind::Nsw => 0,
+        GraphKind::Cagra => 1,
+    });
+    header.put_u32_le(index.medoid);
+    header.put_u64_le(store_blob.len() as u64);
+    header.put_u64_le(graph_blob.len() as u64);
+    w.write_all(&header)?;
+    w.write_all(&store_blob)?;
+    w.write_all(&graph_blob)?;
+    Ok(())
+}
+
+/// Deserializes an index from a reader.
+pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
+    let mut header = [0u8; 30];
+    r.read_exact(&mut header)?;
+    let mut h = &header[..];
+    if h.get_u32_le() != INDEX_MAGIC {
+        return Err(invalid("not an ALGAS index file"));
+    }
+    let version = h.get_u32_le();
+    if version != FORMAT_VERSION {
+        return Err(invalid(&format!("unsupported index format version {version}")));
+    }
+    let metric = match h.get_u8() {
+        0 => Metric::L2,
+        1 => Metric::Cosine,
+        m => return Err(invalid(&format!("unknown metric tag {m}"))),
+    };
+    let kind = match h.get_u8() {
+        0 => GraphKind::Nsw,
+        1 => GraphKind::Cagra,
+        k => return Err(invalid(&format!("unknown graph kind tag {k}"))),
+    };
+    let medoid = h.get_u32_le();
+    let store_len = h.get_u64_le() as usize;
+    let graph_len = h.get_u64_le() as usize;
+
+    let mut store_blob = vec![0u8; store_len];
+    r.read_exact(&mut store_blob).map_err(|_| invalid("truncated corpus section"))?;
+    let mut graph_blob = vec![0u8; graph_len];
+    r.read_exact(&mut graph_blob).map_err(|_| invalid("truncated graph section"))?;
+
+    let base = algas_vector::binary::decode_store(&store_blob)?;
+    let graph = algas_graph::binary::decode_graph(&graph_blob)?;
+    if base.len() != graph.len() {
+        return Err(invalid("corpus/graph size mismatch"));
+    }
+    if (medoid as usize) >= base.len().max(1) {
+        return Err(invalid("medoid out of range"));
+    }
+    Ok(AlgasIndex { base, graph, metric, medoid, kind })
+}
+
+impl AlgasIndex {
+    /// Saves the index to a file (atomically: write + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            write_index(&mut f, self)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads an index from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<AlgasIndex> {
+        read_index(std::fs::File::open(path)?)
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algas_graph::cagra::CagraParams;
+    use algas_vector::datasets::DatasetSpec;
+
+    fn sample_index() -> AlgasIndex {
+        let ds = DatasetSpec::tiny(300, 8, Metric::Cosine, 71).generate();
+        AlgasIndex::build_cagra(ds.base, Metric::Cosine, CagraParams::default())
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let back = read_index(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.base, index.base);
+        assert_eq!(back.graph, index.graph);
+        assert_eq!(back.metric, index.metric);
+        assert_eq!(back.kind, index.kind);
+        assert_eq!(back.medoid, index.medoid);
+    }
+
+    #[test]
+    fn roundtrip_on_disk_and_searchable() {
+        use crate::engine::{AlgasEngine, EngineConfig};
+        let index = sample_index();
+        let path = std::env::temp_dir().join(format!("algas-idx-{}.bin", std::process::id()));
+        index.save(&path).unwrap();
+        let back = AlgasIndex::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = EngineConfig { k: 5, l: 32, ..Default::default() };
+        let e1 = AlgasEngine::new(index, cfg).unwrap();
+        let e2 = AlgasEngine::new(back, cfg).unwrap();
+        let q: Vec<f32> = vec![0.1; 8];
+        assert_eq!(e1.search(&q, 0), e2.search(&q, 0));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(read_index(std::io::Cursor::new(bad)).is_err());
+        // Truncated payload.
+        let mut short = buf.clone();
+        short.truncate(buf.len() - 10);
+        assert!(read_index(std::io::Cursor::new(short)).is_err());
+        // Future version.
+        let mut vers = buf.clone();
+        vers[4] = 99;
+        assert!(read_index(std::io::Cursor::new(vers)).is_err());
+    }
+}

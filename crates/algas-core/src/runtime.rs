@@ -1,0 +1,562 @@
+//! A native, threaded implementation of the ALGAS serving architecture.
+//!
+//! The simulators in `algas-gpu-sim` answer the paper's *performance*
+//! questions; this module implements the same architecture as a real
+//! concurrent system, validating the slot protocol under an actual
+//! memory model and doubling as a usable low-latency CPU ANNS server:
+//!
+//! * **Persistent workers** stand in for the persistent kernel's CTAs:
+//!   spawned once, they poll their slots' states (`Work`?) instead of
+//!   being launched per query.
+//! * **Slots** carry one in-flight query each in a payload cell guarded
+//!   by the [`AtomicSlotState`] protocol — the `Work`/`Finish` edges
+//!   publish the payload exactly as §V-A's state copies do.
+//! * **Host pollers** scan their slot subsets (§V-B's partitioned
+//!   ownership), merge per-CTA TopK lists on the CPU (§IV-B), deliver
+//!   results, and refill slots from the submission queue.
+
+use crate::engine::AlgasEngine;
+use crate::state::{AtomicSlotState, SlotState};
+use algas_vector::metric::DistValue;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Runtime shape: how many slots and how many threads on each side.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Independent slots (in-flight queries).
+    pub n_slots: usize,
+    /// Persistent worker threads (the "GPU"); slots are assigned
+    /// round-robin.
+    pub n_workers: usize,
+    /// Host poller threads (§V-B); slots are assigned round-robin.
+    pub n_host_threads: usize,
+    /// Bound of the submission queue (backpressure for open-loop
+    /// clients).
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self { n_slots: 16, n_workers: 2, n_host_threads: 1, queue_capacity: 1024 }
+    }
+}
+
+/// A search result delivered to the submitting client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchReply {
+    /// Client-chosen tag echoed back.
+    pub tag: u64,
+    /// TopK ids, ascending by distance.
+    pub ids: Vec<u32>,
+    /// Matching distances.
+    pub distances: Vec<f32>,
+}
+
+struct Job {
+    tag: u64,
+    query: Vec<f32>,
+    reply_to: Sender<SearchReply>,
+    submitted_at: std::time::Instant,
+}
+
+/// Per-slot payload cell. The state machine serializes access: the
+/// host writes `job` before `None/Done → Work`; workers read it after
+/// observing `Work` and write `results` before `Work → Finish`; the
+/// host reads results after observing `Finish`.
+#[derive(Default)]
+struct SlotPayload {
+    job: Option<Job>,
+    per_cta: Vec<Vec<(DistValue, u32)>>,
+}
+
+struct Slot {
+    state: AtomicSlotState,
+    payload: Mutex<SlotPayload>,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: std::sync::atomic::AtomicU64,
+    completed: std::sync::atomic::AtomicU64,
+    service_ns_total: std::sync::atomic::AtomicU64,
+    max_service_ns: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Queries accepted into the submission queue.
+    pub submitted: u64,
+    /// Queries fully served (merged + replied).
+    pub completed: u64,
+    /// Sum of service times (submit → reply) in ns.
+    pub service_ns_total: u64,
+    /// Worst single service time observed, ns.
+    pub max_service_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Queries currently queued or in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.completed
+    }
+
+    /// Mean service time in microseconds (0 if nothing completed).
+    pub fn mean_service_us(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.service_ns_total as f64 / self.completed as f64 / 1000.0
+        }
+    }
+}
+
+struct Shared {
+    engine: AlgasEngine,
+    slots: Vec<Slot>,
+    submissions: Receiver<Job>,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct AlgasServer {
+    shared: Arc<Shared>,
+    submit_tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    hosts: Vec<JoinHandle<()>>,
+    next_tag: std::sync::atomic::AtomicU64,
+}
+
+/// Submission failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue is full (apply backpressure).
+    QueueFull,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue full"),
+            SubmitError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl AlgasServer {
+    /// Starts the server: spawns persistent workers and host pollers.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized configuration.
+    pub fn start(engine: AlgasEngine, cfg: RuntimeConfig) -> Self {
+        assert!(cfg.n_slots > 0 && cfg.n_workers > 0 && cfg.n_host_threads > 0);
+        let (submit_tx, submit_rx) = bounded(cfg.queue_capacity.max(1));
+        let slots = (0..cfg.n_slots)
+            .map(|_| Slot { state: AtomicSlotState::new(), payload: Mutex::new(SlotPayload::default()) })
+            .collect();
+        let shared = Arc::new(Shared {
+            engine,
+            slots,
+            submissions: submit_rx,
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+
+        let workers = (0..cfg.n_workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let stride = cfg.n_workers;
+                std::thread::Builder::new()
+                    .name(format!("algas-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w, stride))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let hosts = (0..cfg.n_host_threads)
+            .map(|h| {
+                let shared = Arc::clone(&shared);
+                let stride = cfg.n_host_threads;
+                std::thread::Builder::new()
+                    .name(format!("algas-host-{h}"))
+                    .spawn(move || host_loop(&shared, h, stride))
+                    .expect("spawn host poller")
+            })
+            .collect();
+
+        Self {
+            shared,
+            submit_tx,
+            workers,
+            hosts,
+            next_tag: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a query; the reply arrives on the returned channel.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    ///
+    /// # Panics
+    /// Panics if the query dimension doesn't match the index.
+    pub fn submit(&self, query: Vec<f32>) -> Result<(u64, Receiver<SearchReply>), SubmitError> {
+        assert_eq!(
+            query.len(),
+            self.shared.engine.index().base.dim(),
+            "query dimension mismatch"
+        );
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = unbounded();
+        let job = Job { tag, query, reply_to: reply_tx, submitted_at: std::time::Instant::now() };
+        match self.submit_tx.try_send(job) {
+            Ok(()) => {
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok((tag, reply_rx))
+            }
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.shared.stats.submitted.load(Ordering::Relaxed),
+            completed: self.shared.stats.completed.load(Ordering::Relaxed),
+            service_ns_total: self.shared.stats.service_ns_total.load(Ordering::Relaxed),
+            max_service_ns: self.shared.stats.max_service_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience: submit and block for the reply.
+    pub fn search_blocking(&self, query: Vec<f32>) -> Result<SearchReply, SubmitError> {
+        let (_, rx) = self.submit(query)?;
+        rx.recv().map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    /// Submits a batch of queries; returns one `(tag, receiver)` per
+    /// query. All-or-nothing: if the queue fills mid-batch, already
+    /// accepted queries are still served but the error tells the caller
+    /// how many were accepted.
+    pub fn submit_batch(
+        &self,
+        queries: impl IntoIterator<Item = Vec<f32>>,
+    ) -> Result<Vec<(u64, Receiver<SearchReply>)>, (usize, SubmitError)> {
+        let mut out = Vec::new();
+        for q in queries {
+            match self.submit(q) {
+                Ok(pair) => out.push(pair),
+                Err(e) => return Err((out.len(), e)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stops accepting queries, drains in-flight work, joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.hosts.drain(..) {
+            let _ = h.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for AlgasServer {
+    fn drop(&mut self) {
+        if !self.hosts.is_empty() || !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Persistent worker ("CTA group"): polls owned slots for `Work`,
+/// executes the multi-CTA search, publishes per-CTA lists, flips to
+/// `Finish`. Exits once every owned slot reaches `Quit`.
+fn worker_loop(shared: &Shared, first: usize, stride: usize) {
+    loop {
+        let mut all_quit = true;
+        let mut did_work = false;
+        for s in (first..shared.slots.len()).step_by(stride) {
+            let slot = &shared.slots[s];
+            match slot.state.load() {
+                SlotState::Quit => {}
+                SlotState::Work => {
+                    all_quit = false;
+                    // Run the search for the job in the payload cell.
+                    let (tag, query) = {
+                        let payload = slot.payload.lock();
+                        let job = payload.job.as_ref().expect("Work implies a job");
+                        (job.tag, job.query.clone())
+                    };
+                    let traced = shared.engine.search_traced(&query, tag);
+                    {
+                        let mut payload = slot.payload.lock();
+                        payload.per_cta = traced.multi.per_cta;
+                    }
+                    let flipped = slot.state.transition(SlotState::Work, SlotState::Finish);
+                    debug_assert!(flipped, "only this worker moves Work -> Finish");
+                    did_work = true;
+                }
+                _ => all_quit = false,
+            }
+        }
+        if all_quit {
+            return;
+        }
+        if !did_work {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Host poller (§V-B): scans owned slots; on `Finish` merges and
+/// replies; on `None`/`Done` refills from the submission queue or, when
+/// shutting down with an empty queue, retires the slot to `Quit`.
+fn host_loop(shared: &Shared, first: usize, stride: usize) {
+    let k = shared.engine.config().k;
+    loop {
+        let mut all_quit = true;
+        let mut did_work = false;
+        for s in (first..shared.slots.len()).step_by(stride) {
+            let slot = &shared.slots[s];
+            let state = slot.state.load();
+            match state {
+                SlotState::Quit => continue,
+                SlotState::Finish => {
+                    all_quit = false;
+                    let (job, per_cta) = {
+                        let mut payload = slot.payload.lock();
+                        (
+                            payload.job.take().expect("Finish implies a job"),
+                            std::mem::take(&mut payload.per_cta),
+                        )
+                    };
+                    let merged = crate::merge::merge_topk(&per_cta, k);
+                    let reply = SearchReply {
+                        tag: job.tag,
+                        ids: merged.iter().map(|&(_, id)| id).collect(),
+                        distances: merged.iter().map(|&(d, _)| d.0).collect(),
+                    };
+                    // Account the completed query before replying so a
+                    // caller observing the reply sees it counted.
+                    let service_ns = job.submitted_at.elapsed().as_nanos() as u64;
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.service_ns_total.fetch_add(service_ns, Ordering::Relaxed);
+                    shared.stats.max_service_ns.fetch_max(service_ns, Ordering::Relaxed);
+                    // The client may have dropped its receiver; fine.
+                    let _ = job.reply_to.send(reply);
+                    let flipped = slot.state.transition(SlotState::Finish, SlotState::Done);
+                    debug_assert!(flipped, "only this poller moves Finish -> Done");
+                    did_work = true;
+                }
+                SlotState::None | SlotState::Done => {
+                    all_quit = false;
+                    match shared.submissions.try_recv() {
+                        Ok(job) => {
+                            slot.payload.lock().job = Some(job);
+                            let flipped = slot.state.transition(state, SlotState::Work);
+                            debug_assert!(flipped, "this poller owns the slot's host edges");
+                            did_work = true;
+                        }
+                        Err(_) => {
+                            if shared.shutdown.load(Ordering::Acquire) {
+                                let flipped = slot.state.transition(state, SlotState::Quit);
+                                debug_assert!(flipped);
+                                did_work = true;
+                            }
+                        }
+                    }
+                }
+                SlotState::Work => {
+                    all_quit = false;
+                }
+            }
+        }
+        if all_quit {
+            return;
+        }
+        if !did_work {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AlgasIndex, BeamMode, EngineConfig};
+    use algas_graph::cagra::CagraParams;
+    use algas_vector::datasets::DatasetSpec;
+    use algas_vector::Metric;
+
+    fn test_server(slots: usize, workers: usize, hosts: usize) -> (AlgasServer, algas_vector::datasets::GeneratedDataset, AlgasEngine) {
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg = EngineConfig { k: 8, l: 32, slots, beam: BeamMode::Auto, ..Default::default() };
+        let server_engine = AlgasEngine::new(index.clone(), cfg).unwrap();
+        let oracle = AlgasEngine::new(index, cfg).unwrap();
+        let server = AlgasServer::start(
+            server_engine,
+            RuntimeConfig { n_slots: slots, n_workers: workers, n_host_threads: hosts, queue_capacity: 256 },
+        );
+        (server, ds, oracle)
+    }
+
+    #[test]
+    fn serves_single_query_correctly() {
+        let (server, ds, oracle) = test_server(4, 2, 1);
+        let q = ds.queries.get(0).to_vec();
+        let reply = server.search_blocking(q.clone()).unwrap();
+        // tag 0 == query_id 0: identical entry hashing to the oracle.
+        assert_eq!(reply.ids, oracle.search(&q, 0));
+        assert_eq!(reply.ids.len(), 8);
+        assert!(reply.distances.windows(2).all(|w| w[0] <= w[1]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_many_queries_from_many_clients() {
+        let (server, ds, oracle) = test_server(8, 3, 2);
+        let server = Arc::new(server);
+        let n = 40;
+        let replies: Vec<SearchReply> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|c| {
+                    let server = Arc::clone(&server);
+                    let ds = &ds;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in (c..n).step_by(4) {
+                            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+                            out.push(server.search_blocking(q).unwrap());
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(replies.len(), n);
+        // Every reply matches the oracle for its tag's query.
+        for r in &replies {
+            // Reconstruct which query this tag used is client-side
+            // knowledge; instead verify result quality directly:
+            assert_eq!(r.ids.len(), 8);
+            assert!(r.distances.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Spot-check exactness for a fresh tag.
+        let q = ds.queries.get(1).to_vec();
+        let (tag, rx) = server.submit(q.clone()).unwrap();
+        let reply = rx.recv().unwrap();
+        assert_eq!(reply.ids, oracle.search(&q, tag));
+        match Arc::try_unwrap(server) {
+            Ok(s) => s.shutdown(),
+            Err(_) => panic!("server still shared"),
+        }
+    }
+
+    #[test]
+    fn submit_batch_serves_everything() {
+        let (server, ds, oracle) = test_server(4, 2, 1);
+        let batch: Vec<Vec<f32>> =
+            (0..12).map(|i| ds.queries.get(i % ds.queries.len()).to_vec()).collect();
+        let pending = server.submit_batch(batch.clone()).unwrap();
+        assert_eq!(pending.len(), 12);
+        for ((tag, rx), q) in pending.into_iter().zip(&batch) {
+            let reply = rx.recv().unwrap();
+            assert_eq!(reply.tag, tag);
+            assert_eq!(reply.ids, oracle.search(q, tag));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_track_service() {
+        let (server, ds, _) = test_server(4, 2, 1);
+        assert_eq!(server.stats().completed, 0);
+        for i in 0..10 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        let s = server.stats();
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.mean_service_us() > 0.0);
+        assert!(s.max_service_ns >= (s.service_ns_total / 10));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_queries() {
+        let (server, ds, _) = test_server(4, 2, 1);
+        let mut rxs = Vec::new();
+        for i in 0..12 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            rxs.push(server.submit(q).unwrap().1);
+        }
+        server.shutdown();
+        for rx in rxs {
+            assert!(rx.recv().is_ok(), "in-flight query dropped during shutdown");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let (server, ds, _) = test_server(2, 1, 1);
+        server.shared.shutdown.store(true, Ordering::Release);
+        let err = server.submit(ds.queries.get(0).to_vec()).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn backpressure_reports_queue_full() {
+        let ds = DatasetSpec::tiny(300, 8, Metric::L2, 77).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg = EngineConfig { k: 4, l: 16, slots: 1, ..Default::default() };
+        let engine = AlgasEngine::new(index, cfg).unwrap();
+        let server = AlgasServer::start(
+            engine,
+            RuntimeConfig { n_slots: 1, n_workers: 1, n_host_threads: 1, queue_capacity: 1 },
+        );
+        // Flood faster than one slot can drain; eventually QueueFull.
+        let mut saw_full = false;
+        let mut rxs = Vec::new();
+        for i in 0..200 {
+            match server.submit(ds.queries.get(i % ds.queries.len()).to_vec()) {
+                Ok((_, rx)) => rxs.push(rx),
+                Err(SubmitError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(saw_full, "bounded queue never filled");
+        server.shutdown();
+        for rx in rxs {
+            assert!(rx.recv().is_ok());
+        }
+    }
+}

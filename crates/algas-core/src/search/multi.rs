@@ -1,0 +1,232 @@
+//! Multi-CTA search: `N_parallel` CTAs cooperate on one query.
+//!
+//! Each CTA runs the intra-CTA search from its own (hashed) entry point
+//! with a **private candidate list**, while all CTAs of the query share
+//! one visited bitmap (§IV-B): the first CTA to touch a point owns its
+//! distance computation, so the CTAs implicitly partition the explored
+//! region and never duplicate work. Execution interleaves the CTAs
+//! round-robin — a deterministic stand-in for the concurrent progress
+//! they make on real hardware — and the per-CTA TopK lists are returned
+//! *unmerged*: merging is the host's job (GPU-CPU cooperation).
+
+use crate::lists::VisitedBitmap;
+use crate::search::intra::{CtaSearch, IntraParams};
+use crate::search::SearchContext;
+use crate::tracer::CtaTrace;
+use algas_graph::entry::EntryPolicy;
+use algas_vector::metric::DistValue;
+
+/// Parameters of a multi-CTA search.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiParams {
+    /// Per-CTA search parameters. `bitmap_in_shared` is forced off:
+    /// the shared table lives in global memory.
+    pub intra: IntraParams,
+    /// Number of CTAs (`N_parallel`).
+    pub n_ctas: usize,
+    /// Entry-point policy (the paper uses random entries per CTA).
+    pub entry: EntryPolicy,
+}
+
+/// Result of a multi-CTA search: one TopK list per CTA plus traces.
+#[derive(Clone, Debug)]
+pub struct MultiResult {
+    /// `per_cta[c]` = CTA `c`'s best `k` candidates, ascending. These
+    /// are what the host merges (laid out contiguously on the real
+    /// system so one sequential read fetches them all).
+    pub per_cta: Vec<Vec<(DistValue, u32)>>,
+    /// Per-CTA cost traces.
+    pub traces: Vec<CtaTrace>,
+}
+
+impl MultiResult {
+    /// Maximum steps over the CTAs — the query's step count for the
+    /// bubble analyses.
+    pub fn max_steps(&self) -> usize {
+        self.traces.iter().map(|t| t.n_steps()).max().unwrap_or(0)
+    }
+}
+
+/// Runs a multi-CTA search for `query` (id `query_id` — used by the
+/// hashed entry policy), returning `k` candidates per CTA.
+///
+/// # Panics
+/// Panics if `n_ctas == 0` or `k > intra.l`.
+pub fn search_multi(
+    ctx: SearchContext<'_>,
+    params: MultiParams,
+    query: &[f32],
+    query_id: u64,
+    medoid: u32,
+    k: usize,
+) -> MultiResult {
+    assert!(params.n_ctas > 0, "need at least one CTA");
+    assert!(k <= params.intra.l, "k={k} exceeds candidate list capacity {}", params.intra.l);
+    let n = ctx.base.len();
+    let mut shared_visited = VisitedBitmap::new(n);
+
+    // The shared table lives in global memory: force the cost flag.
+    let intra = IntraParams { bitmap_in_shared: params.n_ctas == 1, ..params.intra };
+
+    let mut ctas: Vec<CtaSearch<'_>> = (0..params.n_ctas)
+        .map(|c| {
+            let entry = params.entry.entry_for(query_id, c as u32, n, medoid);
+            CtaSearch::new(ctx, intra, query, entry, &mut shared_visited)
+        })
+        .collect();
+
+    // Deterministic round-robin interleave until every CTA terminates.
+    let mut any_active = true;
+    while any_active {
+        any_active = false;
+        for cta in ctas.iter_mut() {
+            if !cta.is_done() && cta.step(&mut shared_visited) {
+                any_active = true;
+            }
+        }
+    }
+
+    let mut per_cta = Vec::with_capacity(params.n_ctas);
+    let mut traces = Vec::with_capacity(params.n_ctas);
+    for cta in ctas {
+        let (ids, trace) = cta.finish(k);
+        per_cta.push(ids);
+        traces.push(trace);
+    }
+    MultiResult { per_cta, traces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_topk;
+    use algas_graph::cagra::{CagraBuilder, CagraParams};
+    use algas_graph::entry::medoid;
+    use algas_gpu_sim::CostModel;
+    use algas_vector::datasets::DatasetSpec;
+    use algas_vector::ground_truth::{brute_force_knn, mean_recall};
+    use algas_vector::Metric;
+
+    fn setup() -> (algas_vector::datasets::GeneratedDataset, algas_graph::FixedDegreeGraph) {
+        let ds = DatasetSpec::tiny(800, 16, Metric::L2, 63).generate();
+        let g = CagraBuilder::new(Metric::L2, CagraParams::default()).build(&ds.base);
+        (ds, g)
+    }
+
+    fn params(l: usize, t: usize) -> MultiParams {
+        MultiParams {
+            intra: IntraParams { l, beam: None, bitmap_in_shared: false },
+            n_ctas: t,
+            entry: EntryPolicy::Hashed { seed: 99 },
+        }
+    }
+
+    #[test]
+    fn ctas_partition_work_via_shared_bitmap() {
+        let (ds, g) = setup();
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        let res = search_multi(ctx, params(32, 4), ds.queries.get(0), 0, 0, 8);
+        assert_eq!(res.per_cta.len(), 4);
+        // No id appears in two CTAs' lists (except possibly colliding
+        // entry seeds, which the hashed policy makes negligible).
+        let mut seen = std::collections::HashSet::new();
+        let mut dupes = 0;
+        for list in &res.per_cta {
+            for &(_, id) in list {
+                if !seen.insert(id) {
+                    dupes += 1;
+                }
+            }
+        }
+        assert!(dupes <= 1, "shared bitmap should deduplicate work ({dupes} dupes)");
+    }
+
+    #[test]
+    fn multi_cta_recall_matches_single_at_equal_budget() {
+        // 4 CTAs with L=32 each should reach at least the recall of a
+        // single CTA with L=32 (more exploration, diverse entries).
+        let (ds, g) = setup();
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        let med = medoid(&ds.base, Metric::L2);
+        let k = 10;
+        let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, k);
+
+        let mut multi_res = Vec::new();
+        let mut single_res = Vec::new();
+        for q in 0..ds.queries.len() {
+            let r = search_multi(ctx, params(32, 4), ds.queries.get(q), q as u64, med, k);
+            multi_res
+                .push(merge_topk(&r.per_cta, k).into_iter().map(|(_, id)| id).collect::<Vec<_>>());
+            let (ids, _) = crate::search::intra::search_intra(
+                ctx,
+                IntraParams::greedy(32),
+                ds.queries.get(q),
+                med,
+                k,
+            );
+            single_res.push(ids.into_iter().map(|(_, id)| id).collect::<Vec<_>>());
+        }
+        let rm = mean_recall(&multi_res, &gt, k);
+        let rs = mean_recall(&single_res, &gt, k);
+        assert!(rm > rs - 0.02, "multi-CTA recall {rm} vs single {rs}");
+        assert!(rm > 0.8, "multi-CTA recall too low: {rm}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (ds, g) = setup();
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        let a = search_multi(ctx, params(24, 3), ds.queries.get(1), 1, 0, 8);
+        let b = search_multi(ctx, params(24, 3), ds.queries.get(1), 1, 0, 8);
+        assert_eq!(a.per_cta, b.per_cta);
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn single_cta_multi_reduces_to_intra() {
+        let (ds, g) = setup();
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        let p = MultiParams {
+            intra: IntraParams { l: 32, beam: None, bitmap_in_shared: true },
+            n_ctas: 1,
+            entry: EntryPolicy::Fixed(0),
+        };
+        let r = search_multi(ctx, p, ds.queries.get(2), 2, 0, 8);
+        let (ids, trace) = crate::search::intra::search_intra(
+            ctx,
+            IntraParams::greedy(32),
+            ds.queries.get(2),
+            0,
+            8,
+        );
+        assert_eq!(r.per_cta[0], ids);
+        assert_eq!(r.traces[0], trace);
+    }
+
+    #[test]
+    fn step_skew_exists_across_ctas() {
+        // The motivation for dynamic batching: CTA step counts differ.
+        let (ds, g) = setup();
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        let r = search_multi(ctx, params(32, 8), ds.queries.get(3), 3, 0, 8);
+        let steps: Vec<usize> = r.traces.iter().map(|t| t.n_steps()).collect();
+        let min = steps.iter().min().unwrap();
+        let max = steps.iter().max().unwrap();
+        assert!(max > min, "expected step skew across CTAs, got {steps:?}");
+        assert_eq!(r.max_steps(), *max);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds candidate list capacity")]
+    fn k_exceeding_l_panics() {
+        let (ds, g) = setup();
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        search_multi(ctx, params(8, 2), ds.queries.get(0), 0, 0, 9);
+    }
+}

@@ -1,0 +1,206 @@
+//! The five-state slot lifecycle of §IV-A.
+//!
+//! ```text
+//!            host fills query            CTA finishes search
+//!   None ──────────────────▶ Work ──────────────────────▶ Finish
+//!    ▲                                                      │
+//!    │          host retrieved results (next query)         │
+//!    └──────────────────────── Done ◀───────────────────────┘
+//!                               │ host decides to stop
+//!                               ▼
+//!                             Quit
+//! ```
+//!
+//! [`SlotState`] is the pure state machine (with the legal-transition
+//! table used by property tests); [`AtomicSlotState`] is the lock-free
+//! cell the real runtime shares between host threads and persistent
+//! workers, using Acquire/Release ordering so a state observation also
+//! publishes the slot's payload (query in, results out).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lifecycle state of a slot (§IV-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SlotState {
+    /// Slot initialized; can accept a new query.
+    None = 0,
+    /// Host filled a query; CTAs (workers) must pick it up.
+    Work = 1,
+    /// CTAs pushed results and finished the search.
+    Finish = 2,
+    /// Host retrieved results; slot may take the next query or quit.
+    Done = 3,
+    /// Slot exited; accepts no further queries.
+    Quit = 4,
+}
+
+impl SlotState {
+    /// Decodes the `repr(u8)` encoding.
+    pub fn from_u8(v: u8) -> Option<SlotState> {
+        match v {
+            0 => Some(SlotState::None),
+            1 => Some(SlotState::Work),
+            2 => Some(SlotState::Finish),
+            3 => Some(SlotState::Done),
+            4 => Some(SlotState::Quit),
+            _ => None,
+        }
+    }
+
+    /// Whether `self → next` is a legal transition of the §IV-A
+    /// protocol. `Done → Work` is the reuse path, `Done → Quit` the
+    /// shutdown path; `None → Quit` allows shutting down idle slots.
+    pub fn can_transition_to(self, next: SlotState) -> bool {
+        use SlotState::*;
+        matches!(
+            (self, next),
+            (None, Work) | (None, Quit) | (Work, Finish) | (Finish, Done) | (Done, Work) | (Done, Quit)
+        )
+    }
+
+    /// Which side owns the *next* transition out of this state. The
+    /// paper's consistency argument (§V-A) is exactly that this
+    /// ownership is never shared: the GPU may only move `Work → Finish`.
+    pub fn modifier(self) -> Side {
+        match self {
+            SlotState::Work => Side::Gpu,
+            _ => Side::Host,
+        }
+    }
+}
+
+/// Which side of the PCIe link may perform a transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Host CPU threads.
+    Host,
+    /// GPU CTAs (persistent workers in the native runtime).
+    Gpu,
+}
+
+/// A slot state shared between host threads and persistent workers.
+///
+/// Transitions are CAS'd and validated against the protocol; loads use
+/// `Acquire` and stores `Release`, so writing `Work` after filling the
+/// query (or `Finish` after writing results) publishes that payload to
+/// whoever observes the new state — the same role the paper's state
+/// copies play over PCIe.
+#[derive(Debug)]
+pub struct AtomicSlotState {
+    raw: AtomicU8,
+}
+
+impl AtomicSlotState {
+    /// A fresh slot in [`SlotState::None`].
+    pub fn new() -> Self {
+        Self { raw: AtomicU8::new(SlotState::None as u8) }
+    }
+
+    /// Current state (Acquire: pairs with the Release of `transition`).
+    pub fn load(&self) -> SlotState {
+        SlotState::from_u8(self.raw.load(Ordering::Acquire)).expect("valid state encoding")
+    }
+
+    /// Attempts the transition `from → to`. Returns `false` when the
+    /// slot was not in `from` (someone else moved first).
+    ///
+    /// # Panics
+    /// Panics if `from → to` is illegal — that is a protocol bug, not a
+    /// race.
+    pub fn transition(&self, from: SlotState, to: SlotState) -> bool {
+        assert!(
+            from.can_transition_to(to),
+            "illegal slot transition {from:?} -> {to:?}"
+        );
+        self.raw
+            .compare_exchange(from as u8, to as u8, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+impl Default for AtomicSlotState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SlotState::*;
+
+    const ALL: [SlotState; 5] = [None, Work, Finish, Done, Quit];
+
+    #[test]
+    fn encoding_roundtrips() {
+        for s in ALL {
+            assert_eq!(SlotState::from_u8(s as u8), Some(s));
+        }
+        assert_eq!(SlotState::from_u8(9), Option::None);
+    }
+
+    #[test]
+    fn legal_transitions_match_figure_5() {
+        let legal = [
+            (None, Work),
+            (None, Quit),
+            (Work, Finish),
+            (Finish, Done),
+            (Done, Work),
+            (Done, Quit),
+        ];
+        for a in ALL {
+            for b in ALL {
+                let expected = legal.contains(&(a, b));
+                assert_eq!(a.can_transition_to(b), expected, "{a:?} -> {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn only_gpu_moves_out_of_work() {
+        assert_eq!(Work.modifier(), Side::Gpu);
+        for s in [None, Finish, Done, Quit] {
+            assert_eq!(s.modifier(), Side::Host);
+        }
+    }
+
+    #[test]
+    fn atomic_lifecycle() {
+        let s = AtomicSlotState::new();
+        assert_eq!(s.load(), None);
+        assert!(s.transition(None, Work));
+        assert!(!s.transition(None, Work)); // no longer in None
+        assert!(s.transition(Work, Finish));
+        assert!(s.transition(Finish, Done));
+        assert!(s.transition(Done, Work)); // reuse path
+        assert!(s.transition(Work, Finish));
+        assert!(s.transition(Finish, Done));
+        assert!(s.transition(Done, Quit));
+        assert_eq!(s.load(), Quit);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal slot transition")]
+    fn illegal_transition_panics() {
+        AtomicSlotState::new().transition(None, Finish);
+    }
+
+    #[test]
+    fn concurrent_cas_allows_exactly_one_winner() {
+        use std::sync::Arc;
+        let s = Arc::new(AtomicSlotState::new());
+        let winners: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let s = Arc::clone(&s);
+                    scope.spawn(move || s.transition(None, Work) as usize)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(winners, 1);
+        assert_eq!(s.load(), Work);
+    }
+}

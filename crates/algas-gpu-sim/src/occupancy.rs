@@ -1,0 +1,169 @@
+//! Occupancy arithmetic — the constraint system of §IV-C.
+//!
+//! The adaptive tuning scheme must guarantee that **all** slots' CTAs are
+//! simultaneously resident (a persistent kernel deadlocks otherwise: a
+//! non-resident CTA would never poll its state). Two constraints bind:
+//!
+//! ```text
+//! N_parallel · slot ≤ N_SM · N_max_block_per_SM                 (blocks)
+//! M_avail_per_block ≤ M_per_SM / N_block_per_SM − M_reserved    (shmem)
+//! ```
+//!
+//! This module provides the raw arithmetic; the policy (choosing
+//! `N_parallel`, list sizes, reserved cache) lives in
+//! `algas-core::tuning`.
+
+use crate::device::DeviceProps;
+
+/// Resource demand of one block (CTA) of the search kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDemand {
+    /// Threads per block (the paper pins this to one warp).
+    pub threads: usize,
+    /// Dynamic shared memory per block in bytes (candidate list +
+    /// expand list + bitmap segment).
+    pub shared_mem_bytes: usize,
+}
+
+/// Outcome of an occupancy check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks that can be resident per SM under every constraint.
+    pub blocks_per_sm: usize,
+    /// Blocks resident on the whole device.
+    pub total_resident_blocks: usize,
+}
+
+/// Computes how many blocks of the given demand fit per SM.
+///
+/// Considers the per-SM block cap, the thread capacity, and shared
+/// memory (each block additionally pays the device's reserved
+/// per-block shared memory, as CUDA does).
+pub fn blocks_per_sm(device: &DeviceProps, demand: &BlockDemand) -> usize {
+    if demand.threads == 0 || demand.threads > device.max_threads_per_block {
+        return 0;
+    }
+    if demand.shared_mem_bytes > device.shared_mem_per_block_optin {
+        return 0;
+    }
+    let by_cap = device.max_blocks_per_sm;
+    // SM thread capacity: max_blocks_per_sm warps of max size is the
+    // simplest faithful bound given Table II's fields.
+    let by_threads = (device.max_threads_per_block * device.max_blocks_per_sm) / demand.threads;
+    let footprint = demand.shared_mem_bytes + device.reserved_shared_mem_per_block;
+    let by_shmem = device.shared_mem_per_sm / footprint.max(1);
+    by_cap.min(by_threads).min(by_shmem)
+}
+
+/// Full-device occupancy for a block demand.
+pub fn device_occupancy(device: &DeviceProps, demand: &BlockDemand) -> Occupancy {
+    let per_sm = blocks_per_sm(device, demand);
+    Occupancy { blocks_per_sm: per_sm, total_resident_blocks: per_sm * device.num_sms }
+}
+
+/// The §IV-C block constraint: can `slots` slots, each with
+/// `n_parallel` CTAs, all be resident at once?
+pub fn fits_block_constraint(device: &DeviceProps, slots: usize, n_parallel: usize) -> bool {
+    n_parallel * slots <= device.max_resident_blocks()
+}
+
+/// The §IV-C rounding of blocks-per-SM:
+/// `N_block_per_SM = align(N_parallel · slot / N_SM)` — rounded up so
+/// the residency requirement is conservative.
+pub fn required_blocks_per_sm(device: &DeviceProps, slots: usize, n_parallel: usize) -> usize {
+    (n_parallel * slots).div_ceil(device.num_sms)
+}
+
+/// The §IV-C shared-memory bound:
+/// `M_avail_per_block ≤ M_per_SM / N_block_per_SM − M_reserved_per_block`.
+///
+/// Returns the maximum dynamic shared memory each block may use, given
+/// the residency requirement and an extra `reserved_cache_bytes` the
+/// tuner sets aside per block as runtime cache for high-dimensional
+/// data (§IV-C). `None` when the residency requirement is infeasible.
+pub fn max_shared_mem_per_block(
+    device: &DeviceProps,
+    slots: usize,
+    n_parallel: usize,
+    reserved_cache_bytes: usize,
+) -> Option<usize> {
+    if !fits_block_constraint(device, slots, n_parallel) {
+        return None;
+    }
+    let per_sm_blocks = required_blocks_per_sm(device, slots, n_parallel).max(1);
+    let budget = device.shared_mem_per_sm / per_sm_blocks;
+    let reserved = device.reserved_shared_mem_per_block + reserved_cache_bytes;
+    let avail = budget.checked_sub(reserved)?;
+    Some(avail.min(device.shared_mem_per_block_optin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_cap_binds_small_demands() {
+        let d = DeviceProps::rtx_a6000();
+        let demand = BlockDemand { threads: 32, shared_mem_bytes: 1024 };
+        let occ = device_occupancy(&d, &demand);
+        assert_eq!(occ.blocks_per_sm, 16); // per-SM cap binds
+        assert_eq!(occ.total_resident_blocks, 84 * 16);
+    }
+
+    #[test]
+    fn shared_memory_binds_large_demands() {
+        let d = DeviceProps::rtx_a6000();
+        // 24 KiB + 1 KiB reserved per block → 100 KiB / 25 KiB = 4.
+        let demand = BlockDemand { threads: 32, shared_mem_bytes: 24 * 1024 };
+        assert_eq!(blocks_per_sm(&d, &demand), 4);
+    }
+
+    #[test]
+    fn infeasible_demands_yield_zero() {
+        let d = DeviceProps::rtx_a6000();
+        assert_eq!(blocks_per_sm(&d, &BlockDemand { threads: 0, shared_mem_bytes: 0 }), 0);
+        assert_eq!(blocks_per_sm(&d, &BlockDemand { threads: 2048, shared_mem_bytes: 0 }), 0);
+        let too_big = BlockDemand { threads: 32, shared_mem_bytes: d.shared_mem_per_block_optin + 1 };
+        assert_eq!(blocks_per_sm(&d, &too_big), 0);
+    }
+
+    #[test]
+    fn block_constraint_matches_paper_formula() {
+        let d = DeviceProps::rtx_a6000();
+        assert!(fits_block_constraint(&d, 16, 8)); // 128 ≤ 1344
+        assert!(fits_block_constraint(&d, 84, 16)); // exactly 1344
+        assert!(!fits_block_constraint(&d, 85, 16));
+    }
+
+    #[test]
+    fn required_blocks_per_sm_rounds_up() {
+        let d = DeviceProps::rtx_a6000();
+        assert_eq!(required_blocks_per_sm(&d, 16, 8), 2); // 128/84 → 2
+        assert_eq!(required_blocks_per_sm(&d, 84, 16), 16);
+        assert_eq!(required_blocks_per_sm(&d, 1, 1), 1);
+    }
+
+    #[test]
+    fn shared_mem_budget_shrinks_with_residency() {
+        let d = DeviceProps::rtx_a6000();
+        let loose = max_shared_mem_per_block(&d, 8, 2, 0).unwrap();
+        let tight = max_shared_mem_per_block(&d, 84, 16, 0).unwrap();
+        assert!(loose > tight);
+        // 16 blocks/SM: 100 KiB / 16 = 6.4 KiB − 1 KiB reserved.
+        assert_eq!(tight, 102_400 / 16 - 1024);
+    }
+
+    #[test]
+    fn reserved_cache_reduces_budget() {
+        let d = DeviceProps::rtx_a6000();
+        let base = max_shared_mem_per_block(&d, 16, 4, 0).unwrap();
+        let cached = max_shared_mem_per_block(&d, 16, 4, 2048).unwrap();
+        assert_eq!(base - cached, 2048);
+    }
+
+    #[test]
+    fn infeasible_residency_is_none() {
+        let d = DeviceProps::rtx_a6000();
+        assert_eq!(max_shared_mem_per_block(&d, 1000, 16, 0), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! The partitioned-kernel design §IV-A considers and rejects.
+//!
+//! To let the host inject queries without a persistent kernel, the
+//! search kernel can run a fixed number of steps and exit; the host
+//! checks slot states between launches and relaunches. The paper
+//! rejects this because every launch re-pays the kernel launch overhead
+//! *and* reloads the candidate/expand lists into shared memory, and the
+//! check period is a lose-lose knob: frequent checks multiply overhead,
+//! infrequent checks re-grow the bubble. This simulator exists to
+//! quantify that argument (the `ablation_kernel` experiment).
+
+use crate::pcie::{PcieBus, PcieModel};
+use crate::sched::{QueryTiming, SimReport};
+use crate::work::QueryWork;
+
+/// Configuration of the partitioned-kernel simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionedConfig {
+    /// Concurrent slots (as in dynamic batching).
+    pub n_slots: usize,
+    /// Search steps each launch executes before exiting.
+    pub steps_per_launch: u32,
+    /// Kernel launch overhead per launch (ns).
+    pub kernel_launch_ns: u64,
+    /// Shared-memory reload per launch (ns): the lists evicted at kernel
+    /// exit must be re-staged from global memory.
+    pub reload_ns: u64,
+    /// Host-side per-finished-query handling (merge etc.), ns.
+    pub host_post_ns_per_query: u64,
+    /// PCIe link parameters.
+    pub pcie: PcieModel,
+}
+
+impl Default for PartitionedConfig {
+    fn default() -> Self {
+        Self {
+            n_slots: 16,
+            steps_per_launch: 16,
+            kernel_launch_ns: 5_000,
+            reload_ns: 2_000,
+            host_post_ns_per_query: 300,
+            pcie: PcieModel::default(),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct ActiveCta {
+    remaining_steps: u32,
+    per_step_ns: u64,
+}
+
+#[derive(Clone)]
+struct ActiveSlot {
+    query: usize,
+    ctas: Vec<ActiveCta>,
+    gpu_elapsed_ns: u64,
+}
+
+/// Runs the partitioned-kernel simulation (closed or open loop via
+/// `arrivals`, like the other schedulers).
+///
+/// # Panics
+/// Panics on mismatched `arrivals` or zero slots/steps.
+pub fn run_partitioned(
+    queries: &[QueryWork],
+    arrivals: &[u64],
+    cfg: &PartitionedConfig,
+) -> SimReport {
+    assert_eq!(queries.len(), arrivals.len(), "one arrival per query");
+    assert!(cfg.n_slots > 0, "need at least one slot");
+    assert!(cfg.steps_per_launch > 0, "steps per launch must be positive");
+
+    let n = queries.len();
+    let mut bus = PcieBus::new();
+    let mut timings = vec![
+        QueryTiming {
+            arrival_ns: 0,
+            dispatch_ns: 0,
+            gpu_start_ns: 0,
+            gpu_done_ns: 0,
+            completion_ns: 0
+        };
+        n
+    ];
+    let mut slots: Vec<Option<ActiveSlot>> = vec![None; cfg.n_slots];
+    let mut next_query = 0usize;
+    let mut completed = 0usize;
+    let mut t = 0u64;
+    let mut gpu_busy = 0u64;
+    let mut allocated = 0u64;
+
+    while completed < n {
+        // Host phase: fill idle slots from the queue.
+        let mut dispatched_any = false;
+        for slot in slots.iter_mut() {
+            if slot.is_none() && next_query < n && arrivals[next_query] <= t {
+                let qid = next_query;
+                next_query += 1;
+                let q = &queries[qid];
+                let (_, end) = bus.acquire(t, cfg.pcie.write_ns(q.query_bytes + 4));
+                timings[qid].arrival_ns = arrivals[qid];
+                timings[qid].dispatch_ns = t;
+                timings[qid].gpu_start_ns = end;
+                *slot = Some(ActiveSlot {
+                    query: qid,
+                    ctas: q
+                        .ctas
+                        .iter()
+                        .map(|c| ActiveCta {
+                            remaining_steps: c.steps.max(1),
+                            per_step_ns: c.search_ns / c.steps.max(1) as u64,
+                        })
+                        .collect(),
+                    gpu_elapsed_ns: 0,
+                });
+                dispatched_any = true;
+            }
+        }
+        if slots.iter().all(|s| s.is_none()) {
+            // Nothing active: jump to the next arrival.
+            debug_assert!(next_query < n, "no work left but queries uncompleted");
+            t = t.max(arrivals[next_query]);
+            continue;
+        }
+        let _ = dispatched_any;
+
+        // Launch phase: one kernel over every active slot, advancing
+        // each CTA by at most `steps_per_launch`. The launch runs as
+        // long as its slowest participating CTA chunk.
+        t += cfg.kernel_launch_ns;
+        let mut launch_len = cfg.reload_ns;
+        for slot in slots.iter_mut().flatten() {
+            for cta in slot.ctas.iter_mut() {
+                let steps = cta.remaining_steps.min(cfg.steps_per_launch);
+                let chunk_ns = cfg.reload_ns + steps as u64 * cta.per_step_ns;
+                launch_len = launch_len.max(chunk_ns);
+                gpu_busy += steps as u64 * cta.per_step_ns;
+                cta.remaining_steps -= steps;
+            }
+            slot.gpu_elapsed_ns += launch_len; // refined below per-slot
+        }
+        allocated += launch_len
+            * slots.iter().flatten().map(|s| s.ctas.len() as u64).sum::<u64>();
+        t += launch_len;
+
+        // Collection phase: retire finished slots.
+        let mut cursor = t;
+        for slot in slots.iter_mut() {
+            let finished = slot
+                .as_ref()
+                .is_some_and(|s| s.ctas.iter().all(|c| c.remaining_steps == 0));
+            if finished {
+                let s = slot.take().expect("checked above");
+                let q = &queries[s.query];
+                let (_, end) = bus.acquire(cursor, cfg.pcie.write_ns(q.result_bytes));
+                cursor = end + cfg.host_post_ns_per_query + q.host_merge_ns;
+                timings[s.query].gpu_done_ns = t;
+                timings[s.query].completion_ns = cursor;
+                completed += 1;
+            }
+        }
+        t = cursor.max(t);
+    }
+
+    let busy_frac = if allocated == 0 { 0.0 } else { gpu_busy as f64 / allocated as f64 };
+    // The idle share during launches is the partitioned design's bubble.
+    let waste = allocated.saturating_sub(gpu_busy);
+    let waste_frac = if allocated == 0 { 0.0 } else { waste as f64 / allocated as f64 };
+    SimReport::from_timings(timings, busy_frac, waste_frac, bus.busy_ns(), bus.transactions())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::dynamic::{run_dynamic, DynamicConfig};
+    use crate::work::CtaWork;
+
+    fn work(steps: u32, per_step: u64) -> QueryWork {
+        QueryWork {
+            ctas: vec![CtaWork { search_ns: steps as u64 * per_step, steps }; 2],
+            query_bytes: 512,
+            result_bytes: 256,
+            gpu_merge_ns: 0,
+            host_merge_ns: 100,
+        }
+    }
+
+    #[test]
+    fn completes_all_queries() {
+        let queries: Vec<QueryWork> = (0..20).map(|i| work(50 + i, 1_000)).collect();
+        let arrivals = vec![0u64; 20];
+        let r = run_partitioned(&queries, &arrivals, &PartitionedConfig::default());
+        assert_eq!(r.per_query.len(), 20);
+        for t in &r.per_query {
+            assert!(t.completion_ns > 0);
+            assert!(t.gpu_done_ns >= t.gpu_start_ns);
+        }
+    }
+
+    #[test]
+    fn smaller_partitions_pay_more_overhead() {
+        let queries: Vec<QueryWork> = (0..32).map(|i| work(60 + i % 20, 1_000)).collect();
+        let arrivals = vec![0u64; 32];
+        let fine = run_partitioned(
+            &queries,
+            &arrivals,
+            &PartitionedConfig { steps_per_launch: 2, ..Default::default() },
+        );
+        let coarse = run_partitioned(
+            &queries,
+            &arrivals,
+            &PartitionedConfig { steps_per_launch: 64, ..Default::default() },
+        );
+        assert!(
+            fine.makespan_ns > coarse.makespan_ns,
+            "2-step launches ({}) must pay more overhead than 64-step ({})",
+            fine.makespan_ns,
+            coarse.makespan_ns
+        );
+    }
+
+    #[test]
+    fn persistent_kernel_beats_partitioned() {
+        // The §IV-A argument: the persistent kernel dominates the
+        // partitioned design at any check period.
+        let queries: Vec<QueryWork> = (0..32).map(|i| work(60 + (i * 7) % 40, 1_000)).collect();
+        let arrivals = vec![0u64; 32];
+        let dynamic = run_dynamic(
+            &queries,
+            &arrivals,
+            &DynamicConfig { n_slots: 16, ..Default::default() },
+        );
+        for steps in [2u32, 8, 16, 64] {
+            let part = run_partitioned(
+                &queries,
+                &arrivals,
+                &PartitionedConfig { n_slots: 16, steps_per_launch: steps, ..Default::default() },
+            );
+            assert!(
+                dynamic.mean_latency_ns < part.mean_latency_ns,
+                "steps={steps}: persistent {} must beat partitioned {}",
+                dynamic.mean_latency_ns,
+                part.mean_latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_arrivals_respected() {
+        let queries: Vec<QueryWork> = (0..4).map(|_| work(50, 1_000)).collect();
+        let arrivals = vec![0, 0, 1_000_000, 1_000_000];
+        let r = run_partitioned(&queries, &arrivals, &PartitionedConfig::default());
+        assert!(r.per_query[2].dispatch_ns >= 1_000_000);
+        assert!(r.per_query[0].completion_ns < 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "steps per launch")]
+    fn zero_steps_rejected() {
+        run_partitioned(&[], &[], &PartitionedConfig { steps_per_launch: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,263 @@
+//! Static batch processing — the discipline of SONG/GANNS/CAGRA that the
+//! paper's dynamic batching replaces.
+//!
+//! Queries are grouped into fixed batches. Each batch pays a kernel
+//! launch, uploads its queries in one transfer, runs all of its blocks
+//! (subject to device residency), **synchronizes on its slowest query**
+//! (the query bubble of §III-A), optionally merges TopK on the GPU,
+//! downloads results in one transfer, and only then hands queries back
+//! to the host. Batch *i+1* cannot launch before batch *i* returns.
+
+use crate::engine::schedule_blocks;
+use crate::pcie::{PcieBus, PcieModel};
+use crate::sched::{MergePlacement, QueryTiming, SimReport};
+use crate::work::QueryWork;
+
+/// Configuration of the static-batching simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct StaticBatchConfig {
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Kernel launch overhead per batch (ns); typical CUDA launch ≈ 5 µs.
+    pub kernel_launch_ns: u64,
+    /// Maximum simultaneously resident blocks (from
+    /// [`crate::occupancy::device_occupancy`]).
+    pub capacity: usize,
+    /// Where the multi-CTA TopK merge runs.
+    pub merge: MergePlacement,
+    /// PCIe link parameters.
+    pub pcie: PcieModel,
+    /// Host-side per-query result handling (copy + filter), ns.
+    pub host_post_ns_per_query: u64,
+}
+
+impl Default for StaticBatchConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 16,
+            kernel_launch_ns: 5_000,
+            capacity: 1344,
+            merge: MergePlacement::Gpu,
+            pcie: PcieModel::default(),
+            host_post_ns_per_query: 300,
+        }
+    }
+}
+
+/// Runs the static-batching simulation.
+///
+/// `arrivals[i]` is query `i`'s availability time (use all-zeros for the
+/// closed-loop measurement the paper performs). Queries are batched in
+/// index order; a batch launches once *all* of its members have arrived
+/// and the previous batch has fully returned.
+///
+/// # Panics
+/// Panics if `arrivals.len() != queries.len()`, the batch size is zero,
+/// or capacity is zero.
+pub fn run_static(
+    queries: &[QueryWork],
+    arrivals: &[u64],
+    cfg: &StaticBatchConfig,
+) -> SimReport {
+    assert_eq!(queries.len(), arrivals.len(), "one arrival per query");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    assert!(cfg.capacity > 0, "capacity must be positive");
+
+    let mut bus = PcieBus::new();
+    let mut timings: Vec<QueryTiming> = Vec::with_capacity(queries.len());
+    let mut prev_batch_end = 0u64;
+
+    // Bubble accounting (the §III-A waste-rate statistic).
+    let mut waste_ns = 0u64;
+    let mut active_ns = 0u64;
+    let mut total_cta_busy = 0u64;
+    let mut allocated_cta_time = 0u64;
+
+    let ids: Vec<usize> = (0..queries.len()).collect();
+    for chunk in ids.chunks(cfg.batch_size) {
+        // The batch can't form until its slowest arrival.
+        let ready = chunk.iter().map(|&q| arrivals[q]).max().unwrap_or(0);
+        let batch_start = prev_batch_end.max(ready);
+
+        // One combined host→GPU transfer for the whole batch.
+        let qbytes: u64 = chunk.iter().map(|&q| queries[q].query_bytes).sum();
+        let (_, upload_end) = bus.acquire(batch_start, cfg.pcie.write_ns(qbytes));
+        let gpu_start = upload_end + cfg.kernel_launch_ns;
+
+        // All blocks of the batch, query-major, drained under residency.
+        let durations: Vec<u64> = chunk
+            .iter()
+            .flat_map(|&q| queries[q].ctas.iter().map(|c| c.search_ns))
+            .collect();
+        let finishes = schedule_blocks(gpu_start, &durations, cfg.capacity);
+
+        // Per-query GPU completion = its slowest block (+ GPU merge).
+        let mut offset = 0usize;
+        let mut query_gpu_done: Vec<u64> = Vec::with_capacity(chunk.len());
+        for &q in chunk {
+            let n = queries[q].n_ctas();
+            let own = finishes[offset..offset + n].iter().copied().max().unwrap_or(gpu_start);
+            offset += n;
+            let done = match cfg.merge {
+                MergePlacement::Gpu => own + queries[q].gpu_merge_ns,
+                _ => own,
+            };
+            query_gpu_done.push(done);
+            total_cta_busy += queries[q].total_cta_ns()
+                + if cfg.merge == MergePlacement::Gpu { queries[q].gpu_merge_ns } else { 0 };
+        }
+        // The batch barrier: everyone waits for the slowest.
+        let batch_gpu_end = query_gpu_done.iter().copied().max().unwrap_or(gpu_start);
+        for (&q, &done) in chunk.iter().zip(&query_gpu_done) {
+            waste_ns += batch_gpu_end - done;
+            active_ns += done - gpu_start;
+            allocated_cta_time += (batch_gpu_end - gpu_start) * queries[q].n_ctas() as u64;
+        }
+
+        // One combined GPU→host result transfer.
+        let rbytes: u64 = chunk.iter().map(|&q| queries[q].result_bytes).sum();
+        let (_, download_end) = bus.acquire(batch_gpu_end, cfg.pcie.write_ns(rbytes));
+
+        // Host walks the batch results serially.
+        let mut cursor = download_end;
+        for (&q, &gdone) in chunk.iter().zip(&query_gpu_done) {
+            cursor += cfg.host_post_ns_per_query;
+            if cfg.merge == MergePlacement::Host {
+                cursor += queries[q].host_merge_ns;
+            }
+            timings.push(QueryTiming {
+                arrival_ns: arrivals[q],
+                dispatch_ns: batch_start,
+                gpu_start_ns: gpu_start,
+                gpu_done_ns: gdone,
+                completion_ns: cursor,
+            });
+        }
+        prev_batch_end = cursor;
+    }
+
+    let gpu_busy_frac =
+        if allocated_cta_time == 0 { 0.0 } else { total_cta_busy as f64 / allocated_cta_time as f64 };
+    // Waste *rate*: the share of allocated CTA time spent idling
+    // behind the batch barrier (bounded by 1; §I reports 22.9%–33.7%).
+    let bubble_waste_frac = if active_ns + waste_ns == 0 {
+        0.0
+    } else {
+        waste_ns as f64 / (active_ns + waste_ns) as f64
+    };
+    SimReport::from_timings(
+        timings,
+        gpu_busy_frac,
+        bubble_waste_frac,
+        bus.busy_ns(),
+        bus.transactions(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(cta_ns: &[u64]) -> QueryWork {
+        QueryWork::synthetic(cta_ns, 128, 16)
+    }
+
+    fn fast_cfg(batch: usize) -> StaticBatchConfig {
+        StaticBatchConfig {
+            batch_size: batch,
+            kernel_launch_ns: 1000,
+            capacity: 64,
+            merge: MergePlacement::None,
+            pcie: PcieModel { transaction_overhead_ns: 100, bytes_per_ns: 100.0, read_round_trip_ns: 200 },
+            host_post_ns_per_query: 10,
+        }
+    }
+
+    #[test]
+    fn batch_members_share_completion_epoch() {
+        let queries = vec![q(&[1_000]), q(&[50_000]), q(&[2_000]), q(&[3_000])];
+        let arrivals = vec![0; 4];
+        let r = run_static(&queries, &arrivals, &fast_cfg(4));
+        // All four queries complete within each other's host-post window.
+        let cs: Vec<u64> = r.per_query.iter().map(|t| t.completion_ns).collect();
+        assert!(cs.iter().max().unwrap() - cs.iter().min().unwrap() <= 4 * 10);
+        // And everyone's completion is gated by the 50 µs query.
+        assert!(*cs.iter().min().unwrap() > 50_000);
+    }
+
+    #[test]
+    fn bubble_waste_reflects_skew() {
+        // One slow query in a batch of 4 → the other three idle.
+        let queries = vec![q(&[10_000]), q(&[10_000]), q(&[10_000]), q(&[40_000])];
+        let r = run_static(&queries, &[0; 4], &fast_cfg(4));
+        // waste = 3 × 30_000 = 90_000; active = 3×10_000 + 40_000 =
+        // 70_000; rate = waste / (waste + active).
+        assert!((r.bubble_waste_frac - 90_000.0 / 160_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_skew_no_waste() {
+        let queries = vec![q(&[10_000]); 4];
+        let r = run_static(&queries, &[0; 4], &fast_cfg(4));
+        assert_eq!(r.bubble_waste_frac, 0.0);
+        assert_eq!(r.gpu_busy_frac, 1.0);
+    }
+
+    #[test]
+    fn batches_serialize() {
+        let queries = vec![q(&[10_000]); 4];
+        let r = run_static(&queries, &[0; 4], &fast_cfg(2));
+        // Batch 2 starts after batch 1 completes.
+        assert!(r.per_query[2].dispatch_ns >= r.per_query[1].completion_ns);
+    }
+
+    #[test]
+    fn capacity_creates_waves() {
+        let mut cfg = fast_cfg(4);
+        cfg.capacity = 2;
+        let queries = vec![q(&[10_000]); 4];
+        let r = run_static(&queries, &[0; 4], &cfg);
+        // Two waves of two blocks: makespan ≈ 2 × 10 µs (not 10 µs).
+        let gpu_time = r.per_query.iter().map(|t| t.gpu_done_ns).max().unwrap()
+            - r.per_query[0].gpu_start_ns;
+        assert!(gpu_time >= 20_000, "waves not serialized: {gpu_time}");
+    }
+
+    #[test]
+    fn gpu_merge_extends_gpu_time_host_merge_extends_host_time() {
+        let mut base = q(&[10_000, 10_000]);
+        base.gpu_merge_ns = 5_000;
+        base.host_merge_ns = 2_000;
+        let queries = vec![base];
+        let mut cfg = fast_cfg(1);
+        cfg.merge = MergePlacement::Gpu;
+        let rg = run_static(&queries, &[0], &cfg);
+        cfg.merge = MergePlacement::Host;
+        let rh = run_static(&queries, &[0], &cfg);
+        assert_eq!(rg.per_query[0].gpu_done_ns - rh.per_query[0].gpu_done_ns, 5_000);
+        assert!(rh.per_query[0].completion_ns - rh.per_query[0].gpu_done_ns >= 2_000);
+    }
+
+    #[test]
+    fn arrivals_delay_batches() {
+        let queries = vec![q(&[1_000]), q(&[1_000])];
+        let r = run_static(&queries, &[0, 100_000], &fast_cfg(2));
+        // The batch can't start until the second query arrives.
+        assert!(r.per_query[0].dispatch_ns >= 100_000);
+        assert!(r.per_query[0].e2e_latency_ns() > r.per_query[1].e2e_latency_ns());
+    }
+
+    #[test]
+    fn uneven_tail_batch_handled() {
+        let queries = vec![q(&[1_000]); 5];
+        let r = run_static(&queries, &[0; 5], &fast_cfg(2));
+        assert_eq!(r.per_query.len(), 5);
+        assert!(r.makespan_ns > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival per query")]
+    fn mismatched_arrivals_panic() {
+        run_static(&[q(&[1])], &[], &fast_cfg(1));
+    }
+}

@@ -1,0 +1,88 @@
+//! Canonical binary serialization of [`FixedDegreeGraph`].
+
+use crate::csr::{FixedDegreeGraph, INVALID_ID};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io;
+
+const GRAPH_MAGIC: u32 = 0x414C_4752; // "ALGR"
+
+/// Serializes a graph (including padding slots, so the roundtrip is
+/// exact).
+pub fn encode_graph(graph: &FixedDegreeGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + graph.nbytes());
+    buf.put_u32_le(GRAPH_MAGIC);
+    buf.put_u64_le(graph.len() as u64);
+    buf.put_u32_le(graph.degree() as u32);
+    for v in 0..graph.len() as u32 {
+        for &u in graph.row(v) {
+            buf.put_u32_le(u);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph; rejects wrong magic, zero degree, truncation,
+/// and structurally invalid rows.
+pub fn decode_graph(mut data: &[u8]) -> io::Result<FixedDegreeGraph> {
+    if data.remaining() < 16 || data.get_u32_le() != GRAPH_MAGIC {
+        return Err(invalid("not a graph blob"));
+    }
+    let n = data.get_u64_le() as usize;
+    let degree = data.get_u32_le() as usize;
+    if degree == 0 || data.remaining() != n * degree * 4 {
+        return Err(invalid("graph blob truncated"));
+    }
+    let mut graph = FixedDegreeGraph::new(n, degree);
+    let mut row = Vec::with_capacity(degree);
+    for v in 0..n as u32 {
+        row.clear();
+        for _ in 0..degree {
+            let u = data.get_u32_le();
+            if u != INVALID_ID {
+                row.push(u);
+            }
+        }
+        if row.iter().any(|&u| u as usize >= n || u == v) {
+            return Err(invalid("graph blob contains invalid edges"));
+        }
+        graph.set_row(v, &row);
+    }
+    Ok(graph)
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let mut g = FixedDegreeGraph::new(4, 3);
+        g.set_row(0, &[1, 2]);
+        g.set_row(3, &[0]);
+        assert_eq!(decode_graph(&encode_graph(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_bad_blobs() {
+        assert!(decode_graph(&[1, 2, 3]).is_err());
+        let mut blob = encode_graph(&FixedDegreeGraph::new(2, 2)).to_vec();
+        blob.truncate(blob.len() - 2);
+        assert!(decode_graph(&blob).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        // Hand-craft a blob with an edge pointing past n.
+        let mut buf = bytes::BytesMut::new();
+        use bytes::BufMut;
+        buf.put_u32_le(0x414C_4752);
+        buf.put_u64_le(1);
+        buf.put_u32_le(1);
+        buf.put_u32_le(7); // vertex 7 doesn't exist in a 1-vertex graph
+        assert!(decode_graph(&buf).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Entry-point selection.
+//!
+//! Single-CTA search starts at one entry; the paper's multi-CTA mode has
+//! each of a query's CTAs "enter [a] random entry point" (§III-B) so the
+//! CTAs explore disjoint regions before meeting in the TopK neighborhood.
+
+use algas_vector::{Metric, VectorStore};
+
+/// How a searcher picks its entry vertex (or vertices, for multi-CTA).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryPolicy {
+    /// Always start at one fixed vertex.
+    Fixed(u32),
+    /// Start at the corpus medoid (vector closest to the mean) —
+    /// computed once by [`medoid`]; the classic single-entry choice.
+    Medoid,
+    /// Per-(query, CTA) pseudo-random entries from a seeded hash —
+    /// CAGRA's multi-CTA strategy. Deterministic given the seed.
+    Hashed {
+        /// Seed mixed into the hash.
+        seed: u64,
+    },
+}
+
+impl EntryPolicy {
+    /// Resolves the entry vertex for `(query_id, cta_id)` over a corpus
+    /// of `n` vertices. `medoid_id` supplies the precomputed medoid for
+    /// [`EntryPolicy::Medoid`].
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or a fixed entry is out of range.
+    pub fn entry_for(&self, query_id: u64, cta_id: u32, n: usize, medoid_id: u32) -> u32 {
+        assert!(n > 0, "cannot pick an entry in an empty corpus");
+        match *self {
+            EntryPolicy::Fixed(v) => {
+                assert!((v as usize) < n, "fixed entry {v} out of range");
+                v
+            }
+            EntryPolicy::Medoid => {
+                assert!((medoid_id as usize) < n, "medoid {medoid_id} out of range");
+                medoid_id
+            }
+            EntryPolicy::Hashed { seed } => {
+                (splitmix64(seed ^ query_id.wrapping_mul(0x9E3779B97F4A7C15) ^ (cta_id as u64))
+                    % n as u64) as u32
+            }
+        }
+    }
+}
+
+/// SplitMix64: a tiny, high-quality mixing function, used for the hashed
+/// entry policy so entries are reproducible without carrying RNG state.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Finds the corpus medoid: the vector minimizing distance to the
+/// element-wise mean. O(n·dim); run once at index-build time.
+pub fn medoid(base: &VectorStore, metric: Metric) -> u32 {
+    assert!(!base.is_empty(), "medoid of empty corpus");
+    let dim = base.dim();
+    let mut mean = vec![0.0f64; dim];
+    for row in base.iter() {
+        for (m, &x) in mean.iter_mut().zip(row) {
+            *m += x as f64;
+        }
+    }
+    let n = base.len() as f64;
+    let mean_f32: Vec<f32> = mean.iter().map(|&m| (m / n) as f32).collect();
+    let mut best = (f32::INFINITY, 0u32);
+    for (i, row) in base.iter().enumerate() {
+        let d = metric.distance(&mean_f32, row);
+        if d < best.0 {
+            best = (d, i as u32);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_returns_fixed() {
+        let p = EntryPolicy::Fixed(3);
+        assert_eq!(p.entry_for(0, 0, 10, 0), 3);
+        assert_eq!(p.entry_for(99, 7, 10, 0), 3);
+    }
+
+    #[test]
+    fn hashed_policy_is_deterministic_and_spread() {
+        let p = EntryPolicy::Hashed { seed: 7 };
+        let a = p.entry_for(1, 0, 1000, 0);
+        assert_eq!(a, p.entry_for(1, 0, 1000, 0));
+        // Different CTAs of the same query land on different entries
+        // (overwhelmingly likely for 1000 vertices and 8 CTAs).
+        let entries: std::collections::HashSet<u32> =
+            (0..8).map(|cta| p.entry_for(1, cta, 1000, 0)).collect();
+        assert!(entries.len() >= 6, "entries too clustered: {entries:?}");
+    }
+
+    #[test]
+    fn hashed_policy_in_range() {
+        let p = EntryPolicy::Hashed { seed: 0 };
+        for q in 0..50u64 {
+            for cta in 0..4 {
+                assert!((p.entry_for(q, cta, 17, 0) as usize) < 17);
+            }
+        }
+    }
+
+    #[test]
+    fn medoid_of_cluster_is_central() {
+        // Points on a line; medoid must be the middle one.
+        let base = VectorStore::from_flat(1, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(medoid(&base, Metric::L2), 2);
+    }
+
+    #[test]
+    fn medoid_policy_uses_supplied_id() {
+        let p = EntryPolicy::Medoid;
+        assert_eq!(p.entry_for(5, 2, 100, 42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_out_of_range_panics() {
+        EntryPolicy::Fixed(10).entry_for(0, 0, 5, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! k-NN graph construction: exact brute force and NN-descent.
+//!
+//! CAGRA builds its searchable graph by *optimizing an initial k-NN
+//! graph*. The authors bootstrap that k-NN graph on the GPU; here we
+//! provide two CPU builders with one output type:
+//!
+//! * [`build_knn_graph_exact`] — O(n²) brute force, rayon-parallel over
+//!   rows. Exact, used for small corpora and as the oracle in tests.
+//! * [`build_knn_graph_nn_descent`] — NN-descent (Dong et al.), the
+//!   standard approximate construction: start random, repeatedly let each
+//!   vertex compare its neighbors' neighbors, keep the k best. Converges
+//!   in a handful of rounds on clustered data.
+
+use crate::csr::FixedDegreeGraph;
+use algas_vector::metric::DistValue;
+use algas_vector::{Metric, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Exact k-NN graph by brute force (excluding self).
+///
+/// # Panics
+/// Panics if `k == 0` or `k >= base.len()`.
+pub fn build_knn_graph_exact(base: &VectorStore, metric: Metric, k: usize) -> FixedDegreeGraph {
+    let n = base.len();
+    assert!(k > 0, "k must be positive");
+    assert!(k < n, "k={k} must be < n={n}");
+    let rows: Vec<Vec<u32>> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let vv = base.get(v);
+            let mut heap: std::collections::BinaryHeap<(DistValue, u32)> =
+                std::collections::BinaryHeap::with_capacity(k + 1);
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                let d = DistValue(metric.distance(vv, base.get(u)));
+                if heap.len() < k {
+                    heap.push((d, u as u32));
+                } else if d < heap.peek().expect("non-empty").0 {
+                    heap.pop();
+                    heap.push((d, u as u32));
+                }
+            }
+            let mut pairs = heap.into_vec();
+            pairs.sort();
+            pairs.into_iter().map(|(_, id)| id).collect()
+        })
+        .collect();
+    FixedDegreeGraph::from_adjacency(n, k, &rows)
+}
+
+/// Parameters for NN-descent.
+#[derive(Clone, Copy, Debug)]
+pub struct NnDescentParams {
+    /// Neighbors kept per vertex (the k of the k-NN graph).
+    pub k: usize,
+    /// Maximum improvement rounds.
+    pub max_rounds: usize,
+    /// Stop when fewer than `termination_frac * n * k` updates occur in a
+    /// round.
+    pub termination_frac: f64,
+    /// RNG seed for the random initial graph.
+    pub seed: u64,
+}
+
+impl Default for NnDescentParams {
+    fn default() -> Self {
+        Self { k: 32, max_rounds: 12, termination_frac: 0.001, seed: 0xDE5C }
+    }
+}
+
+/// One vertex's bounded neighbor list during NN-descent.
+#[derive(Clone)]
+struct NeighborList {
+    // Sorted ascending by distance; length ≤ k.
+    items: Vec<(DistValue, u32, bool)>, // (dist, id, is_new)
+    k: usize,
+}
+
+impl NeighborList {
+    fn new(k: usize) -> Self {
+        Self { items: Vec::with_capacity(k + 1), k }
+    }
+
+    /// Inserts (d, u) if better than the current worst; returns true on
+    /// an actual update.
+    fn insert(&mut self, d: DistValue, u: u32) -> bool {
+        if self.items.iter().any(|&(_, id, _)| id == u) {
+            return false;
+        }
+        if self.items.len() == self.k
+            && d >= self.items.last().expect("full list has last").0
+        {
+            return false;
+        }
+        let pos = self.items.partition_point(|&(x, _, _)| x < d);
+        self.items.insert(pos, (d, u, true));
+        self.items.truncate(self.k);
+        true
+    }
+
+    fn ids(&self) -> Vec<u32> {
+        self.items.iter().map(|&(_, id, _)| id).collect()
+    }
+}
+
+/// Builds an approximate k-NN graph with NN-descent.
+///
+/// Deterministic for a fixed seed. The local-join is sampled (classic
+/// `rho`-sampling with rho = 1 over new items) which keeps rounds
+/// O(n·k²).
+pub fn build_knn_graph_nn_descent(
+    base: &VectorStore,
+    metric: Metric,
+    params: NnDescentParams,
+) -> FixedDegreeGraph {
+    let n = base.len();
+    let k = params.k;
+    assert!(k > 0, "k must be positive");
+    assert!(k < n, "k={k} must be < n={n}");
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut lists: Vec<NeighborList> = (0..n).map(|_| NeighborList::new(k)).collect();
+
+    // Random initialization.
+    for v in 0..n {
+        while lists[v].items.len() < k {
+            let u = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let d = DistValue(metric.distance(base.get(v), base.get(u)));
+            lists[v].insert(d, u as u32);
+        }
+    }
+
+    for _round in 0..params.max_rounds {
+        // Collect per-vertex (new, old) samples.
+        let samples: Vec<(Vec<u32>, Vec<u32>)> = lists
+            .iter()
+            .map(|l| {
+                let mut new_ids = Vec::new();
+                let mut old_ids = Vec::new();
+                for &(_, id, is_new) in &l.items {
+                    if is_new {
+                        new_ids.push(id);
+                    } else {
+                        old_ids.push(id);
+                    }
+                }
+                (new_ids, old_ids)
+            })
+            .collect();
+        // Mark everything old for the next round.
+        for l in lists.iter_mut() {
+            for it in l.items.iter_mut() {
+                it.2 = false;
+            }
+        }
+        // Reverse samples: u appears in rev[v] if v ∈ sample(u).
+        let mut rev_new: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut rev_old: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, (new_ids, old_ids)) in samples.iter().enumerate() {
+            for &u in new_ids {
+                rev_new[u as usize].push(v as u32);
+            }
+            for &u in old_ids {
+                rev_old[u as usize].push(v as u32);
+            }
+        }
+        // Local join: for each vertex, compare (new × new) and
+        // (new × old) pairs among its forward+reverse samples.
+        let mut updates = 0usize;
+        let rev_cap = k; // bound reverse lists like the reference algorithm
+        for v in 0..n {
+            let mut new_ids = samples[v].0.clone();
+            let mut old_ids = samples[v].1.clone();
+            for (extra, rev) in [(&mut new_ids, &rev_new[v]), (&mut old_ids, &rev_old[v])] {
+                for &u in rev.iter().take(rev_cap) {
+                    if !extra.contains(&u) {
+                        extra.push(u);
+                    }
+                }
+            }
+            for (i, &a) in new_ids.iter().enumerate() {
+                for &b in new_ids.iter().skip(i + 1).chain(old_ids.iter()) {
+                    if a == b {
+                        continue;
+                    }
+                    let d = DistValue(metric.distance(base.get(a as usize), base.get(b as usize)));
+                    if lists[a as usize].insert(d, b) {
+                        updates += 1;
+                    }
+                    if lists[b as usize].insert(d, a) {
+                        updates += 1;
+                    }
+                }
+            }
+        }
+        if (updates as f64) < params.termination_frac * (n * k) as f64 {
+            break;
+        }
+    }
+
+    let rows: Vec<Vec<u32>> = lists.iter().map(|l| l.ids()).collect();
+    FixedDegreeGraph::from_adjacency(n, k, &rows)
+}
+
+/// Fraction of exact k-NN edges present in `approx` (edge recall),
+/// a standard quality measure for approximate k-NN graphs.
+pub fn knn_graph_recall(exact: &FixedDegreeGraph, approx: &FixedDegreeGraph) -> f64 {
+    assert_eq!(exact.len(), approx.len());
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for v in 0..exact.len() as u32 {
+        let approx_row: std::collections::HashSet<u32> = approx.neighbors(v).collect();
+        for u in exact.neighbors(v) {
+            total += 1;
+            if approx_row.contains(&u) {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algas_vector::datasets::DatasetSpec;
+
+    #[test]
+    fn exact_knn_on_line() {
+        let base = VectorStore::from_flat(1, (0..8).map(|i| i as f32).collect());
+        let g = build_knn_graph_exact(&base, Metric::L2, 2);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 2]);
+        let mid: Vec<u32> = g.neighbors(4).collect();
+        assert!(mid.contains(&3) && mid.contains(&5));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn nn_descent_approaches_exact() {
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 77).generate();
+        let exact = build_knn_graph_exact(&ds.base, Metric::L2, 8);
+        let approx = build_knn_graph_nn_descent(
+            &ds.base,
+            Metric::L2,
+            NnDescentParams { k: 8, max_rounds: 10, termination_frac: 0.001, seed: 5 },
+        );
+        assert!(approx.validate().is_ok());
+        let r = knn_graph_recall(&exact, &approx);
+        assert!(r > 0.85, "NN-descent edge recall too low: {r}");
+    }
+
+    #[test]
+    fn nn_descent_is_deterministic() {
+        let ds = DatasetSpec::tiny(200, 8, Metric::L2, 13).generate();
+        let p = NnDescentParams { k: 6, ..Default::default() };
+        let a = build_knn_graph_nn_descent(&ds.base, Metric::L2, p);
+        let b = build_knn_graph_nn_descent(&ds.base, Metric::L2, p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn neighbor_list_insert_semantics() {
+        let mut l = NeighborList::new(2);
+        assert!(l.insert(DistValue(3.0), 1));
+        assert!(l.insert(DistValue(1.0), 2));
+        assert!(!l.insert(DistValue(1.0), 2)); // duplicate
+        assert!(l.insert(DistValue(2.0), 3)); // evicts 3.0
+        assert!(!l.insert(DistValue(5.0), 4)); // worse than worst
+        assert_eq!(l.ids(), vec![2, 3]);
+    }
+
+    #[test]
+    fn knn_recall_of_identical_graph_is_one() {
+        let base = VectorStore::from_flat(1, (0..16).map(|i| i as f32).collect());
+        let g = build_knn_graph_exact(&base, Metric::L2, 3);
+        assert_eq!(knn_graph_recall(&g, &g), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <")]
+    fn k_too_large_rejected() {
+        let base = VectorStore::from_flat(1, vec![0.0, 1.0]);
+        build_knn_graph_exact(&base, Metric::L2, 2);
+    }
+}

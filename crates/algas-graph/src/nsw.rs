@@ -1,0 +1,254 @@
+//! GANNS-style navigable-small-world (NSW) construction.
+//!
+//! GANNS [23] builds NSW/HNSW graphs on the GPU by batched insertion; the
+//! resulting *structure* is the classic NSW of Malkov et al. [17]: points
+//! are inserted one at a time, each new point is connected to the `m`
+//! nearest points found by a greedy search of the graph built so far, and
+//! edges are bidirectional with a per-vertex degree cap enforced by
+//! keeping the closest neighbors.
+//!
+//! This builder reproduces that structure (sequentially — the paper uses
+//! the *graph*, not the construction throughput, in its evaluation) and
+//! emits a [`FixedDegreeGraph`] with out-degree `2 * m` exactly as GANNS
+//! allocates forward + reverse capacity.
+
+use crate::csr::FixedDegreeGraph;
+use algas_vector::metric::DistValue;
+use algas_vector::{Metric, VectorStore};
+use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
+
+/// Parameters for NSW construction.
+#[derive(Clone, Copy, Debug)]
+pub struct NswParams {
+    /// Number of nearest points each inserted vertex links to.
+    pub m: usize,
+    /// Beam width (candidate-list size) of the construction-time search.
+    pub ef_construction: usize,
+}
+
+impl Default for NswParams {
+    fn default() -> Self {
+        Self { m: 16, ef_construction: 64 }
+    }
+}
+
+/// Incremental NSW builder.
+pub struct NswBuilder {
+    params: NswParams,
+    metric: Metric,
+}
+
+impl NswBuilder {
+    /// Creates a builder.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `ef_construction < m`.
+    pub fn new(metric: Metric, params: NswParams) -> Self {
+        assert!(params.m > 0, "m must be positive");
+        assert!(params.ef_construction >= params.m, "ef_construction must be >= m");
+        Self { params, metric }
+    }
+
+    /// Builds the NSW graph over `base`.
+    ///
+    /// Deterministic: insertion order is index order and ties break on id.
+    pub fn build(&self, base: &VectorStore) -> FixedDegreeGraph {
+        let n = base.len();
+        let degree = self.params.m * 2;
+        let mut graph = FixedDegreeGraph::new(n, degree);
+        if n == 0 {
+            return graph;
+        }
+        for v in 1..n as u32 {
+            // Entry: vertex 0, the first inserted point (classic NSW uses
+            // an arbitrary fixed entry for construction).
+            let found = beam_search(
+                &graph,
+                base,
+                self.metric,
+                base.get(v as usize),
+                0,
+                self.params.ef_construction,
+                Some(v),
+            );
+            let m = self.params.m.min(found.len());
+            for &(dist, u) in found.iter().take(m) {
+                connect_capped(&mut graph, base, self.metric, v, u, dist);
+                connect_capped(&mut graph, base, self.metric, u, v, dist);
+            }
+        }
+        graph
+    }
+}
+
+/// Adds edge `v -> u`; when `v`'s row is full, keeps the `degree` closest
+/// neighbors of `v` (including the new candidate) — the NSW degree-cap
+/// rule.
+fn connect_capped(
+    graph: &mut FixedDegreeGraph,
+    base: &VectorStore,
+    metric: Metric,
+    v: u32,
+    u: u32,
+    dist_vu: DistValue,
+) {
+    if graph.try_add_edge(v, u) {
+        return;
+    }
+    // Row full: re-rank {existing neighbors} ∪ {u} by distance to v.
+    let vv = base.get(v as usize);
+    let mut ranked: Vec<(DistValue, u32)> = graph
+        .neighbors(v)
+        .map(|w| (DistValue(metric.distance(vv, base.get(w as usize))), w))
+        .collect();
+    if ranked.iter().any(|&(_, w)| w == u) {
+        return;
+    }
+    ranked.push((dist_vu, u));
+    ranked.sort();
+    ranked.truncate(graph.degree());
+    let ids: Vec<u32> = ranked.into_iter().map(|(_, w)| w).collect();
+    graph.set_row(v, &ids);
+}
+
+/// Construction-time best-first beam search.
+///
+/// Returns up to `ef` `(distance, id)` pairs sorted ascending. `exclude`
+/// keeps the point being inserted out of its own result list.
+pub fn beam_search(
+    graph: &FixedDegreeGraph,
+    base: &VectorStore,
+    metric: Metric,
+    query: &[f32],
+    entry: u32,
+    ef: usize,
+    exclude: Option<u32>,
+) -> Vec<(DistValue, u32)> {
+    let mut visited: HashSet<u32> = HashSet::with_capacity(ef * 4);
+    // Min-heap of frontier candidates; max-heap of current best `ef`.
+    let mut frontier: BinaryHeap<Reverse<(DistValue, u32)>> = BinaryHeap::new();
+    let mut best: BinaryHeap<(DistValue, u32)> = BinaryHeap::new();
+
+    let d0 = DistValue(metric.distance(query, base.get(entry as usize)));
+    visited.insert(entry);
+    frontier.push(Reverse((d0, entry)));
+    if exclude != Some(entry) {
+        best.push((d0, entry));
+    }
+
+    while let Some(Reverse((d, v))) = frontier.pop() {
+        if best.len() >= ef {
+            let worst = best.peek().expect("best non-empty").0;
+            if d > worst {
+                break;
+            }
+        }
+        for u in graph.neighbors(v) {
+            if !visited.insert(u) {
+                continue;
+            }
+            let du = DistValue(metric.distance(query, base.get(u as usize)));
+            let admit = best.len() < ef || du < best.peek().expect("best non-empty").0;
+            if admit {
+                frontier.push(Reverse((du, u)));
+                if exclude != Some(u) {
+                    best.push((du, u));
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<(DistValue, u32)> = best.into_vec();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algas_vector::datasets::DatasetSpec;
+    use algas_vector::ground_truth::{brute_force_knn, mean_recall};
+
+    fn line_store(n: usize) -> VectorStore {
+        VectorStore::from_flat(1, (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn build_empty_and_single() {
+        let b = NswBuilder::new(Metric::L2, NswParams { m: 2, ef_construction: 4 });
+        assert_eq!(b.build(&VectorStore::new(3)).len(), 0);
+        let g = b.build(&VectorStore::from_flat(3, vec![1.0, 2.0, 3.0]));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.valid_degree(0), 0);
+    }
+
+    #[test]
+    fn line_graph_links_adjacent_points() {
+        let base = line_store(32);
+        let g = NswBuilder::new(Metric::L2, NswParams { m: 2, ef_construction: 8 }).build(&base);
+        assert!(g.validate().is_ok());
+        // Every vertex should link to at least one of its line-adjacent
+        // neighbors (distance 1).
+        for v in 1..31u32 {
+            let has_adjacent = g
+                .neighbors(v)
+                .any(|u| (u as i64 - v as i64).abs() == 1);
+            assert!(has_adjacent, "vertex {v} has no adjacent link");
+        }
+    }
+
+    #[test]
+    fn beam_search_finds_exact_on_line() {
+        let base = line_store(64);
+        let g = NswBuilder::new(Metric::L2, NswParams { m: 3, ef_construction: 12 }).build(&base);
+        let found = beam_search(&g, &base, Metric::L2, &[40.2], 0, 8, None);
+        assert_eq!(found[0].1, 40);
+        assert_eq!(found[1].1, 41);
+    }
+
+    #[test]
+    fn nsw_reaches_high_recall_on_clustered_data() {
+        let ds = DatasetSpec::tiny(600, 16, Metric::L2, 11).generate();
+        let g = NswBuilder::new(Metric::L2, NswParams::default()).build(&ds.base);
+        assert!(g.validate().is_ok());
+        let k = 10;
+        let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, k);
+        let approx: Vec<Vec<u32>> = (0..ds.queries.len())
+            .map(|q| {
+                beam_search(&g, &ds.base, Metric::L2, ds.queries.get(q), 0, 64, None)
+                    .into_iter()
+                    .take(k)
+                    .map(|(_, id)| id)
+                    .collect()
+            })
+            .collect();
+        let r = mean_recall(&approx, &gt, k);
+        assert!(r > 0.9, "NSW recall too low: {r}");
+    }
+
+    #[test]
+    fn degree_cap_is_respected() {
+        let ds = DatasetSpec::tiny(400, 8, Metric::L2, 3).generate();
+        let params = NswParams { m: 4, ef_construction: 16 };
+        let g = NswBuilder::new(Metric::L2, params).build(&ds.base);
+        for v in 0..g.len() as u32 {
+            assert!(g.valid_degree(v) <= params.m * 2);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ds = DatasetSpec::tiny(300, 8, Metric::L2, 21).generate();
+        let b = NswBuilder::new(Metric::L2, NswParams::default());
+        assert_eq!(b.build(&ds.base), b.build(&ds.base));
+    }
+
+    #[test]
+    #[should_panic(expected = "ef_construction")]
+    fn bad_params_rejected() {
+        NswBuilder::new(Metric::L2, NswParams { m: 8, ef_construction: 4 });
+    }
+}

@@ -1,0 +1,124 @@
+//! Graph statistics: degree distribution and reachability.
+//!
+//! Used by the motivation experiments (healthy graphs are a precondition
+//! for the step-count analyses of Figs 1–2) and by integration tests as
+//! index-quality gates.
+
+use crate::csr::FixedDegreeGraph;
+use std::collections::VecDeque;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Fixed slot count per vertex.
+    pub degree: usize,
+    /// Mean number of valid (non-padding) neighbors.
+    pub mean_valid_degree: f64,
+    /// Minimum valid degree over all vertices.
+    pub min_valid_degree: usize,
+    /// Histogram of valid degrees: `hist[d]` = #vertices with d valid
+    /// neighbors.
+    pub degree_histogram: Vec<usize>,
+    /// Fraction of vertices reachable from vertex 0 following directed
+    /// edges.
+    pub reachable_fraction: f64,
+}
+
+/// Computes [`GraphStats`].
+pub fn graph_stats(graph: &FixedDegreeGraph) -> GraphStats {
+    let n = graph.len();
+    let mut hist = vec![0usize; graph.degree() + 1];
+    let mut total = 0usize;
+    let mut min_deg = usize::MAX;
+    for v in 0..n as u32 {
+        let d = graph.valid_degree(v);
+        hist[d] += 1;
+        total += d;
+        min_deg = min_deg.min(d);
+    }
+    let reachable = if n == 0 { 0 } else { reachable_from(graph, 0).len() };
+    GraphStats {
+        n,
+        degree: graph.degree(),
+        mean_valid_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+        min_valid_degree: if n == 0 { 0 } else { min_deg },
+        degree_histogram: hist,
+        reachable_fraction: if n == 0 { 1.0 } else { reachable as f64 / n as f64 },
+    }
+}
+
+/// BFS over directed edges from `start`; returns the visited set.
+pub fn reachable_from(graph: &FixedDegreeGraph, start: u32) -> Vec<u32> {
+    let n = graph.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!((start as usize) < n, "start vertex out of range");
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    let mut order = vec![start];
+    while let Some(v) = queue.pop_front() {
+        for u in graph.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                order.push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nsw::{NswBuilder, NswParams};
+    use algas_vector::datasets::DatasetSpec;
+    use algas_vector::Metric;
+
+    #[test]
+    fn stats_on_hand_built_graph() {
+        let mut g = FixedDegreeGraph::new(4, 2);
+        g.set_row(0, &[1, 2]);
+        g.set_row(1, &[0]);
+        g.set_row(2, &[3]);
+        // vertex 3 isolated (no out-edges)
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min_valid_degree, 0);
+        assert_eq!(s.degree_histogram, vec![1, 2, 1]);
+        assert!((s.mean_valid_degree - 1.0).abs() < 1e-9);
+        assert_eq!(s.reachable_fraction, 1.0); // 0→{1,2}, 2→3
+    }
+
+    #[test]
+    fn reachability_detects_disconnection() {
+        let mut g = FixedDegreeGraph::new(4, 1);
+        g.set_row(0, &[1]);
+        g.set_row(2, &[3]);
+        let s = graph_stats(&g);
+        assert_eq!(s.reachable_fraction, 0.5);
+        assert_eq!(reachable_from(&g, 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn nsw_graphs_are_fully_reachable() {
+        let ds = DatasetSpec::tiny(400, 8, Metric::L2, 23).generate();
+        let g = NswBuilder::new(Metric::L2, NswParams::default()).build(&ds.base);
+        let s = graph_stats(&g);
+        assert_eq!(s.reachable_fraction, 1.0, "NSW must be connected from its entry");
+        assert!(s.mean_valid_degree >= NswParams::default().m as f64);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = FixedDegreeGraph::new(0, 4);
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.reachable_fraction, 1.0);
+    }
+}

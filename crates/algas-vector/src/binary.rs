@@ -1,0 +1,62 @@
+//! Canonical binary serialization of [`VectorStore`] (length-prefixed
+//! little-endian; used by index persistence and the benchmark cache).
+
+use crate::store::VectorStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io;
+
+const STORE_MAGIC: u32 = 0x414C_5653; // "ALVS"
+
+/// Serializes a store.
+pub fn encode_store(store: &VectorStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + store.nbytes());
+    buf.put_u32_le(STORE_MAGIC);
+    buf.put_u64_le(store.len() as u64);
+    buf.put_u32_le(store.dim() as u32);
+    for &x in store.as_flat() {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a store; rejects wrong magic, zero dims and truncation.
+pub fn decode_store(mut data: &[u8]) -> io::Result<VectorStore> {
+    if data.remaining() < 16 || data.get_u32_le() != STORE_MAGIC {
+        return Err(invalid("not a vector store blob"));
+    }
+    let n = data.get_u64_le() as usize;
+    let dim = data.get_u32_le() as usize;
+    if dim == 0 || data.remaining() != n * dim * 4 {
+        return Err(invalid("vector store blob truncated"));
+    }
+    let mut flat = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        flat.push(data.get_f32_le());
+    }
+    Ok(VectorStore::from_flat(dim, flat))
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = VectorStore::from_flat(3, vec![1.0, -2.0, 3.5, 0.0, 9.0, -4.25]);
+        assert_eq!(decode_store(&encode_store(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(decode_store(&[0, 1, 2]).is_err());
+        let mut blob = encode_store(&VectorStore::from_flat(2, vec![1.0, 2.0])).to_vec();
+        blob.pop();
+        assert!(decode_store(&blob).is_err());
+        blob[0] ^= 0xFF;
+        assert!(decode_store(&blob).is_err());
+    }
+}

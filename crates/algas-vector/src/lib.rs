@@ -1,0 +1,34 @@
+//! # algas-vector
+//!
+//! Vector dataset substrate for the ALGAS reproduction.
+//!
+//! This crate provides everything below the graph layer:
+//!
+//! * [`VectorStore`] — a dense, row-major `f32` matrix with cache-friendly
+//!   row access, the base representation for both the indexed corpus and
+//!   the query set.
+//! * [`Metric`] / [`metric`] — the distance kernels used throughout the
+//!   system. The kernels mirror the paper's *intra-CTA* distance
+//!   computation: dimensions are partitioned across the (simulated) warp
+//!   lanes and the partial sums are reduced, so the cost model in
+//!   `algas-gpu-sim` can charge exactly the work these functions perform.
+//! * [`datasets`] — clustered Gaussian-mixture generators standing in for
+//!   the paper's SIFT1M / GIST1M / GloVe200 / NYTimes corpora (see
+//!   DESIGN.md §2 for the substitution argument), plus the
+//!   [`datasets::DatasetSpec`] descriptions of Table III.
+//! * [`io`] — `fvecs` / `ivecs` readers and writers so the real corpora
+//!   can be dropped in unchanged.
+//! * [`ground_truth`] — exact brute-force k-NN (rayon-parallel) and the
+//!   recall metric the paper evaluates with.
+
+pub mod binary;
+pub mod datasets;
+pub mod ground_truth;
+pub mod io;
+pub mod metric;
+pub mod store;
+
+pub use datasets::{DatasetSpec, GeneratedDataset};
+pub use ground_truth::{brute_force_knn, recall, GroundTruth};
+pub use metric::{DistValue, Metric};
+pub use store::VectorStore;

@@ -1,0 +1,194 @@
+//! Distance kernels.
+//!
+//! The paper's intra-CTA search distributes the dimensions of a vector
+//! across the threads of a CTA: each thread computes a partial sum over a
+//! strided subset of dimensions and the partials are combined with warp
+//! shuffles (Algorithm 1 lines 10–13). The kernels here compute exactly
+//! the same quantity; [`subvector_partials`] exposes the per-lane partial
+//! sums so tests can verify the warp-style reduction agrees with the
+//! scalar kernel, and so `algas-gpu-sim` can charge cost per lane.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance metric over the corpus.
+///
+/// Both metrics are *dissimilarities*: smaller is closer. Cosine
+/// similarity is mapped to `1 - cos(a, b)`, computed as an inner product
+/// over L2-normalized vectors (see [`crate::VectorStore::normalize_l2`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Squared Euclidean distance. (The square root is order-preserving
+    /// and therefore skipped, as in every system the paper compares to.)
+    L2,
+    /// Cosine dissimilarity `1 - a·b` over normalized vectors.
+    Cosine,
+}
+
+impl Metric {
+    /// Computes the dissimilarity between `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the slices differ in length.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::L2 => l2_squared(a, b),
+            Metric::Cosine => 1.0 - inner_product(a, b),
+        }
+    }
+
+    /// Human-readable name matching Table III.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::L2 => "Euclidean",
+            Metric::Cosine => "CosineSimilarity",
+        }
+    }
+
+    /// Whether corpora under this metric must be L2-normalized at load.
+    pub fn requires_normalization(self) -> bool {
+        matches!(self, Metric::Cosine)
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Inner product `a·b`.
+#[inline]
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Computes the per-lane partial sums of the warp-style distance
+/// reduction: lane `l` of a warp with `lanes` threads accumulates the
+/// contributions of dimensions `l, l + lanes, l + 2·lanes, …`.
+///
+/// `sum(subvector_partials(...)) == Metric::distance(...)` up to the
+/// floating-point reassociation the GPU reduction also performs.
+pub fn subvector_partials(metric: Metric, a: &[f32], b: &[f32], lanes: usize) -> Vec<f32> {
+    assert!(lanes > 0, "warp must have at least one lane");
+    assert_eq!(a.len(), b.len());
+    let mut partials = vec![0.0f32; lanes];
+    for (d, (x, y)) in a.iter().zip(b).enumerate() {
+        let lane = d % lanes;
+        match metric {
+            Metric::L2 => {
+                let diff = x - y;
+                partials[lane] += diff * diff;
+            }
+            Metric::Cosine => partials[lane] += x * y,
+        }
+    }
+    if metric == Metric::Cosine {
+        // The `1 -` offset belongs to lane 0, mirroring the scalar kernel.
+        partials[0] = 1.0 - (partials[0] + partials.iter().skip(1).sum::<f32>());
+        for p in partials.iter_mut().skip(1) {
+            *p = 0.0;
+        }
+        // Collapse: lane 0 now carries the full dissimilarity. We keep the
+        // vector shape so the caller's cost accounting stays uniform.
+    }
+    partials
+}
+
+/// A totally ordered wrapper for distance values.
+///
+/// ANNS candidate lists need a total order; distances produced by the
+/// kernels above are never NaN for finite inputs, but the type system
+/// doesn't know that. `DistValue` orders NaN last so a corrupted distance
+/// can never masquerade as the best candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistValue(pub f32);
+
+impl Eq for DistValue {}
+
+impl PartialOrd for DistValue {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DistValue {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f32> for DistValue {
+    fn from(v: f32) -> Self {
+        DistValue(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        assert_eq!(l2_squared(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(Metric::L2.distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_on_normalized_vectors() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((Metric::Cosine.distance(&a, &a)).abs() < 1e-6);
+        assert!((Metric::Cosine.distance(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partials_sum_to_scalar_distance_l2() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..37).map(|i| (37 - i) as f32 * 0.25).collect();
+        for lanes in [1, 2, 8, 32, 64] {
+            let partials = subvector_partials(Metric::L2, &a, &b, lanes);
+            assert_eq!(partials.len(), lanes);
+            let total: f32 = partials.iter().sum();
+            let scalar = Metric::L2.distance(&a, &b);
+            assert!((total - scalar).abs() < 1e-3, "lanes={lanes}: {total} vs {scalar}");
+        }
+    }
+
+    #[test]
+    fn partials_sum_to_scalar_distance_cosine() {
+        let a = [0.6, 0.8, 0.0];
+        let b = [0.0, 0.6, 0.8];
+        let partials = subvector_partials(Metric::Cosine, &a, &b, 2);
+        let total: f32 = partials.iter().sum();
+        assert!((total - Metric::Cosine.distance(&a, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dist_value_orders_nan_last() {
+        let mut v = vec![DistValue(f32::NAN), DistValue(1.0), DistValue(-2.0)];
+        v.sort();
+        assert_eq!(v[0].0, -2.0);
+        assert_eq!(v[1].0, 1.0);
+        assert!(v[2].0.is_nan());
+    }
+
+    #[test]
+    fn metric_metadata() {
+        assert_eq!(Metric::L2.name(), "Euclidean");
+        assert!(Metric::Cosine.requires_normalization());
+        assert!(!Metric::L2.requires_normalization());
+    }
+}

@@ -1,0 +1,204 @@
+//! Dense row-major vector storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32` vectors.
+///
+/// All vectors in a store share one dimension. Rows are contiguous, so a
+/// row access is a single slice borrow; this is the layout the simulated
+/// GPU global memory uses as well (one coalesced segment per vector).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VectorStore {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorStore {
+    /// Creates an empty store of vectors with `dim` dimensions.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates a store with pre-allocated capacity for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Builds a store from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(
+            data.len() % dim == 0,
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { dim, data }
+    }
+
+    /// Builds a store from an iterator of rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dim`.
+    pub fn from_rows<'a, I>(dim: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut store = Self::new(dim);
+        for row in rows {
+            store.push(row);
+        }
+        store
+    }
+
+    /// Appends one vector.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.dim()`.
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row length must equal store dimension");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of vectors stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The shared dimension of all vectors.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows vector `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Borrows vector `i` mutably.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> &mut [f32] {
+        let start = i * self.dim;
+        &mut self.data[start..start + self.dim]
+    }
+
+    /// The underlying flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterates over rows in index order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// L2-normalizes every vector in place.
+    ///
+    /// Zero vectors are left untouched (normalizing them is undefined).
+    /// Cosine-metric corpora are normalized once at load, after which
+    /// cosine similarity reduces to an inner product — the same trick the
+    /// GPU implementations in the paper's lineage (SONG, CAGRA) use.
+    pub fn normalize_l2(&mut self) {
+        for row in self.data.chunks_exact_mut(self.dim) {
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in row.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Returns the memory footprint of the raw vector data in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0, 2.0, 3.0]);
+        s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let s = VectorStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        let _ = VectorStore::from_flat(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn push_rejects_wrong_dim() {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_pushes() {
+        let rows: Vec<Vec<f32>> = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        let s = VectorStore::from_rows(2, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(s.as_flat(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn normalize_l2_yields_unit_norms() {
+        let mut s = VectorStore::from_flat(2, vec![3.0, 4.0, 0.0, 0.0, 1.0, 0.0]);
+        s.normalize_l2();
+        assert!((s.get(0)[0] - 0.6).abs() < 1e-6);
+        assert!((s.get(0)[1] - 0.8).abs() < 1e-6);
+        // Zero vector untouched.
+        assert_eq!(s.get(1), &[0.0, 0.0]);
+        assert_eq!(s.get(2), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_visits_rows_in_order() {
+        let s = VectorStore::from_flat(1, vec![9.0, 8.0, 7.0]);
+        let rows: Vec<&[f32]> = s.iter().collect();
+        assert_eq!(rows, vec![&[9.0][..], &[8.0][..], &[7.0][..]]);
+    }
+
+    #[test]
+    fn nbytes_counts_payload() {
+        let s = VectorStore::from_flat(4, vec![0.0; 16]);
+        assert_eq!(s.nbytes(), 64);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build an index, create an ALGAS engine, search.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use algas::core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
+use algas::graph::cagra::CagraParams;
+use algas::vector::datasets::DatasetSpec;
+use algas::vector::ground_truth::{brute_force_knn, mean_recall};
+use algas::vector::Metric;
+
+fn main() {
+    // 1. A corpus. Here: a synthetic clustered dataset (swap in your
+    //    own vectors via `VectorStore::from_rows` or `io::read_fvecs`).
+    let ds = DatasetSpec::tiny(5_000, 64, Metric::L2, 42).generate();
+    println!("corpus: {} vectors, dim {}", ds.base.len(), ds.base.dim());
+
+    // 2. Build a CAGRA-style graph index.
+    let t0 = std::time::Instant::now();
+    let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    println!("index built in {:.2?} (degree {})", t0.elapsed(), index.graph.degree());
+
+    // 3. Create the engine. The adaptive tuner picks N_parallel and the
+    //    shared-memory layout for the simulated RTX A6000.
+    let cfg = EngineConfig { k: 10, l: 64, slots: 16, ..Default::default() };
+    let engine = AlgasEngine::new(index, cfg).expect("config fits the device");
+    let plan = engine.plan();
+    println!(
+        "tuned: N_parallel={}, blocks/SM={}, {} B shared memory per block",
+        plan.n_parallel, plan.blocks_per_sm, plan.shared_mem_per_block
+    );
+
+    // 4. Search, with full cost tracing.
+    let traced = engine.search_traced(ds.queries.get(0), 0);
+    println!("\nquery 0 → top-10 ids: {:?}", traced.topk.iter().map(|&(_, id)| id).collect::<Vec<_>>());
+    println!(
+        "   simulated GPU time {} µs across {} CTAs ({} total steps), host merge {} ns",
+        traced.work.max_cta_ns() / 1000,
+        traced.work.n_ctas(),
+        traced.multi.traces.iter().map(|t| t.n_steps()).sum::<usize>(),
+        traced.work.host_merge_ns,
+    );
+
+    // 5. Verify quality against exact brute force.
+    let n_eval = 100.min(ds.queries.len());
+    let results: Vec<Vec<u32>> =
+        (0..n_eval).map(|q| engine.search(ds.queries.get(q), q as u64)).collect();
+    let truth = brute_force_knn(
+        &ds.base,
+        &algas::vector::VectorStore::from_rows(
+            ds.queries.dim(),
+            (0..n_eval).map(|q| ds.queries.get(q)),
+        ),
+        Metric::L2,
+        10,
+    );
+    println!("\nrecall@10 over {n_eval} queries: {:.3}", mean_recall(&results, &truth, 10));
+}

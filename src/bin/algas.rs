@@ -1,0 +1,10 @@
+//! The `algas` CLI binary; all logic lives in `algas::cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(msg) = algas::cli::run(&args, &mut stdout) {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,403 @@
+//! The `algas` command-line tool.
+//!
+//! ```text
+//! algas gen    --out base.fvecs --queries q.fvecs --n 20000 --dim 64 --metric l2
+//! algas gt     --base base.fvecs --queries q.fvecs --metric l2 --k 100 --out gt.ivecs
+//! algas build  --base base.fvecs --metric l2 --graph cagra --out index.algas
+//! algas info   --index index.algas
+//! algas search --index index.algas --queries q.fvecs --k 10 --l 64 [--gt gt.ivecs] [--out r.ivecs]
+//! algas serve  --index index.algas --queries q.fvecs --clients 4 --slots 16
+//! ```
+//!
+//! All logic lives here (testable); `src/bin/algas.rs` is a thin shim.
+
+use algas_core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
+use algas_core::runtime::{AlgasServer, RuntimeConfig};
+use algas_graph::cagra::CagraParams;
+use algas_graph::nsw::NswParams;
+use algas_graph::stats::graph_stats;
+use algas_vector::datasets::DatasetSpec;
+use algas_vector::ground_truth::{brute_force_knn, mean_recall, GroundTruth};
+use algas_vector::{Metric, VectorStore};
+use std::collections::HashMap;
+use std::io::Write;
+
+/// Runs the CLI; `args` excludes the program name. Output goes to `out`
+/// (stdout in the binary, a buffer in tests).
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags, out),
+        "gt" => cmd_gt(&flags, out),
+        "build" => cmd_build(&flags, out),
+        "info" => cmd_info(&flags, out),
+        "search" => cmd_search(&flags, out),
+        "serve" => cmd_serve(&flags, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", usage()).map_err(io_err)?;
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: algas <gen|gt|build|info|search|serve> [--flag value]...\n\
+     see crate docs (src/cli.rs) for the flags of each command"
+        .to_string()
+}
+
+fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{flag}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn req<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(|s| s.as_str()).ok_or_else(|| format!("missing required --{name}"))
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn parse_metric(flags: &HashMap<String, String>) -> Result<Metric, String> {
+    match flags.get("metric").map(|s| s.as_str()).unwrap_or("l2") {
+        "l2" | "euclidean" => Ok(Metric::L2),
+        "cosine" | "ip" => Ok(Metric::Cosine),
+        other => Err(format!("--metric must be l2|cosine, got `{other}`")),
+    }
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("io error: {e}")
+}
+
+fn load_fvecs(path: &str) -> Result<VectorStore, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    algas_vector::io::read_fvecs(std::io::BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save_fvecs(path: &str, store: &VectorStore) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    algas_vector::io::write_fvecs(std::io::BufWriter::new(f), store)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let spec = DatasetSpec {
+        name: "cli".into(),
+        n_base: opt_parse(flags, "n", 10_000usize)?,
+        n_queries: opt_parse(flags, "nq", 256usize)?,
+        dim: opt_parse(flags, "dim", 64usize)?,
+        metric: parse_metric(flags)?,
+        clusters: opt_parse(flags, "clusters", 32usize)?,
+        spread: opt_parse(flags, "spread", 0.55f32)?,
+        seed: opt_parse(flags, "seed", 42u64)?,
+    };
+    let ds = spec.generate();
+    save_fvecs(req(flags, "out")?, &ds.base)?;
+    if let Some(qpath) = flags.get("queries") {
+        save_fvecs(qpath, &ds.queries)?;
+    }
+    writeln!(
+        out,
+        "generated {} base vectors (dim {}) and {} queries",
+        ds.base.len(),
+        ds.base.dim(),
+        ds.queries.len()
+    )
+    .map_err(io_err)
+}
+
+fn cmd_gt(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let base = load_fvecs(req(flags, "base")?)?;
+    let queries = load_fvecs(req(flags, "queries")?)?;
+    let metric = parse_metric(flags)?;
+    let k = opt_parse(flags, "k", 100usize)?;
+    let gt = brute_force_knn(&base, &queries, metric, k.min(base.len()));
+    let f = std::fs::File::create(req(flags, "out")?).map_err(io_err)?;
+    algas_vector::io::write_ivecs(std::io::BufWriter::new(f), &gt.neighbors).map_err(io_err)?;
+    writeln!(out, "wrote exact {}-NN for {} queries", gt.k, queries.len()).map_err(io_err)
+}
+
+fn cmd_build(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let mut base = load_fvecs(req(flags, "base")?)?;
+    let metric = parse_metric(flags)?;
+    if metric.requires_normalization() {
+        base.normalize_l2();
+    }
+    let t0 = std::time::Instant::now();
+    let index = match flags.get("graph").map(|s| s.as_str()).unwrap_or("cagra") {
+        "cagra" => {
+            let degree = opt_parse(flags, "degree", 32usize)?;
+            AlgasIndex::build_cagra(
+                base,
+                metric,
+                CagraParams {
+                    graph_degree: degree,
+                    intermediate_degree: degree.max(opt_parse(flags, "intermediate", degree)?),
+                    ..Default::default()
+                },
+            )
+        }
+        "nsw" => {
+            let m = opt_parse(flags, "degree", 32usize)? / 2;
+            AlgasIndex::build_nsw(
+                base,
+                metric,
+                NswParams { m: m.max(2), ef_construction: (m * 4).max(32) },
+            )
+        }
+        other => return Err(format!("--graph must be cagra|nsw, got `{other}`")),
+    };
+    let path = req(flags, "out")?;
+    index.save(path).map_err(io_err)?;
+    writeln!(
+        out,
+        "built {:?} graph over {} vectors in {:.1?}; saved to {path}",
+        index.kind,
+        index.len(),
+        t0.elapsed()
+    )
+    .map_err(io_err)
+}
+
+fn cmd_info(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let index = AlgasIndex::load(req(flags, "index")?).map_err(io_err)?;
+    let stats = graph_stats(&index.graph);
+    writeln!(
+        out,
+        "vectors: {} x dim {}\nmetric: {}\ngraph: {:?}, degree {} (mean valid {:.1}, min {})\n\
+         reachable from medoid-entry BFS: {:.1}%\nmedoid: {}",
+        index.base.len(),
+        index.base.dim(),
+        index.metric.name(),
+        index.kind,
+        index.graph.degree(),
+        stats.mean_valid_degree,
+        stats.min_valid_degree,
+        stats.reachable_fraction * 100.0,
+        index.medoid,
+    )
+    .map_err(io_err)
+}
+
+fn engine_from_flags(
+    index: AlgasIndex,
+    flags: &HashMap<String, String>,
+) -> Result<AlgasEngine, String> {
+    let cfg = EngineConfig {
+        k: opt_parse(flags, "k", 10usize)?,
+        l: opt_parse(flags, "l", 64usize)?,
+        slots: opt_parse(flags, "slots", 16usize)?,
+        ..Default::default()
+    };
+    AlgasEngine::new(index, cfg).map_err(|e| format!("tuning failed: {e}"))
+}
+
+fn cmd_search(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let index = AlgasIndex::load(req(flags, "index")?).map_err(io_err)?;
+    let mut queries = load_fvecs(req(flags, "queries")?)?;
+    if index.metric.requires_normalization() {
+        queries.normalize_l2();
+    }
+    if queries.dim() != index.base.dim() {
+        return Err(format!(
+            "query dim {} != index dim {}",
+            queries.dim(),
+            index.base.dim()
+        ));
+    }
+    let engine = engine_from_flags(index, flags)?;
+    let k = engine.config().k;
+    let t0 = std::time::Instant::now();
+    let wl = engine.run_workload(&queries);
+    let wall = t0.elapsed();
+    let mean_sim_us: f64 = wl.works.iter().map(|w| w.max_cta_ns() as f64).sum::<f64>()
+        / wl.works.len().max(1) as f64
+        / 1000.0;
+    writeln!(
+        out,
+        "searched {} queries (k={k}, L={}, N_parallel={}) in {wall:.2?} wall; \
+         mean simulated GPU time {mean_sim_us:.1} µs/query",
+        queries.len(),
+        engine.config().l,
+        engine.plan().n_parallel,
+    )
+    .map_err(io_err)?;
+
+    if let Some(gt_path) = flags.get("gt") {
+        let f = std::fs::File::open(gt_path).map_err(io_err)?;
+        let neighbors = algas_vector::io::read_ivecs(std::io::BufReader::new(f)).map_err(io_err)?;
+        let gt_k = neighbors.first().map(|r| r.len()).unwrap_or(0);
+        if gt_k < k {
+            return Err(format!("ground truth depth {gt_k} < k {k}"));
+        }
+        let gt = GroundTruth { neighbors, k: gt_k };
+        writeln!(out, "recall@{k}: {:.4}", mean_recall(&wl.results, &gt, k)).map_err(io_err)?;
+    }
+    if let Some(rpath) = flags.get("out") {
+        let rows: Vec<Vec<u32>> = wl
+            .results
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.resize(k, u32::MAX);
+                row
+            })
+            .collect();
+        let f = std::fs::File::create(rpath).map_err(io_err)?;
+        algas_vector::io::write_ivecs(std::io::BufWriter::new(f), &rows).map_err(io_err)?;
+        writeln!(out, "wrote results to {rpath}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let index = AlgasIndex::load(req(flags, "index")?).map_err(io_err)?;
+    let mut queries = load_fvecs(req(flags, "queries")?)?;
+    if index.metric.requires_normalization() {
+        queries.normalize_l2();
+    }
+    let slots = opt_parse(flags, "slots", 16usize)?;
+    let engine = engine_from_flags(index, flags)?;
+    let server = AlgasServer::start(
+        engine,
+        RuntimeConfig {
+            n_slots: slots,
+            n_workers: opt_parse(flags, "workers", 2usize)?,
+            n_host_threads: opt_parse(flags, "hosts", 1usize)?,
+            queue_capacity: 4096,
+        },
+    );
+    let repeat = opt_parse(flags, "repeat", 1usize)?.max(1);
+    let total = queries.len() * repeat;
+    let t0 = std::time::Instant::now();
+    let mut pending = Vec::with_capacity(total);
+    for r in 0..repeat {
+        for qi in 0..queries.len() {
+            let _ = r;
+            let (_, rx) = server
+                .submit(queries.get(qi).to_vec())
+                .map_err(|e| format!("submit failed: {e}"))?;
+            pending.push((std::time::Instant::now(), rx));
+        }
+    }
+    let mut lat_us: Vec<u128> = pending
+        .into_iter()
+        .map(|(sent, rx)| {
+            rx.recv().map(|_| sent.elapsed().as_micros()).map_err(|_| "server died".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let wall = t0.elapsed();
+    lat_us.sort_unstable();
+    writeln!(
+        out,
+        "served {total} queries in {wall:.2?} ({:.0} q/s); latency p50 {} µs, p99 {} µs",
+        total as f64 / wall.as_secs_f64(),
+        lat_us[total / 2],
+        lat_us[(total * 99) / 100],
+    )
+    .map_err(io_err)?;
+    server.shutdown();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("command succeeds");
+        String::from_utf8(out).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("algas-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let base = tmp("base.fvecs");
+        let queries = tmp("q.fvecs");
+        let gt = tmp("gt.ivecs");
+        let index = tmp("index.algas");
+        let results = tmp("r.ivecs");
+
+        let msg = run_ok(&[
+            "gen", "--out", &base, "--queries", &queries, "--n", "600", "--nq", "40", "--dim",
+            "12", "--seed", "7",
+        ]);
+        assert!(msg.contains("600 base vectors"));
+
+        run_ok(&["gt", "--base", &base, "--queries", &queries, "--k", "20", "--out", &gt]);
+
+        let msg = run_ok(&["build", "--base", &base, "--graph", "cagra", "--out", &index]);
+        assert!(msg.contains("Cagra"));
+
+        let msg = run_ok(&["info", "--index", &index]);
+        assert!(msg.contains("600 x dim 12"));
+
+        let msg = run_ok(&[
+            "search", "--index", &index, "--queries", &queries, "--k", "10", "--l", "64", "--gt",
+            &gt, "--out", &results,
+        ]);
+        assert!(msg.contains("recall@10"), "{msg}");
+        let recall: f64 = msg
+            .lines()
+            .find(|l| l.starts_with("recall@10"))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("recall line");
+        assert!(recall > 0.85, "CLI pipeline recall {recall}");
+
+        let msg = run_ok(&[
+            "serve", "--index", &index, "--queries", &queries, "--slots", "4", "--repeat", "2",
+        ]);
+        assert!(msg.contains("served 80 queries"), "{msg}");
+
+        for p in [base, queries, gt, index, results] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut out = Vec::new();
+        assert!(run(&[], &mut out).is_err());
+        assert!(run(&["bogus".into()], &mut out).unwrap_err().contains("unknown command"));
+        assert!(run(&["build".into()], &mut out).unwrap_err().contains("--base"));
+        assert!(run(&["gen".into(), "--n".into()], &mut out)
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(run(
+            &["gen".into(), "--out".into(), "/tmp/x".into(), "--metric".into(), "hamming".into()],
+            &mut out
+        )
+        .unwrap_err()
+        .contains("l2|cosine"));
+    }
+}
