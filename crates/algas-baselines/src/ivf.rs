@@ -76,11 +76,7 @@ pub fn build_ivf(base: &VectorStore, metric: Metric, params: IvfParams) -> IvfIn
             .into_par_iter()
             .map(|i| nearest_centroid(&centroids, base.get(i), metric).0)
             .collect();
-        let changed = new_assignment
-            .iter()
-            .zip(&assignment)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = new_assignment.iter().zip(&assignment).filter(|(a, b)| a != b).count();
         assignment = new_assignment;
 
         // Update: mean of members.
@@ -127,9 +123,10 @@ pub fn build_ivf(base: &VectorStore, metric: Metric, params: IvfParams) -> IvfIn
 }
 
 fn nearest_centroid(centroids: &VectorStore, v: &[f32], metric: Metric) -> (usize, f32) {
+    let mut dists = Vec::with_capacity(centroids.len());
+    metric.distance_all(v, centroids, &mut dists);
     let mut best = (0usize, f32::INFINITY);
-    for (c, row) in centroids.iter().enumerate() {
-        let d = metric.distance(v, row);
+    for (c, &d) in dists.iter().enumerate() {
         if d < best.1 {
             best = (c, d);
         }
@@ -158,10 +155,13 @@ impl IvfIndex {
         assert!(k > 0, "k must be positive");
         let dim = base.dim();
 
-        // Phase 1: score all centroids, keep the nprobe nearest.
+        // Phase 1: score all centroids (one batched sweep), keep the
+        // nprobe nearest.
+        let mut dists: Vec<f32> = Vec::with_capacity(self.centroids.len());
+        self.metric.distance_all(query, &self.centroids, &mut dists);
         let mut cheap: BinaryHeap<(DistValue, usize)> = BinaryHeap::new();
-        for (c, row) in self.centroids.iter().enumerate() {
-            let d = DistValue(self.metric.distance(query, row));
+        for (c, &dist) in dists.iter().enumerate() {
+            let d = DistValue(dist);
             if cheap.len() < self.params.nprobe {
                 cheap.push((d, c));
             } else if d < cheap.peek().expect("non-empty").0 {
@@ -171,13 +171,15 @@ impl IvfIndex {
         }
         let probe: Vec<usize> = cheap.into_iter().map(|(_, c)| c).collect();
 
-        // Phase 2: exhaustive scan of the probed lists.
+        // Phase 2: exhaustive scan of the probed lists, one batched
+        // kernel call per posting list.
         let mut heap: BinaryHeap<(DistValue, u32)> = BinaryHeap::with_capacity(k + 1);
         let mut scanned = 0u64;
         for &c in &probe {
-            for &id in &self.lists[c] {
+            self.metric.distance_batch(query, base, &self.lists[c], &mut dists);
+            for (&id, &dist) in self.lists[c].iter().zip(&dists) {
                 scanned += 1;
-                let d = DistValue(self.metric.distance(query, base.get(id as usize)));
+                let d = DistValue(dist);
                 if heap.len() < k {
                     heap.push((d, id));
                 } else if d < heap.peek().expect("non-empty").0 {
@@ -281,8 +283,16 @@ mod tests {
         let ds = setup();
         let cost = CostModel::default();
         let dev = DeviceProps::rtx_a6000();
-        let small = build_ivf(&ds.base, Metric::L2, IvfParams { nlist: 16, nprobe: 1, ..Default::default() });
-        let large = build_ivf(&ds.base, Metric::L2, IvfParams { nlist: 16, nprobe: 12, ..Default::default() });
+        let small = build_ivf(
+            &ds.base,
+            Metric::L2,
+            IvfParams { nlist: 16, nprobe: 1, ..Default::default() },
+        );
+        let large = build_ivf(
+            &ds.base,
+            Metric::L2,
+            IvfParams { nlist: 16, nprobe: 12, ..Default::default() },
+        );
         let (_, w1) = small.search_traced(&ds.base, ds.queries.get(0), 5, &cost, &dev);
         let (_, w2) = large.search_traced(&ds.base, ds.queries.get(0), 5, &cost, &dev);
         assert!(w2.max_cta_ns() > w1.max_cta_ns());

@@ -127,7 +127,12 @@ pub struct CagraMethod {
 
 impl CagraMethod {
     /// Builds the method (greedy multi-CTA, hashed entries).
-    pub fn new(index: AlgasIndex, k: usize, l: usize, batch_size: usize) -> Result<Self, TuningError> {
+    pub fn new(
+        index: AlgasIndex,
+        k: usize,
+        l: usize,
+        batch_size: usize,
+    ) -> Result<Self, TuningError> {
         let cfg = EngineConfig {
             k,
             l,
@@ -180,7 +185,12 @@ pub struct GannsMethod {
 impl GannsMethod {
     /// Builds the method. The single CTA needs no merge; the entry is
     /// the corpus medoid (NSW-style fixed entry).
-    pub fn new(index: AlgasIndex, k: usize, l: usize, batch_size: usize) -> Result<Self, TuningError> {
+    pub fn new(
+        index: AlgasIndex,
+        k: usize,
+        l: usize,
+        batch_size: usize,
+    ) -> Result<Self, TuningError> {
         let cfg = EngineConfig {
             k,
             l,
@@ -236,7 +246,13 @@ pub struct IvfMethod {
 
 impl IvfMethod {
     /// Builds the IVF index over `base` and wraps it as a method.
-    pub fn new(base: VectorStore, metric: algas_vector::Metric, params: IvfParams, k: usize, batch_size: usize) -> Self {
+    pub fn new(
+        base: VectorStore,
+        metric: algas_vector::Metric,
+        params: IvfParams,
+        k: usize,
+        batch_size: usize,
+    ) -> Self {
         let index = build_ivf(&base, metric, params);
         Self {
             index,
@@ -263,8 +279,13 @@ impl SearchMethod for IvfMethod {
         let mut results = Vec::with_capacity(queries.len());
         let mut works = Vec::with_capacity(queries.len());
         for q in 0..queries.len() {
-            let (found, work) =
-                self.index.search_traced(&self.base, queries.get(q), self.k, &self.cost, &self.device);
+            let (found, work) = self.index.search_traced(
+                &self.base,
+                queries.get(q),
+                self.k,
+                &self.cost,
+                &self.device,
+            );
             results.push(found.into_iter().map(|(_, id)| id).collect());
             works.push(work);
         }
@@ -387,7 +408,13 @@ mod tests {
         assert_eq!(AlgasMethod::new(idx.clone(), 8, 32, 4).unwrap().name(), "ALGAS");
         assert_eq!(CagraMethod::new(idx.clone(), 8, 32, 4).unwrap().name(), "CAGRA");
         assert_eq!(GannsMethod::new(idx, 8, 32, 4).unwrap().name(), "GANNS");
-        let ivf = IvfMethod::new(ds.base.clone(), Metric::L2, IvfParams { nlist: 8, nprobe: 2, ..Default::default() }, 8, 4);
+        let ivf = IvfMethod::new(
+            ds.base.clone(),
+            Metric::L2,
+            IvfParams { nlist: 8, nprobe: 2, ..Default::default() },
+            8,
+            4,
+        );
         assert_eq!(ivf.name(), "IVF");
     }
 }

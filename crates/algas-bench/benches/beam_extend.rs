@@ -21,24 +21,20 @@ fn bench_beam_vs_greedy(c: &mut Criterion) {
                 EngineConfig { k: 16, l, slots: 8, beam: mode, ..Default::default() },
             )
             .unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(name, l),
-                &l,
-                |b, _| {
-                    b.iter(|| {
-                        let wl = engine.run_workload(black_box(&ds.queries));
-                        // Simulated GPU cycles are the paper's metric;
-                        // return them so the work isn't optimized away.
-                        let cycles: u64 = wl
-                            .traces
-                            .iter()
-                            .flat_map(|m| m.traces.iter())
-                            .map(|t| t.total_cycles())
-                            .sum();
-                        black_box(cycles)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, l), &l, |b, _| {
+                b.iter(|| {
+                    let wl = engine.run_workload(black_box(&ds.queries));
+                    // Simulated GPU cycles are the paper's metric;
+                    // return them so the work isn't optimized away.
+                    let cycles: u64 = wl
+                        .traces
+                        .iter()
+                        .flat_map(|m| m.traces.iter())
+                        .map(|t| t.total_cycles())
+                        .sum();
+                    black_box(cycles)
+                })
+            });
         }
     }
     group.finish();

@@ -1,0 +1,56 @@
+//! SIMD distance-kernel microbenchmarks: scalar vs dispatched vs
+//! batched, at the paper's representative dimensions (SIFT 128,
+//! audio-ish 200, DEEP-ish 256, GIST 960).
+//!
+//! The batched rows score 1024 neighbors per call through
+//! [`Metric::distance_batch`] (prefetched, padded-stride rows); the
+//! reported time is per call, so divide by 1024 to compare with the
+//! single-pair kernels.
+
+use algas_vector::simd;
+use algas_vector::{Metric, VectorStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const BATCH: usize = 1024;
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    let mut rng = StdRng::seed_from_u64(0xD157);
+    for dim in [128usize, 200, 256, 960] {
+        let a: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("l2_scalar", dim), &dim, |bch, _| {
+            bch.iter(|| simd::l2_squared_scalar(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_simd", dim), &dim, |bch, _| {
+            bch.iter(|| simd::l2_squared(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ip_scalar", dim), &dim, |bch, _| {
+            bch.iter(|| simd::inner_product_scalar(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ip_simd", dim), &dim, |bch, _| {
+            bch.iter(|| simd::inner_product(black_box(&a), black_box(&b)))
+        });
+
+        let mut store = VectorStore::with_capacity(dim, BATCH);
+        for _ in 0..BATCH {
+            let row: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+            store.push(&row);
+        }
+        let ids: Vec<u32> = (0..BATCH as u32).collect();
+        let mut out: Vec<f32> = Vec::with_capacity(BATCH);
+        group.bench_with_input(BenchmarkId::new("l2_batched_1024", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                Metric::L2.distance_batch(black_box(&a), &store, &ids, &mut out);
+                black_box(out[BATCH - 1])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_kernels);
+criterion_main!(benches);

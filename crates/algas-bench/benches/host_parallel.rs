@@ -25,8 +25,7 @@ fn bench_host_threads(c: &mut Criterion) {
     let arrivals = vec![0u64; works.len()];
     let mut group = c.benchmark_group("host_parallel_sim");
     for threads in [1usize, 2, 4, 8] {
-        for (name, mode) in
-            [("local", StateMode::LocalCopy), ("remote", StateMode::RemotePolling)]
+        for (name, mode) in [("local", StateMode::LocalCopy), ("remote", StateMode::RemotePolling)]
         {
             let cfg = DynamicConfig {
                 n_slots: 32,
@@ -35,11 +34,9 @@ fn bench_host_threads(c: &mut Criterion) {
                 capacity: 4096,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, threads),
-                &threads,
-                |b, _| b.iter(|| black_box(run_dynamic(&works, &arrivals, &cfg).throughput_qps)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, _| {
+                b.iter(|| black_box(run_dynamic(&works, &arrivals, &cfg).throughput_qps))
+            });
         }
     }
     group.finish();

@@ -35,9 +35,7 @@ fn bench_candidate_list(c: &mut Criterion) {
     for l in [32usize, 64, 128, 256] {
         let batches: Vec<Vec<(DistValue, u32)>> = (0..16)
             .map(|i| {
-                (0..32)
-                    .map(|j| (DistValue(rng.gen::<f32>()), (i * 1000 + j) as u32))
-                    .collect()
+                (0..32).map(|j| (DistValue(rng.gen::<f32>()), (i * 1000 + j) as u32)).collect()
             })
             .collect();
         group.bench_with_input(BenchmarkId::new("merge_batches", l), &l, |bch, &l| {
@@ -59,9 +57,8 @@ fn bench_topk_merge(c: &mut Criterion) {
     for n_ctas in [2usize, 4, 8, 16] {
         let lists: Vec<Vec<(DistValue, u32)>> = (0..n_ctas)
             .map(|i| {
-                let mut l: Vec<(DistValue, u32)> = (0..16)
-                    .map(|j| (DistValue(rng.gen::<f32>()), (i * 100 + j) as u32))
-                    .collect();
+                let mut l: Vec<(DistValue, u32)> =
+                    (0..16).map(|j| (DistValue(rng.gen::<f32>()), (i * 100 + j) as u32)).collect();
                 l.sort_by_key(|&(d, id)| (d, id));
                 l
             })

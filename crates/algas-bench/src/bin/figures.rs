@@ -4,6 +4,7 @@
 //! figures all [--scale S] [--out PATH]    # every experiment → EXPERIMENTS data
 //! figures fig10 [--scale S]               # one experiment to stdout
 //! figures list                            # available experiment ids
+//! figures bench_distance [--out PATH]     # SIMD kernel timings → BENCH_distance.json
 //! ```
 //!
 //! `--scale` scales the synthetic corpora (default 0.15 ≈ 9k vectors
@@ -46,8 +47,77 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: figures [all|list|<experiment-id>] [--scale S] [--out PATH]");
+    eprintln!("usage: figures [all|list|bench_distance|<experiment-id>] [--scale S] [--out PATH]");
     std::process::exit(2);
+}
+
+/// Best-of-reps timing of `f`, in ns per iteration.
+fn time_ns(iters: u64, mut f: impl FnMut() -> f32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let mut acc = 0.0f32;
+        for _ in 0..iters {
+            acc += f();
+        }
+        std::hint::black_box(acc);
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// Times the scalar, dispatched-SIMD, and batched L2 kernels at the
+/// paper's representative dimensions and writes `BENCH_distance.json`.
+fn bench_distance(out_path: &str) {
+    use algas_vector::{simd, Metric, VectorStore};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const BATCH: usize = 1024;
+    let mut rng = StdRng::seed_from_u64(0xD157);
+    let mut rows = Vec::new();
+    for dim in [128usize, 200, 256, 960] {
+        let a: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        let mut store = VectorStore::with_capacity(dim, BATCH);
+        for _ in 0..BATCH {
+            let row: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+            store.push(&row);
+        }
+        let ids: Vec<u32> = (0..BATCH as u32).collect();
+        let mut dists: Vec<f32> = Vec::with_capacity(BATCH);
+
+        let iters = (40_000_000 / dim as u64).max(10_000);
+        let scalar_ns = time_ns(iters, || simd::l2_squared_scalar(&a, &b));
+        let simd_ns = time_ns(iters, || simd::l2_squared(&a, &b));
+        let batch_calls = (iters / BATCH as u64).max(50);
+        let batched_ns = time_ns(batch_calls, || {
+            Metric::L2.distance_batch(&a, &store, &ids, &mut dists);
+            dists[BATCH - 1]
+        }) / BATCH as f64;
+
+        eprintln!(
+            "d={dim:>4}: scalar {scalar_ns:8.2} ns  simd {simd_ns:8.2} ns ({:.2}x)  \
+             batched {batched_ns:8.2} ns/dist ({:.2}x)",
+            scalar_ns / simd_ns,
+            scalar_ns / batched_ns
+        );
+        rows.push(format!(
+            "    {{\"dim\": {dim}, \"scalar_ns\": {scalar_ns:.2}, \"simd_ns\": {simd_ns:.2}, \
+             \"batched_ns_per_dist\": {batched_ns:.2}, \"simd_speedup\": {:.2}, \
+             \"batched_speedup\": {:.2}}}",
+            scalar_ns / simd_ns,
+            scalar_ns / batched_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"kernel\": \"{}\",\n  \"batch\": {BATCH},\n  \"metric\": \"l2_squared\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        simd::kernel_name(),
+        rows.join(",\n")
+    );
+    std::fs::write(out_path, &json).expect("write bench output");
+    eprintln!("wrote {out_path}");
 }
 
 fn main() {
@@ -58,13 +128,14 @@ fn main() {
         }
         return;
     }
+    if args.command == "bench_distance" {
+        // Kernel microbenchmark: no dataset prep, no cache.
+        bench_distance(args.out.as_deref().unwrap_or("BENCH_distance.json"));
+        return;
+    }
 
     let cache = algas_bench::cache::DiskCache::default_location().expect("open cache dir");
-    eprintln!(
-        "preparing datasets at scale {} (cache: {}) ...",
-        args.scale,
-        cache.dir().display()
-    );
+    eprintln!("preparing datasets at scale {} (cache: {}) ...", args.scale, cache.dir().display());
     let t0 = std::time::Instant::now();
     let prepared = prepare_suite(args.scale, &cache);
     eprintln!("prepared {} datasets in {:.1?}", prepared.len(), t0.elapsed());

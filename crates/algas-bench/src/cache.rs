@@ -40,11 +40,7 @@ impl DiskCache {
     }
 
     /// Fetches a blob, or computes, stores, and returns it.
-    pub fn get_or_put(
-        &self,
-        key: &str,
-        compute: impl FnOnce() -> Bytes,
-    ) -> io::Result<Bytes> {
+    pub fn get_or_put(&self, key: &str, compute: impl FnOnce() -> Bytes) -> io::Result<Bytes> {
         let path = self.path(key);
         if let Ok(mut f) = std::fs::File::open(&path) {
             let mut buf = Vec::new();

@@ -77,7 +77,11 @@ pub fn ablation_kernel(prepared: &[Prepared]) -> ExperimentReport {
 /// CPU merge vs on-GPU merge inside dynamic batching.
 pub fn ablation_merge(prepared: &[Prepared]) -> ExperimentReport {
     let mut t = Table::new(&[
-        "Dataset", "CPU merge lat (µs)", "GPU merge lat (µs)", "CPU thpt (kq/s)", "GPU thpt (kq/s)",
+        "Dataset",
+        "CPU merge lat (µs)",
+        "GPU merge lat (µs)",
+        "CPU thpt (kq/s)",
+        "GPU thpt (kq/s)",
     ]);
     for p in prepared {
         let algas = make_algas(p, GraphKind::Cagra, K, 64, BATCH);
@@ -111,7 +115,11 @@ pub fn ablation_merge(prepared: &[Prepared]) -> ExperimentReport {
 /// Local copies vs remote polling vs blocking notification.
 pub fn ablation_state(prepared: &[Prepared]) -> ExperimentReport {
     let mut t = Table::new(&[
-        "Dataset", "mode", "mean latency (µs)", "throughput (kq/s)", "PCIe transactions",
+        "Dataset",
+        "mode",
+        "mean latency (µs)",
+        "throughput (kq/s)",
+        "PCIe transactions",
     ]);
     for p in prepared {
         let algas = make_algas(p, GraphKind::Cagra, K, 64, BATCH);
@@ -149,7 +157,11 @@ pub fn ablation_state(prepared: &[Prepared]) -> ExperimentReport {
 /// Latency and recall vs `N_parallel`.
 pub fn ablation_nparallel(prepared: &[Prepared]) -> ExperimentReport {
     let mut t = Table::new(&[
-        "Dataset", "N_parallel × L", "recall", "mean latency (µs)", "throughput (kq/s)",
+        "Dataset",
+        "N_parallel × L",
+        "recall",
+        "mean latency (µs)",
+        "throughput (kq/s)",
     ]);
     for p in prepared {
         // Iso-budget sweep: the same total exploration (N_parallel × L

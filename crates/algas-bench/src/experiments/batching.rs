@@ -27,12 +27,7 @@ pub fn fig13(prepared: &[Prepared]) -> ExperimentReport {
                 f1(crate::report::percentile_sorted(&sc, pctile) as f64 / 1000.0),
             ]);
         }
-        let faster = sa
-            .iter()
-            .zip(&sc)
-            .filter(|(a, c)| a < c)
-            .count() as f64
-            / sa.len() as f64;
+        let faster = sa.iter().zip(&sc).filter(|(a, c)| a < c).count() as f64 / sa.len() as f64;
         body.push_str(&format!(
             "### {}\n\n{}\nShare of rank positions where dynamic < static: {:.0}%.\n\n",
             p.label(),

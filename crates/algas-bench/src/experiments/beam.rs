@@ -24,9 +24,7 @@ pub fn fig16(prepared: &[Prepared]) -> ExperimentReport {
     let mut body = String::new();
     let mut hi_gain = f64::NEG_INFINITY;
     for p in prepared {
-        let mut t = Table::new(&[
-            "L", "mode", "recall", "latency (µs)", "throughput (kq/s)",
-        ]);
+        let mut t = Table::new(&["L", "mode", "recall", "latency (µs)", "throughput (kq/s)"]);
         for &l in &[32usize, 64, 96, 128, 192] {
             let beam = measure(&method_with_beam(p, l, BeamMode::Auto), &p.ds.queries, &p.gt, K);
             let greedy =
@@ -57,17 +55,17 @@ pub fn fig16(prepared: &[Prepared]) -> ExperimentReport {
          throughput gain: **{}**.\n",
         pct(hi_gain)
     ));
-    ExperimentReport {
-        id: "fig16".into(),
-        title: "Beam extend vs greedy extend".into(),
-        body,
-    }
+    ExperimentReport { id: "fig16".into(), title: "Beam extend vs greedy extend".into(), body }
 }
 
 /// Fig 17: sorting share and search-time reduction after beam extend.
 pub fn fig17(prepared: &[Prepared]) -> ExperimentReport {
     let mut t = Table::new(&[
-        "Dataset", "sort % (greedy)", "sort % (beam)", "sorts/query −", "search time −",
+        "Dataset",
+        "sort % (greedy)",
+        "sort % (beam)",
+        "sorts/query −",
+        "search time −",
     ]);
     let mut reductions = Vec::new();
     for p in prepared {

@@ -40,7 +40,11 @@ fn grid(p: &Prepared) -> Vec<Series> {
 
 /// Interpolates a series' metric at a target recall (linear between the
 /// bracketing sweep points); `None` when the series never reaches it.
-fn at_recall(points: &[(usize, Measurement)], target: f64, f: impl Fn(&Measurement) -> f64) -> Option<f64> {
+fn at_recall(
+    points: &[(usize, Measurement)],
+    target: f64,
+    f: impl Fn(&Measurement) -> f64,
+) -> Option<f64> {
     let mut sorted: Vec<&(usize, Measurement)> = points.iter().collect();
     sorted.sort_by(|a, b| a.1.recall.total_cmp(&b.1.recall));
     if sorted.last()?.1.recall < target {
@@ -152,13 +156,28 @@ pub fn fig10_fig11(prepared: &[Prepared]) -> Vec<ExperimentReport> {
 /// Fig 12: latency under different TopK (recall annotated).
 pub fn fig12(prepared: &[Prepared]) -> ExperimentReport {
     let mut t = Table::new(&[
-        "Dataset", "TopK", "ALGAS latency (µs)", "ALGAS recall", "CAGRA latency (µs)", "CAGRA recall",
+        "Dataset",
+        "TopK",
+        "ALGAS latency (µs)",
+        "ALGAS recall",
+        "CAGRA latency (µs)",
+        "CAGRA recall",
     ]);
     for p in prepared {
         for topk in [8usize, 16, 32, 64] {
             let l = (topk * 4).max(64);
-            let ma = measure(&make_algas(p, GraphKind::Cagra, topk, l, BATCH), &p.ds.queries, &p.gt, topk);
-            let mc = measure(&make_cagra(p, GraphKind::Cagra, topk, l, BATCH), &p.ds.queries, &p.gt, topk);
+            let ma = measure(
+                &make_algas(p, GraphKind::Cagra, topk, l, BATCH),
+                &p.ds.queries,
+                &p.gt,
+                topk,
+            );
+            let mc = measure(
+                &make_cagra(p, GraphKind::Cagra, topk, l, BATCH),
+                &p.ds.queries,
+                &p.gt,
+                topk,
+            );
             t.row(vec![
                 p.label(),
                 topk.to_string(),

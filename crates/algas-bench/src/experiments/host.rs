@@ -20,7 +20,10 @@ pub fn fig18(prepared: &[Prepared]) -> ExperimentReport {
         let arrivals = vec![0u64; works.len()];
 
         let mut t = Table::new(&[
-            "Host threads", "local-copy (kq/s)", "remote-poll (kq/s)", "local/remote",
+            "Host threads",
+            "local-copy (kq/s)",
+            "remote-poll (kq/s)",
+            "local/remote",
         ]);
         let mut one_thread = 0.0;
         let mut best = 0.0f64;
@@ -37,12 +40,7 @@ pub fn fig18(prepared: &[Prepared]) -> ExperimentReport {
                 one_thread = lk;
             }
             best = best.max(lk);
-            t.row(vec![
-                threads.to_string(),
-                f1(lk),
-                f1(rk),
-                format!("{:.2}x", lk / rk),
-            ]);
+            t.row(vec![threads.to_string(), f1(lk), f1(rk), format!("{:.2}x", lk / rk)]);
         }
         if p.label() == "SIFT" {
             sift_scaling = best / one_thread;

@@ -18,9 +18,8 @@ fn query_steps(p: &Prepared, l: usize) -> (Vec<u32>, Vec<QueryWork>) {
 
 /// Fig 1: distribution of query steps over the whole query set.
 pub fn fig1(prepared: &[Prepared]) -> ExperimentReport {
-    let mut t = Table::new(&[
-        "Dataset", "min", "p25", "median", "p75", "p95", "max", "mean", "max/mean",
-    ]);
+    let mut t =
+        Table::new(&["Dataset", "min", "p25", "median", "p75", "p95", "max", "mean", "max/mean"]);
     let mut ratios = Vec::new();
     for p in prepared {
         let (mut steps, _) = query_steps(p, 128);
@@ -60,7 +59,12 @@ pub fn fig1(prepared: &[Prepared]) -> ExperimentReport {
 /// Fig 2: step skew *within* batches of 32 + the §I waste rate.
 pub fn fig2(prepared: &[Prepared]) -> ExperimentReport {
     let mut t = Table::new(&[
-        "Dataset", "batches", "mean fastest", "mean slowest", "slowest/fastest", "bubble waste",
+        "Dataset",
+        "batches",
+        "mean fastest",
+        "mean slowest",
+        "slowest/fastest",
+        "bubble waste",
     ]);
     let mut wastes = Vec::new();
     for p in prepared {
@@ -159,7 +163,15 @@ pub fn fig3(prepared: &[Prepared]) -> ExperimentReport {
 /// Fig 7: best-candidate distance vs search step (convergence).
 pub fn fig7(prepared: &[Prepared]) -> ExperimentReport {
     let mut t = Table::new(&[
-        "Dataset", "0%", "10%", "20%", "40%", "60%", "80%", "100%", "drop in first 25% of steps",
+        "Dataset",
+        "0%",
+        "10%",
+        "20%",
+        "40%",
+        "60%",
+        "80%",
+        "100%",
+        "drop in first 25% of steps",
     ]);
     for p in prepared {
         let method = make_ganns(p, GraphKind::Nsw, K, 64, 16);

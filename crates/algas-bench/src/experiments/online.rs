@@ -28,7 +28,10 @@ pub fn online(prepared: &[Prepared]) -> ExperimentReport {
         let capacity_qps = closed.throughput_qps;
 
         let mut t = Table::new(&[
-            "load", "rate (kq/s)", "ALGAS e2e p50/p99 (µs)", "CAGRA e2e p50/p99 (µs)",
+            "load",
+            "rate (kq/s)",
+            "ALGAS e2e p50/p99 (µs)",
+            "CAGRA e2e p50/p99 (µs)",
         ]);
         for load in [0.3f64, 0.6, 0.9] {
             let rate = capacity_qps * load;

@@ -71,9 +71,21 @@ pub fn table1(prepared: &[Prepared]) -> ExperimentReport {
 
     let rows = [
         ("CAGRA", "single query", measure(&make_cagra(p, kind, K, l, 1), &p.ds.queries, &p.gt, K)),
-        ("CAGRA", "large batch", measure(&make_cagra(p, kind, K, l, large), &p.ds.queries, &p.gt, K)),
-        ("ALGAS", "small batch", measure(&make_algas(p, kind, K, l, BATCH), &p.ds.queries, &p.gt, K)),
-        ("GANNS", "large batch", measure(&make_ganns(p, kind, K, l + 64, large), &p.ds.queries, &p.gt, K)),
+        (
+            "CAGRA",
+            "large batch",
+            measure(&make_cagra(p, kind, K, l, large), &p.ds.queries, &p.gt, K),
+        ),
+        (
+            "ALGAS",
+            "small batch",
+            measure(&make_algas(p, kind, K, l, BATCH), &p.ds.queries, &p.gt, K),
+        ),
+        (
+            "GANNS",
+            "large batch",
+            measure(&make_ganns(p, kind, K, l + 64, large), &p.ds.queries, &p.gt, K),
+        ),
     ];
     let best_thpt = rows.iter().map(|r| r.2.throughput_kqps).fold(0.0, f64::max);
     let best_lat = rows.iter().map(|r| r.2.mean_latency_us).fold(f64::INFINITY, f64::min);
@@ -88,7 +100,12 @@ pub fn table1(prepared: &[Prepared]) -> ExperimentReport {
         }
     };
     let mut t = Table::new(&[
-        "Method", "batch size", "Throughput (kq/s)", "Latency (µs)", "Thpt class", "Lat class",
+        "Method",
+        "batch size",
+        "Throughput (kq/s)",
+        "Latency (µs)",
+        "Thpt class",
+        "Lat class",
     ]);
     for (name, batch, m) in &rows {
         t.row(vec![

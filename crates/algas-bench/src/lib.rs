@@ -26,9 +26,27 @@ use crate::report::ExperimentReport;
 
 /// All experiment ids, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 21] = [
-    "table1", "fig1", "fig2", "fig3", "table2", "table3", "fig7", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation_kernel", "ablation_merge",
-    "ablation_state", "ablation_nparallel", "online",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "table2",
+    "table3",
+    "fig7",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "ablation_kernel",
+    "ablation_merge",
+    "ablation_state",
+    "ablation_nparallel",
+    "online",
 ];
 
 /// Runs one experiment by id (note `fig10`/`fig11` and `fig14`/`fig15`
@@ -61,14 +79,15 @@ pub fn run_experiment(id: &str, prepared: &[Prepared]) -> Vec<ExperimentReport> 
 
 /// Runs every experiment, deduplicating the paired figures.
 pub fn run_all(prepared: &[Prepared]) -> Vec<ExperimentReport> {
-    let mut out = Vec::new();
-    out.push(experiments::tables::table1(prepared));
-    out.push(experiments::motivation::fig1(prepared));
-    out.push(experiments::motivation::fig2(prepared));
-    out.push(experiments::motivation::fig3(prepared));
-    out.push(experiments::tables::table2());
-    out.push(experiments::tables::table3(prepared));
-    out.push(experiments::motivation::fig7(prepared));
+    let mut out = vec![
+        experiments::tables::table1(prepared),
+        experiments::motivation::fig1(prepared),
+        experiments::motivation::fig2(prepared),
+        experiments::motivation::fig3(prepared),
+        experiments::tables::table2(),
+        experiments::tables::table3(prepared),
+        experiments::motivation::fig7(prepared),
+    ];
     out.extend(experiments::comparison::fig10_fig11(prepared));
     out.push(experiments::comparison::fig12(prepared));
     out.push(experiments::batching::fig13(prepared));

@@ -36,13 +36,7 @@ impl Prepared {
 
     /// Short label for report rows ("SIFT1M(synth)" → "SIFT").
     pub fn label(&self) -> String {
-        self.ds
-            .spec
-            .name
-            .split(['(', '1'])
-            .next()
-            .unwrap_or(&self.ds.spec.name)
-            .to_string()
+        self.ds.spec.name.split(['(', '1']).next().unwrap_or(&self.ds.spec.name).to_string()
     }
 }
 
@@ -81,7 +75,9 @@ pub fn prepare(spec: &DatasetSpec, cache: &DiskCache) -> Prepared {
 
     let nsw_blob = cache
         .get_or_put(&format!("{key}-nsw-m{}", nsw_params().m), || {
-            Bytes::from(encode_graph(&NswBuilder::new(spec.metric, nsw_params()).build(&ds.base)).to_vec())
+            Bytes::from(
+                encode_graph(&NswBuilder::new(spec.metric, nsw_params()).build(&ds.base)).to_vec(),
+            )
         })
         .expect("cache io");
     let nsw = decode_graph(&nsw_blob).expect("valid cached NSW graph");

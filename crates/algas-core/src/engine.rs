@@ -6,14 +6,14 @@
 //! and packages each query's timed work as
 //! [`algas_gpu_sim::QueryWork`] for the batching simulators.
 
-use crate::merge::{merge_topk, HostCostModel};
+use crate::merge::{merge_topk_into, HostCostModel, MergeScratch};
 use crate::search::intra::IntraParams;
-use crate::search::multi::{search_multi, MultiParams, MultiResult};
+use crate::search::multi::{search_multi_into, MultiParams, MultiResult, MultiScratch};
 use crate::search::{BeamParams, SearchContext};
 use crate::tuning::{tune, TuningError, TuningInput, TuningPlan};
+use algas_gpu_sim::{CostModel, CtaWork, DeviceProps, QueryWork};
 use algas_graph::entry::{medoid, EntryPolicy};
 use algas_graph::{CagraBuilder, FixedDegreeGraph, GraphKind, NswBuilder};
-use algas_gpu_sim::{CostModel, CtaWork, DeviceProps, QueryWork};
 use algas_vector::metric::DistValue;
 use algas_vector::{Metric, VectorStore};
 
@@ -34,7 +34,11 @@ pub struct AlgasIndex {
 
 impl AlgasIndex {
     /// Builds an NSW index (GANNS-style graph).
-    pub fn build_nsw(base: VectorStore, metric: Metric, params: algas_graph::nsw::NswParams) -> Self {
+    pub fn build_nsw(
+        base: VectorStore,
+        metric: Metric,
+        params: algas_graph::nsw::NswParams,
+    ) -> Self {
         let graph = NswBuilder::new(metric, params).build(&base);
         let medoid = medoid(&base, metric);
         Self { base, graph, metric, medoid, kind: GraphKind::Nsw }
@@ -140,6 +144,28 @@ pub struct TracedSearch {
     pub work: QueryWork,
 }
 
+/// Reusable per-worker search state: the multi-CTA scratch, the host
+/// merge scratch, and the merged TopK buffer.
+///
+/// Create one per serving thread with [`AlgasEngine::make_scratch`];
+/// after the first query, [`AlgasEngine::search_into`] runs without
+/// heap allocation.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Multi-CTA state (shared bitmap, per-CTA lists and traces).
+    pub multi: MultiScratch,
+    merge: MergeScratch,
+    /// Final merged TopK of the most recent search, ascending.
+    pub topk: Vec<(DistValue, u32)>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The engine.
 pub struct AlgasEngine {
     index: AlgasIndex,
@@ -224,33 +250,66 @@ impl AlgasEngine {
         }
     }
 
-    /// Searches one query: exact ids plus the timed work descriptor.
+    /// A fresh [`SearchScratch`] sized lazily by the first search.
+    pub fn make_scratch(&self) -> SearchScratch {
+        SearchScratch::new()
+    }
+
+    /// Allocation-free search: runs the multi-CTA search and the host
+    /// merge entirely inside `scratch`, leaving the merged TopK in
+    /// `scratch.topk` and the per-CTA lists/traces in `scratch.multi`.
     ///
-    /// `query_id` seeds the per-CTA entry hashing; use the query's
-    /// index in its workload for reproducibility.
-    pub fn search_traced(&self, query: &[f32], query_id: u64) -> TracedSearch {
+    /// This is the serving hot path: after one warmup query per scratch
+    /// it touches the heap zero times (pinned by the workspace's
+    /// counting-allocator test).
+    pub fn search_into(&self, query: &[f32], query_id: u64, scratch: &mut SearchScratch) {
         let ctx = SearchContext::new(
             &self.index.graph,
             &self.index.base,
             self.index.metric,
             &self.cfg.cost,
         );
-        let multi = search_multi(
+        search_multi_into(
             ctx,
             self.multi_params(),
             query,
             query_id,
             self.index.medoid,
             self.cfg.k,
+            &mut scratch.multi,
         );
-        let topk = merge_topk(&multi.per_cta, self.cfg.k);
+        merge_topk_into(scratch.multi.per_cta(), self.cfg.k, &mut scratch.merge, &mut scratch.topk);
+    }
+
+    /// Searches one query: exact ids plus the timed work descriptor.
+    ///
+    /// `query_id` seeds the per-CTA entry hashing; use the query's
+    /// index in its workload for reproducibility.
+    pub fn search_traced(&self, query: &[f32], query_id: u64) -> TracedSearch {
+        let mut scratch = SearchScratch::new();
+        self.search_into(query, query_id, &mut scratch);
+        let multi = scratch.multi.take_result();
         let work = self.work_from(&multi, query.len());
-        TracedSearch { topk, multi, work }
+        TracedSearch { topk: scratch.topk, multi, work }
     }
 
     /// Plain search: just the TopK ids (ascending by distance).
     pub fn search(&self, query: &[f32], query_id: u64) -> Vec<u32> {
         self.search_traced(query, query_id).topk.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Builds the timed work descriptor from the scratch of a completed
+    /// [`search_into`](Self::search_into) call (allocates the CTA list;
+    /// the serving runtime only needs this for diagnostics).
+    pub fn work_from_scratch(&self, scratch: &SearchScratch, dim: usize) -> QueryWork {
+        let dev = &self.cfg.device;
+        let ctas: Vec<CtaWork> = (0..scratch.multi.n_active())
+            .map(|c| {
+                let t = scratch.multi.trace(c);
+                CtaWork { search_ns: dev.cycles_to_ns(t.total_cycles()), steps: t.n_steps() as u32 }
+            })
+            .collect();
+        self.work_with_ctas(ctas, dim)
     }
 
     fn work_from(&self, multi: &MultiResult, dim: usize) -> QueryWork {
@@ -263,13 +322,17 @@ impl AlgasEngine {
                 steps: t.n_steps() as u32,
             })
             .collect();
+        self.work_with_ctas(ctas, dim)
+    }
+
+    fn work_with_ctas(&self, ctas: Vec<CtaWork>, dim: usize) -> QueryWork {
+        let dev = &self.cfg.device;
         let n_ctas = ctas.len();
         QueryWork {
             ctas,
             query_bytes: (dim * 4) as u64,
             result_bytes: (n_ctas * self.cfg.k * 8) as u64,
-            gpu_merge_ns: dev
-                .cycles_to_ns(self.cfg.cost.gpu_topk_merge_cycles(n_ctas, self.cfg.k)),
+            gpu_merge_ns: dev.cycles_to_ns(self.cfg.cost.gpu_topk_merge_cycles(n_ctas, self.cfg.k)),
             host_merge_ns: self.cfg.host_cost.merge_ns(n_ctas, self.cfg.k),
         }
     }
@@ -309,7 +372,10 @@ mod tests {
     use algas_vector::datasets::DatasetSpec;
     use algas_vector::ground_truth::{brute_force_knn, mean_recall};
 
-    fn small_engine(l: usize, beam: BeamMode) -> (AlgasEngine, algas_vector::datasets::GeneratedDataset) {
+    fn small_engine(
+        l: usize,
+        beam: BeamMode,
+    ) -> (AlgasEngine, algas_vector::datasets::GeneratedDataset) {
         let ds = DatasetSpec::tiny(700, 16, Metric::L2, 101).generate();
         let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
         let cfg = EngineConfig { k: 10, l, slots: 8, beam, ..Default::default() };

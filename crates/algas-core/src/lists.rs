@@ -68,13 +68,31 @@ impl CandidateList {
     /// beam-extend selection (multiple candidates per maintenance
     /// round, §IV-B "Beam Extend in Intra-CTA").
     pub fn closest_unexpanded_beam(&self, width: usize) -> Vec<usize> {
-        self.items
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.expanded)
-            .map(|(i, _)| i)
-            .take(width)
-            .collect()
+        let mut out = Vec::new();
+        self.closest_unexpanded_beam_into(width, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`closest_unexpanded_beam`](Self::closest_unexpanded_beam):
+    /// clears `out` and fills it with the selected offsets, reusing its
+    /// capacity. This is what the per-slot search scratch calls.
+    pub fn closest_unexpanded_beam_into(&self, width: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.items.iter().enumerate().filter(|(_, c)| !c.expanded).map(|(i, _)| i).take(width),
+        );
+    }
+
+    /// Empties the list and resets its capacity to `l`, retaining the
+    /// backing allocation (slot reuse between queries).
+    ///
+    /// # Panics
+    /// Panics if `l == 0`.
+    pub fn reset(&mut self, l: usize) {
+        assert!(l > 0, "candidate list capacity must be positive");
+        self.items.clear();
+        self.cap = l;
     }
 
     /// Marks the entry at `offset` as expanded and returns its id.
@@ -96,16 +114,18 @@ impl CandidateList {
     /// enter unexpanded.
     pub fn merge_batch(&mut self, newcomers: &[(DistValue, u32)]) {
         debug_assert!(
-            newcomers
-                .iter()
-                .all(|&(_, id)| self.items.iter().all(|c| c.id != id)),
+            newcomers.iter().all(|&(_, id)| self.items.iter().all(|c| c.id != id)),
             "bitmap must prevent duplicate candidates"
         );
-        self.items.extend(
-            newcomers.iter().map(|&(dist, id)| Candidate { dist, id, expanded: false }),
-        );
-        // (dist, id) keys make the order total and deterministic.
-        self.items.sort_by_key(|c| (c.dist, c.id));
+        self.items.extend(newcomers.iter().map(|&(dist, id)| Candidate {
+            dist,
+            id,
+            expanded: false,
+        }));
+        // (dist, id) keys make the order total and deterministic, so an
+        // unstable sort (which, unlike the stable one, allocates
+        // nothing) produces the same sequence.
+        self.items.sort_unstable_by_key(|c| (c.dist, c.id));
         self.items.truncate(self.cap);
     }
 
@@ -125,16 +145,30 @@ impl CandidateList {
 /// In the intra-CTA case each query owns one; in multi-CTA all of a
 /// query's CTAs share one, which both avoids redundant distance
 /// computations and implicitly partitions the explored region.
+///
+/// Words are *generation-tagged*: each 64-bit word remembers the epoch
+/// it was last written in, and [`clear`](Self::clear) just bumps the
+/// current epoch. A word whose tag is stale reads as all-zeros and is
+/// lazily reset on its next write, making clear O(1) instead of O(n/64)
+/// — the slot-reuse operation the serving runtime performs per query.
+/// The epoch tags are host bookkeeping, not part of the simulated GPU
+/// shared-memory footprint, so [`nbytes`](Self::nbytes) counts the bit
+/// words only (the GPU clears its bitmap with a memset, storing no tags).
 #[derive(Clone, Debug)]
 pub struct VisitedBitmap {
     words: Vec<u64>,
+    /// Epoch each word was last written in; `!= epoch` means the word
+    /// logically reads as zero.
+    gens: Vec<u32>,
+    epoch: u32,
     n: usize,
 }
 
 impl VisitedBitmap {
     /// A cleared bitmap over `n` ids.
     pub fn new(n: usize) -> Self {
-        Self { words: vec![0; n.div_ceil(64)], n }
+        let words = n.div_ceil(64);
+        Self { words: vec![0; words], gens: vec![0; words], epoch: 1, n }
     }
 
     /// Marks `id`; returns `true` when `id` was previously unmarked
@@ -147,6 +181,11 @@ impl VisitedBitmap {
         assert!((id as usize) < self.n, "id {id} out of bitmap range {}", self.n);
         let w = id as usize / 64;
         let bit = 1u64 << (id % 64);
+        if self.gens[w] != self.epoch {
+            self.gens[w] = self.epoch;
+            self.words[w] = bit;
+            return true;
+        }
         let was = self.words[w] & bit != 0;
         self.words[w] |= bit;
         !was
@@ -156,12 +195,17 @@ impl VisitedBitmap {
     #[inline]
     pub fn contains(&self, id: u32) -> bool {
         let w = id as usize / 64;
-        self.words[w] & (1u64 << (id % 64)) != 0
+        self.gens[w] == self.epoch && self.words[w] & (1u64 << (id % 64)) != 0
     }
 
     /// Number of marked ids.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(&self.gens)
+            .filter(|&(_, &g)| g == self.epoch)
+            .map(|(w, _)| w.count_ones() as usize)
+            .sum()
     }
 
     /// Bitmap capacity in ids.
@@ -174,12 +218,23 @@ impl VisitedBitmap {
         self.n == 0
     }
 
-    /// Clears all marks (slot reuse between queries).
+    /// Clears all marks (slot reuse between queries) in O(1) by
+    /// advancing the generation counter.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        if self.epoch == u32::MAX {
+            // Epoch exhausted (once per ~4 billion clears): pay one
+            // full reset so stale tags can never alias a fresh epoch.
+            self.words.fill(0);
+            self.gens.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
     }
 
-    /// Bitmap footprint in bytes (for shared-memory sizing).
+    /// Bitmap footprint in bytes (for shared-memory sizing). Counts the
+    /// bit words only; the host-side generation tags are excluded, see
+    /// the type docs.
     pub fn nbytes(&self) -> usize {
         self.words.len() * 8
     }
@@ -279,5 +334,43 @@ mod tests {
     #[should_panic(expected = "out of bitmap range")]
     fn bitmap_oob_panics() {
         VisitedBitmap::new(10).test_and_set(10);
+    }
+
+    #[test]
+    fn bitmap_clear_is_generation_based() {
+        let mut b = VisitedBitmap::new(200);
+        for round in 0..5 {
+            assert_eq!(b.count(), 0, "round {round} starts clear");
+            assert!(b.test_and_set(7));
+            assert!(b.test_and_set(191));
+            assert!(!b.test_and_set(7), "marks visible within a round");
+            assert!(b.contains(191));
+            assert!(!b.contains(8));
+            assert_eq!(b.count(), 2);
+            b.clear();
+            assert!(!b.contains(7), "stale marks invisible after clear");
+        }
+    }
+
+    #[test]
+    fn beam_into_reuses_buffer_and_matches_allocating_variant() {
+        let mut list = CandidateList::new(8);
+        list.merge_batch(&[(d(1.0), 1), (d(2.0), 2), (d(3.0), 3)]);
+        list.mark_expanded(0);
+        let mut out = vec![99; 7];
+        list.closest_unexpanded_beam_into(2, &mut out);
+        assert_eq!(out, list.closest_unexpanded_beam(2));
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn reset_empties_but_keeps_allocation() {
+        let mut list = CandidateList::new(2);
+        list.merge_batch(&[(d(1.0), 1), (d(2.0), 2)]);
+        list.reset(5);
+        assert!(list.is_empty());
+        assert_eq!(list.capacity(), 5);
+        list.merge_batch(&[(d(4.0), 4)]);
+        assert_eq!(list.top_k(1), vec![(d(4.0), 4)]);
     }
 }

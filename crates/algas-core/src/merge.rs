@@ -55,11 +55,10 @@ impl HostCostModel {
 /// emits them); duplicates across lists are dropped. The output is the
 /// ascending TopK — the "Result Merge&Filter" of §IV-B.
 pub fn merge_topk(lists: &[Vec<(DistValue, u32)>], k: usize) -> Vec<(DistValue, u32)> {
-    debug_assert!(lists
-        .iter()
-        .all(|l| l.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1))));
+    debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1))));
     // Heap of (next value, list index, position) — classic k-way merge.
-    let mut heap: BinaryHeap<Reverse<((DistValue, u32), usize, usize)>> = BinaryHeap::new();
+    type HeapEntry = Reverse<((DistValue, u32), usize, usize)>;
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     for (li, list) in lists.iter().enumerate() {
         if let Some(&(d, id)) = list.first() {
             heap.push(Reverse(((d, id), li, 0)));
@@ -81,6 +80,60 @@ pub fn merge_topk(lists: &[Vec<(DistValue, u32)>], k: usize) -> Vec<(DistValue, 
     out
 }
 
+/// Reusable state for [`merge_topk_into`]: one cursor per source list.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    pos: Vec<usize>,
+}
+
+impl MergeScratch {
+    /// An empty scratch; sized on first use, then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Allocation-free [`merge_topk`]: clears `out` and fills it with the
+/// ascending deduplicated TopK, reusing `scratch` and `out` capacity.
+///
+/// The lists are small (one length-`k` list per CTA) and `k` is small,
+/// so instead of a binary heap this scans the list heads linearly per
+/// emitted element and deduplicates against the (≤ `k`-long) output —
+/// `O(k · n_lists + k²)` with zero heap traffic, and the exact output
+/// sequence of [`merge_topk`] (ties resolve to the lowest list index in
+/// both).
+pub fn merge_topk_into(
+    lists: &[Vec<(DistValue, u32)>],
+    k: usize,
+    scratch: &mut MergeScratch,
+    out: &mut Vec<(DistValue, u32)>,
+) {
+    debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1))));
+    out.clear();
+    scratch.pos.clear();
+    scratch.pos.resize(lists.len(), 0);
+    while out.len() < k {
+        let mut best: Option<((DistValue, u32), usize)> = None;
+        for (li, list) in lists.iter().enumerate() {
+            if let Some(&(d, id)) = list.get(scratch.pos[li]) {
+                if best.is_none_or(|(b, _)| (d, id) < b) {
+                    best = Some(((d, id), li));
+                }
+            }
+        }
+        let Some(((d, id), li)) = best else {
+            break;
+        };
+        scratch.pos[li] += 1;
+        // Any duplicate's first occurrence is already in `out` (the
+        // merge emits in ascending order), so scanning it replaces the
+        // hash set of the allocating variant.
+        if !out.iter().any(|&(_, seen)| seen == id) {
+            out.push((d, id));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,11 +144,8 @@ mod tests {
 
     #[test]
     fn merges_sorted_lists() {
-        let lists = vec![
-            vec![(d(1.0), 1), (d(4.0), 4)],
-            vec![(d(2.0), 2), (d(3.0), 3)],
-            vec![(d(0.5), 5)],
-        ];
+        let lists =
+            vec![vec![(d(1.0), 1), (d(4.0), 4)], vec![(d(2.0), 2), (d(3.0), 3)], vec![(d(0.5), 5)]];
         let out = merge_topk(&lists, 4);
         assert_eq!(out, vec![(d(0.5), 5), (d(1.0), 1), (d(2.0), 2), (d(3.0), 3)]);
     }
@@ -138,6 +188,25 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_matches_allocating_variant() {
+        let cases: Vec<Vec<Vec<(DistValue, u32)>>> = vec![
+            vec![vec![(d(1.0), 1), (d(4.0), 4)], vec![(d(2.0), 2), (d(3.0), 3)], vec![(d(0.5), 5)]],
+            vec![vec![(d(1.0), 7)], vec![(d(1.0), 7), (d(2.0), 8)]],
+            vec![vec![(d(1.0), 9)], vec![(d(1.0), 2)]],
+            vec![vec![], vec![(d(1.0), 1)], vec![]],
+            vec![],
+        ];
+        let mut scratch = MergeScratch::new();
+        let mut out = Vec::new();
+        for lists in &cases {
+            for k in [1usize, 2, 4, 16] {
+                merge_topk_into(lists, k, &mut scratch, &mut out);
+                assert_eq!(out, merge_topk(lists, k), "k={k}, lists={lists:?}");
+            }
+        }
+    }
+
+    #[test]
     fn cost_model_scales_with_lists() {
         let m = HostCostModel::default();
         assert_eq!(m.merge_ns(1, 16), m.post_filter_ns);
@@ -155,10 +224,7 @@ mod tests {
         for t in [2usize, 4, 8, 16] {
             let host_ns = host.merge_ns(t, 16);
             let gpu_ns = dev.cycles_to_ns(gpu.gpu_topk_merge_cycles(t, 16));
-            assert!(
-                host_ns < gpu_ns,
-                "T={t}: host {host_ns}ns should beat gpu {gpu_ns}ns"
-            );
+            assert!(host_ns < gpu_ns, "T={t}: host {host_ns}ns should beat gpu {gpu_ns}ns");
         }
     }
 }

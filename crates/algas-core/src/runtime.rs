@@ -15,7 +15,8 @@
 //!   ownership), merge per-CTA TopK lists on the CPU (§IV-B), deliver
 //!   results, and refill slots from the submission queue.
 
-use crate::engine::AlgasEngine;
+use crate::engine::{AlgasEngine, SearchScratch};
+use crate::merge::{merge_topk_into, MergeScratch};
 use crate::state::{AtomicSlotState, SlotState};
 use algas_vector::metric::DistValue;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
@@ -132,6 +133,9 @@ pub struct AlgasServer {
     next_tag: std::sync::atomic::AtomicU64,
 }
 
+/// A submitted query's tag plus the channel its reply arrives on.
+pub type PendingReply = (u64, Receiver<SearchReply>);
+
 /// Submission failure.
 #[derive(Debug, PartialEq, Eq)]
 pub enum SubmitError {
@@ -161,7 +165,10 @@ impl AlgasServer {
         assert!(cfg.n_slots > 0 && cfg.n_workers > 0 && cfg.n_host_threads > 0);
         let (submit_tx, submit_rx) = bounded(cfg.queue_capacity.max(1));
         let slots = (0..cfg.n_slots)
-            .map(|_| Slot { state: AtomicSlotState::new(), payload: Mutex::new(SlotPayload::default()) })
+            .map(|_| Slot {
+                state: AtomicSlotState::new(),
+                payload: Mutex::new(SlotPayload::default()),
+            })
             .collect();
         let shared = Arc::new(Shared {
             engine,
@@ -192,13 +199,7 @@ impl AlgasServer {
             })
             .collect();
 
-        Self {
-            shared,
-            submit_tx,
-            workers,
-            hosts,
-            next_tag: std::sync::atomic::AtomicU64::new(0),
-        }
+        Self { shared, submit_tx, workers, hosts, next_tag: std::sync::atomic::AtomicU64::new(0) }
     }
 
     /// Submits a query; the reply arrives on the returned channel.
@@ -209,12 +210,8 @@ impl AlgasServer {
     ///
     /// # Panics
     /// Panics if the query dimension doesn't match the index.
-    pub fn submit(&self, query: Vec<f32>) -> Result<(u64, Receiver<SearchReply>), SubmitError> {
-        assert_eq!(
-            query.len(),
-            self.shared.engine.index().base.dim(),
-            "query dimension mismatch"
-        );
+    pub fn submit(&self, query: Vec<f32>) -> Result<PendingReply, SubmitError> {
+        assert_eq!(query.len(), self.shared.engine.index().base.dim(), "query dimension mismatch");
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -254,7 +251,7 @@ impl AlgasServer {
     pub fn submit_batch(
         &self,
         queries: impl IntoIterator<Item = Vec<f32>>,
-    ) -> Result<Vec<(u64, Receiver<SearchReply>)>, (usize, SubmitError)> {
+    ) -> Result<Vec<PendingReply>, (usize, SubmitError)> {
         let mut out = Vec::new();
         for q in queries {
             match self.submit(q) {
@@ -294,6 +291,12 @@ impl Drop for AlgasServer {
 /// executes the multi-CTA search, publishes per-CTA lists, flips to
 /// `Finish`. Exits once every owned slot reaches `Quit`.
 fn worker_loop(shared: &Shared, first: usize, stride: usize) {
+    // Per-worker reusable state: search scratch (candidate lists,
+    // visited bitmap, per-CTA buffers) and a query staging buffer.
+    // After the first few queries warm these up, the steady-state
+    // serving path performs no heap allocation in this thread.
+    let mut scratch = SearchScratch::new();
+    let mut query_buf: Vec<f32> = Vec::new();
     loop {
         let mut all_quit = true;
         let mut did_work = false;
@@ -303,16 +306,27 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                 SlotState::Quit => {}
                 SlotState::Work => {
                     all_quit = false;
-                    // Run the search for the job in the payload cell.
-                    let (tag, query) = {
+                    // Copy the job's query into the reusable staging
+                    // buffer under the lock, then search without it.
+                    let tag = {
                         let payload = slot.payload.lock();
                         let job = payload.job.as_ref().expect("Work implies a job");
-                        (job.tag, job.query.clone())
+                        query_buf.clear();
+                        query_buf.extend_from_slice(&job.query);
+                        job.tag
                     };
-                    let traced = shared.engine.search_traced(&query, tag);
+                    shared.engine.search_into(&query_buf, tag, &mut scratch);
                     {
+                        // Copy the per-CTA lists into the slot's own
+                        // buffers element-wise so both the scratch and
+                        // the slot keep their allocations across jobs.
                         let mut payload = slot.payload.lock();
-                        payload.per_cta = traced.multi.per_cta;
+                        let src = scratch.multi.per_cta();
+                        payload.per_cta.resize_with(src.len(), Vec::new);
+                        for (dst, s) in payload.per_cta.iter_mut().zip(src) {
+                            dst.clear();
+                            dst.extend_from_slice(s);
+                        }
                     }
                     let flipped = slot.state.transition(SlotState::Work, SlotState::Finish);
                     debug_assert!(flipped, "only this worker moves Work -> Finish");
@@ -335,6 +349,10 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
 /// shutting down with an empty queue, retires the slot to `Quit`.
 fn host_loop(shared: &Shared, first: usize, stride: usize) {
     let k = shared.engine.config().k;
+    // Per-poller reusable merge state; the reply's own vectors still
+    // allocate because they are handed to the client.
+    let mut merge = MergeScratch::new();
+    let mut merged: Vec<(DistValue, u32)> = Vec::new();
     loop {
         let mut all_quit = true;
         let mut did_work = false;
@@ -345,14 +363,14 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                 SlotState::Quit => continue,
                 SlotState::Finish => {
                     all_quit = false;
-                    let (job, per_cta) = {
+                    let job = {
                         let mut payload = slot.payload.lock();
-                        (
-                            payload.job.take().expect("Finish implies a job"),
-                            std::mem::take(&mut payload.per_cta),
-                        )
+                        // Merge while holding the lock: the lists are
+                        // tiny (one length-k list per CTA) and this
+                        // keeps the slot's buffers in place for reuse.
+                        merge_topk_into(&payload.per_cta, k, &mut merge, &mut merged);
+                        payload.job.take().expect("Finish implies a job")
                     };
-                    let merged = crate::merge::merge_topk(&per_cta, k);
                     let reply = SearchReply {
                         tag: job.tag,
                         ids: merged.iter().map(|&(_, id)| id).collect(),
@@ -410,7 +428,11 @@ mod tests {
     use algas_vector::datasets::DatasetSpec;
     use algas_vector::Metric;
 
-    fn test_server(slots: usize, workers: usize, hosts: usize) -> (AlgasServer, algas_vector::datasets::GeneratedDataset, AlgasEngine) {
+    fn test_server(
+        slots: usize,
+        workers: usize,
+        hosts: usize,
+    ) -> (AlgasServer, algas_vector::datasets::GeneratedDataset, AlgasEngine) {
         let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
         let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
         let cfg = EngineConfig { k: 8, l: 32, slots, beam: BeamMode::Auto, ..Default::default() };
@@ -418,7 +440,12 @@ mod tests {
         let oracle = AlgasEngine::new(index, cfg).unwrap();
         let server = AlgasServer::start(
             server_engine,
-            RuntimeConfig { n_slots: slots, n_workers: workers, n_host_threads: hosts, queue_capacity: 256 },
+            RuntimeConfig {
+                n_slots: slots,
+                n_workers: workers,
+                n_host_threads: hosts,
+                queue_capacity: 256,
+            },
         );
         (server, ds, oracle)
     }

@@ -13,6 +13,14 @@
 //! reaches `offset_beam`, the searcher switches to expanding
 //! `beam_width` candidates per maintenance round, cutting the number of
 //! sort operations roughly by that factor in the late phase.
+//!
+//! All per-search state lives in a [`CtaScratch`] owned by the caller,
+//! so a serving slot reuses one scratch across queries and the hot path
+//! performs no heap allocation at steady state. Distances are computed
+//! through the batched SIMD entry point
+//! [`Metric::distance_batch`](algas_vector::Metric::distance_batch) —
+//! one call per step over the whole expand list, mirroring the warp-
+//! parallel distance stage of §IV-B step ③.
 
 use crate::lists::{CandidateList, VisitedBitmap};
 use crate::search::{BeamParams, SearchContext};
@@ -48,44 +56,97 @@ impl IntraParams {
 /// the candidate list to find the best unexpanded entry).
 const SELECT_CYCLES: u64 = 24;
 
+/// Reusable per-CTA search state: the candidate list, the trace, and
+/// the expand/score buffers ("the expand list") plus phase flags.
+///
+/// Create once per serving slot, reuse for every query it processes —
+/// [`CtaSearch::new`] resets it, retaining all backing allocations.
+#[derive(Debug, Default)]
+pub struct CtaScratch {
+    list: Option<CandidateList>,
+    trace: CtaTrace,
+    in_diffusing_phase: bool,
+    done: bool,
+    expand_ids: Vec<u32>,
+    scored: Vec<(DistValue, u32)>,
+    selected: Vec<usize>,
+    dists: Vec<f32>,
+}
+
+impl CtaScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The trace of the search most recently run on this scratch.
+    pub fn trace(&self) -> &CtaTrace {
+        &self.trace
+    }
+
+    /// Resets for a fresh search with candidate-list capacity `l`,
+    /// keeping every allocation.
+    fn reset(&mut self, l: usize) {
+        match &mut self.list {
+            Some(list) => list.reset(l),
+            None => self.list = Some(CandidateList::new(l)),
+        }
+        self.trace.steps.clear();
+        self.in_diffusing_phase = false;
+        self.done = false;
+        self.expand_ids.clear();
+        self.scored.clear();
+        self.selected.clear();
+        self.dists.clear();
+    }
+
+    #[inline]
+    fn list(&self) -> &CandidateList {
+        self.list.as_ref().expect("scratch not seeded")
+    }
+}
+
 /// A resumable single-CTA search (one [`step`](CtaSearch::step) per
 /// Algorithm-1 iteration), so multi-CTA execution can interleave CTAs
 /// deterministically around their shared bitmap.
+///
+/// This is a thin view over a caller-owned [`CtaScratch`]; dropping it
+/// and re-attaching with [`CtaSearch::resume`] is free, which is how
+/// the multi-CTA driver round-robins CTAs without self-referential
+/// borrows.
 pub struct CtaSearch<'a> {
     ctx: SearchContext<'a>,
     params: IntraParams,
     query: &'a [f32],
-    list: CandidateList,
-    trace: CtaTrace,
-    in_diffusing_phase: bool,
-    done: bool,
-    // Scratch buffers reused across steps (the "expand list").
-    expand_ids: Vec<u32>,
-    scored: Vec<(DistValue, u32)>,
+    scratch: &'a mut CtaScratch,
 }
 
 impl<'a> CtaSearch<'a> {
-    /// Seeds a search at `entry`. The entry's distance is computed and
-    /// charged; its bitmap bit is set (seeding bypasses the ownership
-    /// check — multi-CTA CTAs each seed their own entry).
+    /// Seeds a search at `entry`, resetting `scratch`. The entry's
+    /// distance is computed and charged; its bitmap bit is set (seeding
+    /// bypasses the ownership check — multi-CTA CTAs each seed their
+    /// own entry).
     pub fn new(
         ctx: SearchContext<'a>,
         params: IntraParams,
         query: &'a [f32],
         entry: u32,
         visited: &mut VisitedBitmap,
+        scratch: &'a mut CtaScratch,
     ) -> Self {
         assert!(params.l > 0, "candidate list capacity must be positive");
         assert_eq!(query.len(), ctx.base.dim(), "query dimension mismatch");
-        let mut list = CandidateList::new(params.l);
-        let mut trace = CtaTrace::default();
+        scratch.reset(params.l);
         // Seeding bypasses bitmap ownership: even when another CTA
         // already owns the entry, this CTA still starts from it (the
         // list is empty, so no collision is possible).
         let _ = visited.test_and_set(entry);
         let d = DistValue(ctx.metric.distance(query, ctx.base.get(entry as usize)));
-        list.merge_batch(&[(d, entry)]);
-        trace.steps.push(StepStats {
+        scratch.scored.clear();
+        scratch.scored.push((d, entry));
+        let list = scratch.list.as_mut().expect("list created by reset");
+        list.merge_batch(&scratch.scored);
+        scratch.trace.steps.push(StepStats {
             selected_offset: 0,
             best_distance: d.0,
             head_distance: d.0,
@@ -96,100 +157,101 @@ impl<'a> CtaSearch<'a> {
             sorts: 0,
             other_cycles: SELECT_CYCLES,
         });
-        Self {
-            ctx,
-            params,
-            query,
-            list,
-            trace,
-            in_diffusing_phase: false,
-            done: false,
-            expand_ids: Vec::new(),
-            scored: Vec::new(),
-        }
+        Self { ctx, params, query, scratch }
+    }
+
+    /// Re-attaches to a scratch that was already seeded with
+    /// [`CtaSearch::new`], without resetting it.
+    pub fn resume(
+        ctx: SearchContext<'a>,
+        params: IntraParams,
+        query: &'a [f32],
+        scratch: &'a mut CtaScratch,
+    ) -> Self {
+        debug_assert!(scratch.list.is_some(), "resume() on a never-seeded scratch");
+        Self { ctx, params, query, scratch }
     }
 
     /// Whether the search has terminated.
     pub fn is_done(&self) -> bool {
-        self.done
+        self.scratch.done
     }
 
     /// Whether beam extend has switched to the diffusing phase.
     pub fn in_diffusing_phase(&self) -> bool {
-        self.in_diffusing_phase
+        self.scratch.in_diffusing_phase
     }
 
     /// Executes one search step. Returns `false` once the search is
     /// finished (including the call that discovers termination).
     pub fn step(&mut self, visited: &mut VisitedBitmap) -> bool {
-        if self.done {
+        let s = &mut *self.scratch;
+        if s.done {
             return false;
         }
+        let list = s.list.as_mut().expect("scratch seeded");
         // ① Selection.
-        let width = match (self.in_diffusing_phase, self.params.beam) {
+        let width = match (s.in_diffusing_phase, self.params.beam) {
             (true, Some(b)) => b.beam_width,
             _ => 1,
         };
-        let selected = self.list.closest_unexpanded_beam(width);
-        let Some(&first) = selected.first() else {
-            self.done = true;
+        list.closest_unexpanded_beam_into(width, &mut s.selected);
+        let Some(&first) = s.selected.first() else {
+            s.done = true;
             return false;
         };
         // Phase switch: selecting at or past offset_beam means the list
         // head is exhausted — the diffusing phase begins (§IV-C).
-        if !self.in_diffusing_phase {
+        if !s.in_diffusing_phase {
             if let Some(b) = self.params.beam {
                 if first >= b.offset_beam {
-                    self.in_diffusing_phase = true;
+                    s.in_diffusing_phase = true;
                 }
             }
         }
-        let best_distance = self.list.items()[first].dist.0;
+        let best_distance = list.items()[first].dist.0;
 
         // ② Expand + bitmap filter.
-        self.expand_ids.clear();
+        s.expand_ids.clear();
         let mut filter_checked = 0usize;
-        for &offset in &selected {
-            let v = self.list.mark_expanded(offset);
+        for &offset in &s.selected {
+            let v = list.mark_expanded(offset);
             for u in self.ctx.graph.neighbors(v) {
                 filter_checked += 1;
                 if visited.test_and_set(u) {
-                    self.expand_ids.push(u);
+                    s.expand_ids.push(u);
                 }
             }
         }
 
-        // ③ Distance computation (warp-parallel per §IV-B step ③).
-        self.scored.clear();
+        // ③ Distance computation: one batched SIMD call over the whole
+        // expand list (warp-parallel per §IV-B step ③). The charged
+        // cost is per evaluation and unchanged by how the host computes.
         let dim = self.ctx.base.dim();
-        for &u in &self.expand_ids {
-            let d = DistValue(self.ctx.metric.distance(self.query, self.ctx.base.get(u as usize)));
-            self.scored.push((d, u));
-        }
-        let calc_cycles = self.scored.len() as u64 * self.ctx.cost.distance_cycles(dim);
+        self.ctx.metric.distance_batch(self.query, self.ctx.base, &s.expand_ids, &mut s.dists);
+        s.scored.clear();
+        s.scored.extend(s.expand_ids.iter().zip(&s.dists).map(|(&u, &d)| (DistValue(d), u)));
+        let calc_cycles = s.scored.len() as u64 * self.ctx.cost.distance_cycles(dim);
 
         // ④ Sort expand list, merge into candidate list, truncate to L.
-        let (sort_cycles, sorts) = if self.scored.is_empty() {
+        let (sort_cycles, sorts) = if s.scored.is_empty() {
             (0, 0)
         } else {
-            let merged_len = (self.list.len() + self.scored.len()).min(self.params.l + self.scored.len());
-            let c = self.ctx.cost.bitonic_sort_cycles(self.scored.len())
+            let merged_len = (list.len() + s.scored.len()).min(self.params.l + s.scored.len());
+            let c = self.ctx.cost.bitonic_sort_cycles(s.scored.len())
                 + self.ctx.cost.bitonic_merge_cycles(merged_len);
             (c, 1)
         };
-        self.list.merge_batch(&self.scored);
+        list.merge_batch(&s.scored);
 
         let other_cycles = SELECT_CYCLES
-            + self
-                .ctx
-                .cost
-                .bitmap_filter_cycles(filter_checked, self.params.bitmap_in_shared);
-        self.trace.steps.push(StepStats {
+            + self.ctx.cost.bitmap_filter_cycles(filter_checked, self.params.bitmap_in_shared);
+        s.trace.steps.push(StepStats {
             selected_offset: first as u32,
             best_distance,
-            head_distance: self.list.items()[0].dist.0,
-            expansions: selected.len() as u32,
-            dist_evals: self.scored.len() as u32,
+            head_distance: list.items()[0].dist.0,
+            expansions: s.selected.len() as u32,
+            dist_evals: s.scored.len() as u32,
             calc_cycles,
             sort_cycles,
             sorts,
@@ -203,23 +265,36 @@ impl<'a> CtaSearch<'a> {
         while self.step(visited) {}
     }
 
-    /// Consumes the search, returning the best `k` ids and the trace.
+    /// Consumes the search, returning the best `k` ids and a clone of
+    /// the trace (the original stays readable on the scratch).
     ///
     /// # Panics
     /// Panics if called before the search finished.
     pub fn finish(self, k: usize) -> (Vec<(DistValue, u32)>, CtaTrace) {
-        assert!(self.done, "finish() before the search terminated");
-        (self.list.top_k(k), self.trace)
+        assert!(self.scratch.done, "finish() before the search terminated");
+        (self.scratch.list().top_k(k), self.scratch.trace.clone())
+    }
+
+    /// Allocation-free termination: clears `out` and fills it with the
+    /// best `k` (distance, id) pairs. The trace remains on the scratch
+    /// ([`CtaScratch::trace`]).
+    ///
+    /// # Panics
+    /// Panics if called before the search finished.
+    pub fn finish_into(&mut self, k: usize, out: &mut Vec<(DistValue, u32)>) {
+        assert!(self.scratch.done, "finish() before the search terminated");
+        out.clear();
+        out.extend(self.scratch.list().items().iter().take(k).map(|c| (c.dist, c.id)));
     }
 
     /// Read access to the candidate list (for tests/diagnostics).
     pub fn candidates(&self) -> &CandidateList {
-        &self.list
+        self.scratch.list()
     }
 }
 
 /// Convenience wrapper: run one single-CTA search to completion with a
-/// private bitmap.
+/// private bitmap and scratch.
 pub fn search_intra(
     ctx: SearchContext<'_>,
     params: IntraParams,
@@ -228,7 +303,8 @@ pub fn search_intra(
     k: usize,
 ) -> (Vec<(DistValue, u32)>, CtaTrace) {
     let mut visited = VisitedBitmap::new(ctx.base.len());
-    let mut search = CtaSearch::new(ctx, params, query, entry, &mut visited);
+    let mut scratch = CtaScratch::new();
+    let mut search = CtaSearch::new(ctx, params, query, entry, &mut visited, &mut scratch);
     search.run(&mut visited);
     search.finish(k)
 }
@@ -236,8 +312,8 @@ pub fn search_intra(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use algas_graph::nsw::{NswBuilder, NswParams};
     use algas_gpu_sim::CostModel;
+    use algas_graph::nsw::{NswBuilder, NswParams};
     use algas_vector::datasets::DatasetSpec;
     use algas_vector::ground_truth::{brute_force_knn, mean_recall};
     use algas_vector::{Metric, VectorStore};
@@ -266,12 +342,34 @@ mod tests {
         let cost = CostModel::default();
         let ctx = SearchContext::new(&g, &base, Metric::L2, &cost);
         let mut visited = VisitedBitmap::new(base.len());
+        let mut scratch = CtaScratch::new();
         let q = [31.5f32];
-        let mut s = CtaSearch::new(ctx, IntraParams::greedy(16), &q, 0, &mut visited);
+        let mut s = CtaSearch::new(ctx, IntraParams::greedy(16), &q, 0, &mut visited, &mut scratch);
         s.run(&mut visited);
         // Distance evaluations == bitmap marks: nothing scored twice.
         let (_, trace) = s.finish(4);
         assert_eq!(trace.dist_evals() as usize, visited.count());
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_matches_fresh_scratch() {
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 33).generate();
+        let g = NswBuilder::new(Metric::L2, NswParams::default()).build(&ds.base);
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        let params = IntraParams::beam(48);
+        let mut reused = CtaScratch::new();
+        let mut visited = VisitedBitmap::new(ds.base.len());
+        for q in 0..ds.queries.len().min(8) {
+            let query = ds.queries.get(q);
+            visited.clear();
+            let mut s = CtaSearch::new(ctx, params, query, 0, &mut visited, &mut reused);
+            s.run(&mut visited);
+            let (ids_reused, trace_reused) = s.finish(10);
+            let (ids_fresh, trace_fresh) = search_intra(ctx, params, query, 0, 10);
+            assert_eq!(ids_reused, ids_fresh, "query {q}");
+            assert_eq!(trace_reused, trace_fresh, "query {q}");
+        }
     }
 
     #[test]
@@ -289,8 +387,7 @@ mod tests {
         let mut greedy_res = Vec::new();
         let mut beam_res = Vec::new();
         for q in 0..ds.queries.len() {
-            let (ids, tr) =
-                search_intra(ctx, IntraParams::greedy(l), ds.queries.get(q), 0, k);
+            let (ids, tr) = search_intra(ctx, IntraParams::greedy(l), ds.queries.get(q), 0, k);
             greedy_sorts += tr.sorts();
             greedy_res.push(ids.into_iter().map(|(_, id)| id).collect::<Vec<_>>());
             let (ids, tr) = search_intra(ctx, IntraParams::beam(l), ds.queries.get(q), 0, k);
@@ -346,8 +443,9 @@ mod tests {
         let cost = CostModel::default();
         let ctx = SearchContext::new(&g, &base, Metric::L2, &cost);
         let mut visited = VisitedBitmap::new(8);
+        let mut scratch = CtaScratch::new();
         let q = [3.0f32];
-        let mut s = CtaSearch::new(ctx, IntraParams::greedy(8), &q, 0, &mut visited);
+        let mut s = CtaSearch::new(ctx, IntraParams::greedy(8), &q, 0, &mut visited, &mut scratch);
         s.run(&mut visited);
         assert!(s.is_done());
         assert!(!s.step(&mut visited));
@@ -360,8 +458,9 @@ mod tests {
         let cost = CostModel::default();
         let ctx = SearchContext::new(&g, &base, Metric::L2, &cost);
         let mut visited = VisitedBitmap::new(8);
+        let mut scratch = CtaScratch::new();
         let q = [3.0f32];
-        let s = CtaSearch::new(ctx, IntraParams::greedy(8), &q, 0, &mut visited);
+        let s = CtaSearch::new(ctx, IntraParams::greedy(8), &q, 0, &mut visited, &mut scratch);
         let _ = s.finish(1);
     }
 

@@ -11,8 +11,8 @@
 pub mod intra;
 pub mod multi;
 
-use algas_graph::FixedDegreeGraph;
 use algas_gpu_sim::CostModel;
+use algas_graph::FixedDegreeGraph;
 use algas_vector::{Metric, VectorStore};
 
 /// Everything a searcher needs to run: the index, the corpus, and the

@@ -10,11 +10,64 @@
 //! *unmerged*: merging is the host's job (GPU-CPU cooperation).
 
 use crate::lists::VisitedBitmap;
-use crate::search::intra::{CtaSearch, IntraParams};
+use crate::search::intra::{CtaScratch, CtaSearch, IntraParams};
 use crate::search::SearchContext;
 use crate::tracer::CtaTrace;
 use algas_graph::entry::EntryPolicy;
 use algas_vector::metric::DistValue;
+
+/// Reusable multi-CTA search state: the shared visited bitmap, one
+/// [`CtaScratch`] per CTA, and the per-CTA result buffers.
+///
+/// A serving slot keeps one of these alive across queries; after the
+/// first query on a given index the entire multi-CTA search runs
+/// without heap allocation.
+#[derive(Debug, Default)]
+pub struct MultiScratch {
+    visited: Option<VisitedBitmap>,
+    ctas: Vec<CtaScratch>,
+    per_cta: Vec<Vec<(DistValue, u32)>>,
+    /// CTAs used by the most recent search (≤ `ctas.len()`).
+    n_active: usize,
+}
+
+impl MultiScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-CTA TopK lists of the most recent search, ascending within
+    /// each list — the analogue of [`MultiResult::per_cta`].
+    pub fn per_cta(&self) -> &[Vec<(DistValue, u32)>] {
+        &self.per_cta[..self.n_active]
+    }
+
+    /// Trace of CTA `c` from the most recent search.
+    pub fn trace(&self, c: usize) -> &CtaTrace {
+        assert!(c < self.n_active, "CTA {c} not active (n_active={})", self.n_active);
+        self.ctas[c].trace()
+    }
+
+    /// CTAs that participated in the most recent search.
+    pub fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    /// Maximum steps over the active CTAs (cf. [`MultiResult::max_steps`]).
+    pub fn max_steps(&self) -> usize {
+        (0..self.n_active).map(|c| self.ctas[c].trace().n_steps()).max().unwrap_or(0)
+    }
+
+    /// Moves the buffered results out into an owned [`MultiResult`],
+    /// leaving the scratch reusable (compat path; allocates).
+    pub fn take_result(&mut self) -> MultiResult {
+        let per_cta =
+            self.per_cta[..self.n_active].iter_mut().map(std::mem::take).collect::<Vec<_>>();
+        let traces = (0..self.n_active).map(|c| self.ctas[c].trace().clone()).collect::<Vec<_>>();
+        MultiResult { per_cta, traces }
+    }
+}
 
 /// Parameters of a multi-CTA search.
 #[derive(Clone, Copy, Debug)]
@@ -60,49 +113,86 @@ pub fn search_multi(
     medoid: u32,
     k: usize,
 ) -> MultiResult {
+    let mut scratch = MultiScratch::new();
+    search_multi_into(ctx, params, query, query_id, medoid, k, &mut scratch);
+    scratch.take_result()
+}
+
+/// Allocation-free variant of [`search_multi`]: all state lives in the
+/// caller-owned `scratch`, whose buffers are reused across calls.
+/// Results are read back through [`MultiScratch::per_cta`] and
+/// [`MultiScratch::trace`].
+///
+/// # Panics
+/// Panics if `n_ctas == 0` or `k > intra.l`.
+pub fn search_multi_into(
+    ctx: SearchContext<'_>,
+    params: MultiParams,
+    query: &[f32],
+    query_id: u64,
+    medoid: u32,
+    k: usize,
+    scratch: &mut MultiScratch,
+) {
     assert!(params.n_ctas > 0, "need at least one CTA");
     assert!(k <= params.intra.l, "k={k} exceeds candidate list capacity {}", params.intra.l);
     let n = ctx.base.len();
-    let mut shared_visited = VisitedBitmap::new(n);
+
+    // Reuse the shared bitmap when the corpus size is unchanged (the
+    // steady-state case: one scratch serves one index); the epoch-based
+    // clear is O(1).
+    let shared_visited = match &mut scratch.visited {
+        Some(v) if v.len() == n => {
+            v.clear();
+            v
+        }
+        slot => slot.insert(VisitedBitmap::new(n)),
+    };
+    while scratch.ctas.len() < params.n_ctas {
+        scratch.ctas.push(CtaScratch::new());
+    }
+    while scratch.per_cta.len() < params.n_ctas {
+        scratch.per_cta.push(Vec::new());
+    }
+    scratch.n_active = params.n_ctas;
 
     // The shared table lives in global memory: force the cost flag.
     let intra = IntraParams { bitmap_in_shared: params.n_ctas == 1, ..params.intra };
 
-    let mut ctas: Vec<CtaSearch<'_>> = (0..params.n_ctas)
-        .map(|c| {
-            let entry = params.entry.entry_for(query_id, c as u32, n, medoid);
-            CtaSearch::new(ctx, intra, query, entry, &mut shared_visited)
-        })
-        .collect();
+    // Seed every CTA. `CtaSearch` is a free-to-construct view over its
+    // scratch, so the round-robin loop below re-attaches per step
+    // instead of holding N simultaneous searches.
+    for (c, cta) in scratch.ctas[..params.n_ctas].iter_mut().enumerate() {
+        let entry = params.entry.entry_for(query_id, c as u32, n, medoid);
+        let _ = CtaSearch::new(ctx, intra, query, entry, shared_visited, cta);
+    }
 
     // Deterministic round-robin interleave until every CTA terminates.
     let mut any_active = true;
     while any_active {
         any_active = false;
-        for cta in ctas.iter_mut() {
-            if !cta.is_done() && cta.step(&mut shared_visited) {
+        for cta in scratch.ctas[..params.n_ctas].iter_mut() {
+            let mut search = CtaSearch::resume(ctx, intra, query, cta);
+            if !search.is_done() && search.step(shared_visited) {
                 any_active = true;
             }
         }
     }
 
-    let mut per_cta = Vec::with_capacity(params.n_ctas);
-    let mut traces = Vec::with_capacity(params.n_ctas);
-    for cta in ctas {
-        let (ids, trace) = cta.finish(k);
-        per_cta.push(ids);
-        traces.push(trace);
+    for (cta, out) in
+        scratch.ctas[..params.n_ctas].iter_mut().zip(scratch.per_cta[..params.n_ctas].iter_mut())
+    {
+        CtaSearch::resume(ctx, intra, query, cta).finish_into(k, out);
     }
-    MultiResult { per_cta, traces }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::merge::merge_topk;
+    use algas_gpu_sim::CostModel;
     use algas_graph::cagra::{CagraBuilder, CagraParams};
     use algas_graph::entry::medoid;
-    use algas_gpu_sim::CostModel;
     use algas_vector::datasets::DatasetSpec;
     use algas_vector::ground_truth::{brute_force_knn, mean_recall};
     use algas_vector::Metric;

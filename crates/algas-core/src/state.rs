@@ -55,7 +55,12 @@ impl SlotState {
         use SlotState::*;
         matches!(
             (self, next),
-            (None, Work) | (None, Quit) | (Work, Finish) | (Finish, Done) | (Done, Work) | (Done, Quit)
+            (None, Work)
+                | (None, Quit)
+                | (Work, Finish)
+                | (Finish, Done)
+                | (Done, Work)
+                | (Done, Quit)
         )
     }
 
@@ -109,13 +114,8 @@ impl AtomicSlotState {
     /// Panics if `from → to` is illegal — that is a protocol bug, not a
     /// race.
     pub fn transition(&self, from: SlotState, to: SlotState) -> bool {
-        assert!(
-            from.can_transition_to(to),
-            "illegal slot transition {from:?} -> {to:?}"
-        );
-        self.raw
-            .compare_exchange(from as u8, to as u8, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        assert!(from.can_transition_to(to), "illegal slot transition {from:?} -> {to:?}");
+        self.raw.compare_exchange(from as u8, to as u8, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 }
 

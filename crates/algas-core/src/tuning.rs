@@ -62,7 +62,12 @@ pub struct TuningPlan {
 /// Shared-memory demand of one search block (bytes): candidate list
 /// entries (8 B: distance + id/flags), expand list, the cached query
 /// vector, and fixed control state.
-pub fn block_shared_mem_bytes(l: usize, graph_degree: usize, beam_width: usize, dim: usize) -> usize {
+pub fn block_shared_mem_bytes(
+    l: usize,
+    graph_degree: usize,
+    beam_width: usize,
+    dim: usize,
+) -> usize {
     let candidate = l * 8;
     let expand = beam_width.max(1) * graph_degree * 8;
     let query = dim * 4;
@@ -101,10 +106,9 @@ pub enum TuningError {
 impl std::fmt::Display for TuningError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TuningError::TooManySlots { slots, max_blocks } => write!(
-                f,
-                "{slots} slots cannot all be resident (device holds {max_blocks} blocks)"
-            ),
+            TuningError::TooManySlots { slots, max_blocks } => {
+                write!(f, "{slots} slots cannot all be resident (device holds {max_blocks} blocks)")
+            }
             TuningError::SharedMemoryExhausted { demand, budget } => write!(
                 f,
                 "block demands {demand} B of shared memory but at most {budget} B is available"
@@ -134,10 +138,8 @@ pub fn tune(input: &TuningInput) -> Result<TuningPlan, TuningError> {
     }
 
     let mut chosen: Option<usize> = None;
-    let mut candidates: Vec<usize> = (0..)
-        .map(|i| 1usize << i)
-        .take_while(|&p| p <= input.max_n_parallel.max(1))
-        .collect();
+    let mut candidates: Vec<usize> =
+        (0..).map(|i| 1usize << i).take_while(|&p| p <= input.max_n_parallel.max(1)).collect();
     if !candidates.contains(&input.max_n_parallel) && input.max_n_parallel >= 1 {
         candidates.push(input.max_n_parallel);
     }
@@ -151,8 +153,8 @@ pub fn tune(input: &TuningInput) -> Result<TuningPlan, TuningError> {
     }
 
     let Some(n_parallel) = chosen else {
-        let budget = occupancy::max_shared_mem_per_block(dev, input.slots, 1, reserved_cache)
-            .unwrap_or(0);
+        let budget =
+            occupancy::max_shared_mem_per_block(dev, input.slots, 1, reserved_cache).unwrap_or(0);
         return Err(TuningError::SharedMemoryExhausted { demand, budget });
     };
 

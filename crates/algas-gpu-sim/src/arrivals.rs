@@ -123,11 +123,8 @@ mod tests {
             &arrivals,
             &StaticBatchConfig { batch_size: 8, merge: MergePlacement::None, ..Default::default() },
         );
-        let dynv = run_dynamic(
-            &works,
-            &arrivals,
-            &DynamicConfig { n_slots: 8, ..Default::default() },
-        );
+        let dynv =
+            run_dynamic(&works, &arrivals, &DynamicConfig { n_slots: 8, ..Default::default() });
         let e2e = |r: &crate::sched::SimReport| {
             r.per_query.iter().map(|t| t.e2e_latency_ns()).sum::<u64>() / r.per_query.len() as u64
         };

@@ -139,7 +139,8 @@ impl CostModel {
             // halving parallelism §III-B complains about — which is
             // captured by charging the full per-element constant while
             // `len` doubles every round.
-            cycles += 2 * len * self.gpu_merge_cycles_per_element + self.gpu_merge_round_sync_cycles;
+            cycles +=
+                2 * len * self.gpu_merge_cycles_per_element + self.gpu_merge_round_sync_cycles;
             len *= 2;
         }
         cycles

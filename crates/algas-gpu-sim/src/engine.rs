@@ -27,8 +27,8 @@ impl<T> PartialEq for EventSlot<T> {
 }
 impl<T> Eq for EventSlot<T> {}
 impl<T> PartialOrd for EventSlot<T> {
-    fn partial_cmp(&self, _: &Self) -> Option<std::cmp::Ordering> {
-        Some(std::cmp::Ordering::Equal)
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 impl<T> Ord for EventSlot<T> {

@@ -123,7 +123,8 @@ mod tests {
         let d = DeviceProps::rtx_a6000();
         assert_eq!(blocks_per_sm(&d, &BlockDemand { threads: 0, shared_mem_bytes: 0 }), 0);
         assert_eq!(blocks_per_sm(&d, &BlockDemand { threads: 2048, shared_mem_bytes: 0 }), 0);
-        let too_big = BlockDemand { threads: 32, shared_mem_bytes: d.shared_mem_per_block_optin + 1 };
+        let too_big =
+            BlockDemand { threads: 32, shared_mem_bytes: d.shared_mem_per_block_optin + 1 };
         assert_eq!(blocks_per_sm(&d, &too_big), 0);
     }
 

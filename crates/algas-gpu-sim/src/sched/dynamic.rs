@@ -199,9 +199,7 @@ pub fn run_dynamic(queries: &[QueryWork], arrivals: &[u64], cfg: &DynamicConfig)
                         StateMode::LocalCopy | StateMode::BlockingNotify => {
                             cursor + cfg.local_poll_ns
                         }
-                        StateMode::RemotePolling => {
-                            bus.acquire(cursor, cfg.pcie.read_ns(4)).1
-                        }
+                        StateMode::RemotePolling => bus.acquire(cursor, cfg.pcie.read_ns(4)).1,
                     };
                     if let SlotSim::Finished { query, visible_at } = slots[s] {
                         if visible_at <= cursor {
@@ -252,10 +250,7 @@ pub fn run_dynamic(queries: &[QueryWork], arrivals: &[u64], cfg: &DynamicConfig)
                             // The thread sleeps until notified; it only
                             // self-schedules to pick up a future arrival.
                             if next_query < n && arrivals[next_query] > cursor {
-                                events.push(
-                                    arrivals[next_query].max(cursor + 1),
-                                    Ev::HostWake(h),
-                                );
+                                events.push(arrivals[next_query].max(cursor + 1), Ev::HostWake(h));
                             }
                         }
                         _ => events.push(cursor + cfg.host_poll_interval_ns, Ev::HostWake(h)),
@@ -267,8 +262,7 @@ pub fn run_dynamic(queries: &[QueryWork], arrivals: &[u64], cfg: &DynamicConfig)
 
     let makespan = timings.iter().map(|t| t.completion_ns).max().unwrap_or(0);
     let allocated = makespan * (cfg.n_slots * max_ctas.max(1)) as u64;
-    let gpu_busy_frac =
-        if allocated == 0 { 0.0 } else { gpu_busy_total as f64 / allocated as f64 };
+    let gpu_busy_frac = if allocated == 0 { 0.0 } else { gpu_busy_total as f64 / allocated as f64 };
     SimReport::from_timings(timings, gpu_busy_frac, 0.0, bus.busy_ns(), bus.transactions())
 }
 
@@ -288,7 +282,11 @@ mod tests {
             local_poll_ns: 10,
             state_mode: StateMode::LocalCopy,
             gpu_pickup_ns: 100,
-            pcie: PcieModel { transaction_overhead_ns: 100, bytes_per_ns: 100.0, read_round_trip_ns: 200 },
+            pcie: PcieModel {
+                transaction_overhead_ns: 100,
+                bytes_per_ns: 100.0,
+                read_round_trip_ns: 200,
+            },
             contiguous_results: true,
             host_dispatch_ns: 50,
             capacity: 4096,

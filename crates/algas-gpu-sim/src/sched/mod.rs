@@ -98,22 +98,16 @@ impl SimReport {
         let n = per_query.len();
         let mut lat: Vec<u64> = per_query.iter().map(|t| t.service_latency_ns()).collect();
         lat.sort_unstable();
-        let mean_latency_ns = if n == 0 {
-            0.0
-        } else {
-            lat.iter().map(|&x| x as f64).sum::<f64>() / n as f64
-        };
+        let mean_latency_ns =
+            if n == 0 { 0.0 } else { lat.iter().map(|&x| x as f64).sum::<f64>() / n as f64 };
         let p99_latency_ns = if n == 0 {
             0
         } else {
             // Nearest-rank percentile: ceil(0.99·n)-th order statistic.
             lat[((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1]
         };
-        let throughput_qps = if makespan_ns == 0 {
-            0.0
-        } else {
-            n as f64 / (makespan_ns as f64 * 1e-9)
-        };
+        let throughput_qps =
+            if makespan_ns == 0 { 0.0 } else { n as f64 / (makespan_ns as f64 * 1e-9) };
         SimReport {
             per_query,
             makespan_ns,
@@ -140,7 +134,13 @@ mod tests {
     use super::*;
 
     fn t(d: u64, c: u64) -> QueryTiming {
-        QueryTiming { arrival_ns: 0, dispatch_ns: d, gpu_start_ns: d, gpu_done_ns: c, completion_ns: c }
+        QueryTiming {
+            arrival_ns: 0,
+            dispatch_ns: d,
+            gpu_start_ns: d,
+            gpu_done_ns: c,
+            completion_ns: c,
+        }
     }
 
     #[test]

@@ -140,16 +140,14 @@ pub fn run_partitioned(
             }
             slot.gpu_elapsed_ns += launch_len; // refined below per-slot
         }
-        allocated += launch_len
-            * slots.iter().flatten().map(|s| s.ctas.len() as u64).sum::<u64>();
+        allocated += launch_len * slots.iter().flatten().map(|s| s.ctas.len() as u64).sum::<u64>();
         t += launch_len;
 
         // Collection phase: retire finished slots.
         let mut cursor = t;
         for slot in slots.iter_mut() {
-            let finished = slot
-                .as_ref()
-                .is_some_and(|s| s.ctas.iter().all(|c| c.remaining_steps == 0));
+            let finished =
+                slot.as_ref().is_some_and(|s| s.ctas.iter().all(|c| c.remaining_steps == 0));
             if finished {
                 let s = slot.take().expect("checked above");
                 let q = &queries[s.query];
@@ -226,11 +224,8 @@ mod tests {
         // partitioned design at any check period.
         let queries: Vec<QueryWork> = (0..32).map(|i| work(60 + (i * 7) % 40, 1_000)).collect();
         let arrivals = vec![0u64; 32];
-        let dynamic = run_dynamic(
-            &queries,
-            &arrivals,
-            &DynamicConfig { n_slots: 16, ..Default::default() },
-        );
+        let dynamic =
+            run_dynamic(&queries, &arrivals, &DynamicConfig { n_slots: 16, ..Default::default() });
         for steps in [2u32, 8, 16, 64] {
             let part = run_partitioned(
                 &queries,

@@ -54,11 +54,7 @@ impl Default for StaticBatchConfig {
 /// # Panics
 /// Panics if `arrivals.len() != queries.len()`, the batch size is zero,
 /// or capacity is zero.
-pub fn run_static(
-    queries: &[QueryWork],
-    arrivals: &[u64],
-    cfg: &StaticBatchConfig,
-) -> SimReport {
+pub fn run_static(queries: &[QueryWork], arrivals: &[u64], cfg: &StaticBatchConfig) -> SimReport {
     assert_eq!(queries.len(), arrivals.len(), "one arrival per query");
     assert!(cfg.batch_size > 0, "batch size must be positive");
     assert!(cfg.capacity > 0, "capacity must be positive");
@@ -85,10 +81,8 @@ pub fn run_static(
         let gpu_start = upload_end + cfg.kernel_launch_ns;
 
         // All blocks of the batch, query-major, drained under residency.
-        let durations: Vec<u64> = chunk
-            .iter()
-            .flat_map(|&q| queries[q].ctas.iter().map(|c| c.search_ns))
-            .collect();
+        let durations: Vec<u64> =
+            chunk.iter().flat_map(|&q| queries[q].ctas.iter().map(|c| c.search_ns)).collect();
         let finishes = schedule_blocks(gpu_start, &durations, cfg.capacity);
 
         // Per-query GPU completion = its slowest block (+ GPU merge).
@@ -136,8 +130,11 @@ pub fn run_static(
         prev_batch_end = cursor;
     }
 
-    let gpu_busy_frac =
-        if allocated_cta_time == 0 { 0.0 } else { total_cta_busy as f64 / allocated_cta_time as f64 };
+    let gpu_busy_frac = if allocated_cta_time == 0 {
+        0.0
+    } else {
+        total_cta_busy as f64 / allocated_cta_time as f64
+    };
     // Waste *rate*: the share of allocated CTA time spent idling
     // behind the batch barrier (bounded by 1; §I reports 22.9%–33.7%).
     let bubble_waste_frac = if active_ns + waste_ns == 0 {
@@ -168,7 +165,11 @@ mod tests {
             kernel_launch_ns: 1000,
             capacity: 64,
             merge: MergePlacement::None,
-            pcie: PcieModel { transaction_overhead_ns: 100, bytes_per_ns: 100.0, read_round_trip_ns: 200 },
+            pcie: PcieModel {
+                transaction_overhead_ns: 100,
+                bytes_per_ns: 100.0,
+                read_round_trip_ns: 200,
+            },
             host_post_ns_per_query: 10,
         }
     }
@@ -218,8 +219,8 @@ mod tests {
         let queries = vec![q(&[10_000]); 4];
         let r = run_static(&queries, &[0; 4], &cfg);
         // Two waves of two blocks: makespan ≈ 2 × 10 µs (not 10 µs).
-        let gpu_time = r.per_query.iter().map(|t| t.gpu_done_ns).max().unwrap()
-            - r.per_query[0].gpu_start_ns;
+        let gpu_time =
+            r.per_query.iter().map(|t| t.gpu_done_ns).max().unwrap() - r.per_query[0].gpu_start_ns;
         assert!(gpu_time >= 20_000, "waves not serialized: {gpu_time}");
     }
 

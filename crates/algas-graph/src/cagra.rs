@@ -98,13 +98,11 @@ impl CagraBuilder {
         // shorter than the direct edge (CAGRA's detourable-route rule);
         // otherwise greedy search would not actually take it.
         let mut kept_forward: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut row_dists: Vec<f32> = Vec::new();
         for v in 0..n as u32 {
             let row: Vec<u32> = knn.neighbors(v).collect();
-            let vv = base.get(v as usize);
-            let dists: Vec<DistValue> = row
-                .iter()
-                .map(|&u| DistValue(self.metric.distance(vv, base.get(u as usize))))
-                .collect();
+            self.metric.distance_batch(base.get(v as usize), base, &row, &mut row_dists);
+            let dists: Vec<DistValue> = row_dists.iter().map(|&d| DistValue(d)).collect();
             let mut scored: Vec<(usize, usize, u32)> = Vec::with_capacity(row.len());
             for (rank_u, &u) in row.iter().enumerate() {
                 let d_vu = dists[rank_u];
@@ -131,10 +129,9 @@ impl CagraBuilder {
         // edges, sorted by edge length so the closest reverses win slots.
         let mut reverse: Vec<Vec<(DistValue, u32)>> = vec![Vec::new(); n];
         for (v, row) in kept_forward.iter().enumerate() {
-            let vv = base.get(v);
-            for &u in row {
-                let d = DistValue(self.metric.distance(vv, base.get(u as usize)));
-                reverse[u as usize].push((d, v as u32));
+            self.metric.distance_batch(base.get(v), base, row, &mut row_dists);
+            for (&u, &d) in row.iter().zip(&row_dists) {
+                reverse[u as usize].push((DistValue(d), v as u32));
             }
         }
         let mut graph = FixedDegreeGraph::new(n, d_out);
@@ -261,10 +258,7 @@ mod tests {
             })
             .collect();
         let r_knn = mean_recall(&knn_approx, &gt, k);
-        assert!(
-            r >= r_knn,
-            "optimization must not lose navigability: {r} vs kNN {r_knn}"
-        );
+        assert!(r >= r_knn, "optimization must not lose navigability: {r} vs kNN {r_knn}");
     }
 
     #[test]

@@ -71,9 +71,10 @@ pub fn medoid(base: &VectorStore, metric: Metric) -> u32 {
     }
     let n = base.len() as f64;
     let mean_f32: Vec<f32> = mean.iter().map(|&m| (m / n) as f32).collect();
+    let mut dists = Vec::with_capacity(base.len());
+    metric.distance_all(&mean_f32, base, &mut dists);
     let mut best = (f32::INFINITY, 0u32);
-    for (i, row) in base.iter().enumerate() {
-        let d = metric.distance(&mean_f32, row);
+    for (i, &d) in dists.iter().enumerate() {
         if d < best.0 {
             best = (d, i as u32);
         }

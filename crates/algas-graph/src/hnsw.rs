@@ -129,10 +129,14 @@ fn greedy_closest(
 ) -> u32 {
     let mut cur = start;
     let mut cur_d = metric.distance(query, base.get(cur as usize));
+    let mut row: Vec<u32> = Vec::new();
+    let mut dists: Vec<f32> = Vec::new();
     loop {
+        row.clear();
+        row.extend(graph.neighbors(cur));
+        metric.distance_batch(query, base, &row, &mut dists);
         let mut improved = false;
-        for u in graph.neighbors(cur) {
-            let d = metric.distance(query, base.get(u as usize));
+        for (&u, &d) in row.iter().zip(&dists) {
             if d < cur_d {
                 cur = u;
                 cur_d = d;
@@ -158,14 +162,14 @@ fn connect_capped(
     if graph.try_add_edge(v, u) {
         return;
     }
-    let vv = base.get(v as usize);
-    let mut ranked: Vec<(DistValue, u32)> = graph
-        .neighbors(v)
-        .map(|w| (DistValue(metric.distance(vv, base.get(w as usize))), w))
-        .collect();
-    if ranked.iter().any(|&(_, w)| w == u) {
+    let row: Vec<u32> = graph.neighbors(v).collect();
+    if row.contains(&u) {
         return;
     }
+    let mut dists = Vec::with_capacity(row.len());
+    metric.distance_batch(base.get(v as usize), base, &row, &mut dists);
+    let mut ranked: Vec<(DistValue, u32)> =
+        row.iter().zip(&dists).map(|(&w, &d)| (DistValue(d), w)).collect();
     ranked.push((dist_vu, u));
     ranked.sort();
     ranked.truncate(graph.degree());
@@ -243,9 +247,7 @@ mod tests {
         let (_, idx) = setup();
         assert!(idx.n_layers() >= 2, "900 points should produce >1 layer");
         let occupied = |l: usize| {
-            (0..idx.layer(l).len() as u32)
-                .filter(|&v| idx.layer(l).valid_degree(v) > 0)
-                .count()
+            (0..idx.layer(l).len() as u32).filter(|&v| idx.layer(l).valid_degree(v) > 0).count()
         };
         let l0 = occupied(0);
         let l1 = occupied(1);
@@ -329,6 +331,9 @@ mod tests {
             HnswParams::default(),
         );
         assert_eq!(one.base().len(), 1);
-        assert_eq!(one.search(&VectorStore::from_flat(2, vec![1.0, 2.0]), &[1.0, 2.0], 4, 1).len(), 1);
+        assert_eq!(
+            one.search(&VectorStore::from_flat(2, vec![1.0, 2.0]), &[1.0, 2.0], 4, 1).len(),
+            1
+        );
     }
 }

@@ -29,14 +29,17 @@ pub fn build_knn_graph_exact(base: &VectorStore, metric: Metric, k: usize) -> Fi
     let rows: Vec<Vec<u32>> = (0..n)
         .into_par_iter()
         .map(|v| {
-            let vv = base.get(v);
+            // One batched sweep over the whole corpus, then a bounded
+            // heap pass skipping the self-distance.
+            let mut dists = Vec::with_capacity(n);
+            metric.distance_all(base.get(v), base, &mut dists);
             let mut heap: std::collections::BinaryHeap<(DistValue, u32)> =
                 std::collections::BinaryHeap::with_capacity(k + 1);
-            for u in 0..n {
+            for (u, &dist) in dists.iter().enumerate() {
                 if u == v {
                     continue;
                 }
-                let d = DistValue(metric.distance(vv, base.get(u)));
+                let d = DistValue(dist);
                 if heap.len() < k {
                     heap.push((d, u as u32));
                 } else if d < heap.peek().expect("non-empty").0 {
@@ -91,9 +94,7 @@ impl NeighborList {
         if self.items.iter().any(|&(_, id, _)| id == u) {
             return false;
         }
-        if self.items.len() == self.k
-            && d >= self.items.last().expect("full list has last").0
-        {
+        if self.items.len() == self.k && d >= self.items.last().expect("full list has last").0 {
             return false;
         }
         let pos = self.items.partition_point(|&(x, _, _)| x < d);
@@ -126,14 +127,14 @@ pub fn build_knn_graph_nn_descent(
     let mut lists: Vec<NeighborList> = (0..n).map(|_| NeighborList::new(k)).collect();
 
     // Random initialization.
-    for v in 0..n {
-        while lists[v].items.len() < k {
+    for (v, list) in lists.iter_mut().enumerate() {
+        while list.items.len() < k {
             let u = rng.gen_range(0..n);
             if u == v {
                 continue;
             }
             let d = DistValue(metric.distance(base.get(v), base.get(u)));
-            lists[v].insert(d, u as u32);
+            list.insert(d, u as u32);
         }
     }
 

@@ -15,8 +15,8 @@
 use crate::csr::FixedDegreeGraph;
 use algas_vector::metric::DistValue;
 use algas_vector::{Metric, VectorStore};
-use std::collections::{BinaryHeap, HashSet};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Parameters for NSW construction.
 #[derive(Clone, Copy, Debug)]
@@ -96,15 +96,16 @@ fn connect_capped(
     if graph.try_add_edge(v, u) {
         return;
     }
-    // Row full: re-rank {existing neighbors} ∪ {u} by distance to v.
-    let vv = base.get(v as usize);
-    let mut ranked: Vec<(DistValue, u32)> = graph
-        .neighbors(v)
-        .map(|w| (DistValue(metric.distance(vv, base.get(w as usize))), w))
-        .collect();
-    if ranked.iter().any(|&(_, w)| w == u) {
+    // Row full: re-rank {existing neighbors} ∪ {u} by distance to v,
+    // scoring the whole row with one batched kernel call.
+    let row: Vec<u32> = graph.neighbors(v).collect();
+    if row.contains(&u) {
         return;
     }
+    let mut dists = Vec::with_capacity(row.len());
+    metric.distance_batch(base.get(v as usize), base, &row, &mut dists);
+    let mut ranked: Vec<(DistValue, u32)> =
+        row.iter().zip(&dists).map(|(&w, &d)| (DistValue(d), w)).collect();
     ranked.push((dist_vu, u));
     ranked.sort();
     ranked.truncate(graph.degree());
@@ -137,6 +138,10 @@ pub fn beam_search(
         best.push((d0, entry));
     }
 
+    // Reused per expansion: the unvisited neighbors of the popped
+    // vertex and their batched distances.
+    let mut nbr_ids: Vec<u32> = Vec::new();
+    let mut nbr_dists: Vec<f32> = Vec::new();
     while let Some(Reverse((d, v))) = frontier.pop() {
         if best.len() >= ef {
             let worst = best.peek().expect("best non-empty").0;
@@ -144,11 +149,11 @@ pub fn beam_search(
                 break;
             }
         }
-        for u in graph.neighbors(v) {
-            if !visited.insert(u) {
-                continue;
-            }
-            let du = DistValue(metric.distance(query, base.get(u as usize)));
+        nbr_ids.clear();
+        nbr_ids.extend(graph.neighbors(v).filter(|&u| visited.insert(u)));
+        metric.distance_batch(query, base, &nbr_ids, &mut nbr_dists);
+        for (&u, &dist) in nbr_ids.iter().zip(&nbr_dists) {
+            let du = DistValue(dist);
             let admit = best.len() < ef || du < best.peek().expect("best non-empty").0;
             if admit {
                 frontier.push(Reverse((du, u)));
@@ -193,9 +198,7 @@ mod tests {
         // Every vertex should link to at least one of its line-adjacent
         // neighbors (distance 1).
         for v in 1..31u32 {
-            let has_adjacent = g
-                .neighbors(v)
-                .any(|u| (u as i64 - v as i64).abs() == 1);
+            let has_adjacent = g.neighbors(v).any(|u| (u as i64 - v as i64).abs() == 1);
             assert!(has_adjacent, "vertex {v} has no adjacent link");
         }
     }

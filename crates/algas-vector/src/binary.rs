@@ -13,8 +13,12 @@ pub fn encode_store(store: &VectorStore) -> Bytes {
     buf.put_u32_le(STORE_MAGIC);
     buf.put_u64_le(store.len() as u64);
     buf.put_u32_le(store.dim() as u32);
-    for &x in store.as_flat() {
-        buf.put_f32_le(x);
+    // Rows are written without their alignment padding: the on-disk
+    // format is the logical dim-length payload, independent of stride.
+    for row in store.iter() {
+        for &x in row {
+            buf.put_f32_le(x);
+        }
     }
     buf.freeze()
 }

@@ -288,11 +288,8 @@ mod tests {
     fn clusters_create_nonuniform_density() {
         // Points drawn around a small number of centroids must be much
         // closer to their nearest neighbor than uniform points would be.
-        let spec = DatasetSpec {
-            clusters: 4,
-            spread: 0.1,
-            ..DatasetSpec::tiny(400, 8, Metric::L2, 3)
-        };
+        let spec =
+            DatasetSpec { clusters: 4, spread: 0.1, ..DatasetSpec::tiny(400, 8, Metric::L2, 3) };
         let ds = generate(&spec);
         let v0 = ds.base.get(0);
         let mut best = f32::INFINITY;

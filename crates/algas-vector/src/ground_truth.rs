@@ -42,13 +42,16 @@ pub fn brute_force_knn(
     GroundTruth { neighbors, k }
 }
 
-/// Exact k-NN of one query via a bounded max-heap.
+/// Exact k-NN of one query via a batched scan plus a bounded max-heap.
 pub fn knn_single(base: &VectorStore, query: &[f32], metric: Metric, k: usize) -> Vec<u32> {
-    // Max-heap of (distance, id): the root is the worst of the current
-    // best-k and is evicted when something closer arrives.
+    // One SIMD sweep over the whole corpus, then a bounded max-heap:
+    // the root is the worst of the current best-k and is evicted when
+    // something closer arrives.
+    let mut dists = Vec::new();
+    metric.distance_all(query, base, &mut dists);
     let mut heap: BinaryHeap<(DistValue, u32)> = BinaryHeap::with_capacity(k + 1);
-    for (i, row) in base.iter().enumerate() {
-        let d = DistValue(metric.distance(query, row));
+    for (i, &dist) in dists.iter().enumerate() {
+        let d = DistValue(dist);
         if heap.len() < k {
             heap.push((d, i as u32));
         } else if d < heap.peek().expect("heap non-empty").0 {
@@ -88,8 +91,7 @@ pub fn mean_recall(approx: &[Vec<u32>], truth: &GroundTruth, k: usize) -> f64 {
     if approx.is_empty() {
         return 1.0;
     }
-    let total: f64 =
-        approx.iter().zip(&truth.neighbors).map(|(a, t)| recall(a, t, k)).sum();
+    let total: f64 = approx.iter().zip(&truth.neighbors).map(|(a, t)| recall(a, t, k)).sum();
     total / approx.len() as f64
 }
 

@@ -142,10 +142,7 @@ pub fn read_ivecs<R: Read>(mut reader: R) -> io::Result<Vec<Vec<u32>>> {
         let mut payload = vec![0u8; d * 4];
         reader.read_exact(&mut payload).map_err(|_| invalid("truncated ivecs record"))?;
         rows.push(
-            payload
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect(),
+            payload.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect(),
         );
     }
     Ok(rows)

@@ -12,6 +12,9 @@
 //!   computation: dimensions are partitioned across the (simulated) warp
 //!   lanes and the partial sums are reduced, so the cost model in
 //!   `algas-gpu-sim` can charge exactly the work these functions perform.
+//! * [`simd`] — runtime-dispatched vector kernels (AVX2+FMA / NEON with
+//!   a scalar fallback) behind the [`Metric`] entry points, including the
+//!   batched, prefetching scoring path used by every search loop.
 //! * [`datasets`] — clustered Gaussian-mixture generators standing in for
 //!   the paper's SIFT1M / GIST1M / GloVe200 / NYTimes corpora (see
 //!   DESIGN.md §2 for the substitution argument), plus the
@@ -26,6 +29,7 @@ pub mod datasets;
 pub mod ground_truth;
 pub mod io;
 pub mod metric;
+pub mod simd;
 pub mod store;
 
 pub use datasets::{DatasetSpec, GeneratedDataset};

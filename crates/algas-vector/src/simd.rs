@@ -1,0 +1,433 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! The paper's GPU computes distances with warp-wide fused multiply-add
+//! loops; the CPU analogue is a vectorized kernel selected once at
+//! startup from what the host actually supports:
+//!
+//! * **x86_64** — AVX2 + FMA, four 8-lane `__m256` accumulators
+//!   (32 floats per iteration) to hide FMA latency, 8-wide remainder
+//!   loop, scalar tail.
+//! * **aarch64** — NEON, four 4-lane `float32x4_t` accumulators
+//!   (16 floats per iteration), scalar tail.
+//! * anywhere else, or when the features are absent — the portable
+//!   scalar loops ([`l2_squared_scalar`], [`inner_product_scalar`]).
+//!
+//! Dispatch is resolved once through a [`OnceLock`]; every call after
+//! the first is a direct function-pointer invocation. [`force_scalar`]
+//! overrides the choice at runtime so tests can compare the two paths
+//! in one process.
+//!
+//! The batched entry points in [`crate::metric`] call these kernels on
+//! *padded* rows ([`crate::store::VectorStore::row_padded`]): both
+//! operands then have a length that is a multiple of 16 and 64-byte
+//! aligned starts, so the wide loop covers the entire row and the tail
+//! code never runs. Zero padding is mathematically inert for both
+//! kernels: a padded lane contributes `(0 - 0)^2 = 0` to L2 and
+//! `0 * 0 = 0` to the inner product.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Distance between consecutive batch elements at which the next row is
+/// software-prefetched while the current one is being scored.
+pub const PREFETCH_AHEAD: usize = 4;
+
+/// One resolved kernel pair.
+#[derive(Clone, Copy)]
+struct Kernels {
+    l2: fn(&[f32], &[f32]) -> f32,
+    ip: fn(&[f32], &[f32]) -> f32,
+    name: &'static str,
+}
+
+const SCALAR: Kernels = Kernels { l2: l2_squared_scalar, ip: inner_product_scalar, name: "scalar" };
+
+static DETECTED: OnceLock<Kernels> = OnceLock::new();
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+fn detected() -> Kernels {
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Kernels { l2: l2_squared_avx2, ip: inner_product_avx2, name: "avx2+fma" };
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return Kernels { l2: l2_squared_neon, ip: inner_product_neon, name: "neon" };
+            }
+        }
+        SCALAR
+    })
+}
+
+#[inline]
+fn active() -> Kernels {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        SCALAR
+    } else {
+        detected()
+    }
+}
+
+/// Forces every subsequent distance call in the process onto the scalar
+/// kernels (`true`) or restores runtime dispatch (`false`).
+///
+/// Intended for tests that compare the vectorized and scalar paths;
+/// the flag is process-global, so toggling it from concurrently running
+/// tests races. Keep such comparisons in their own test binary.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// Name of the kernel runtime dispatch selected on this host
+/// (`"avx2+fma"`, `"neon"`, or `"scalar"`), ignoring [`force_scalar`].
+pub fn kernel_name() -> &'static str {
+    detected().name
+}
+
+/// Squared Euclidean distance via the dispatched kernel.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    (active().l2)(a, b)
+}
+
+/// Inner product via the dispatched kernel.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    (active().ip)(a, b)
+}
+
+/// Portable scalar squared-L2 reference; the ground truth the SIMD
+/// kernels are tested against.
+pub fn l2_squared_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Portable scalar inner-product reference.
+pub fn inner_product_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Hints the CPU to pull the given row into cache ahead of use.
+///
+/// No-op on architectures without an exposed prefetch intrinsic. Safe
+/// to call with any slice: prefetching is advisory and cannot fault.
+#[inline]
+pub fn prefetch_row(row: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        // Touch one line per 64 bytes; rows are 64-byte aligned so each
+        // iteration starts a new cache line.
+        let ptr = row.as_ptr();
+        let mut off = 0;
+        while off < row.len() {
+            // SAFETY: `_mm_prefetch` is a hint; it never dereferences
+            // the pointer architecturally and is safe for any address
+            // within (or one past) an allocated object.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(ptr.add(off).cast::<i8>()) };
+            off += 16;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = row;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn l2_squared_avx2(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: `detected()` only installs this kernel after confirming
+    // avx2+fma support at runtime.
+    unsafe { l2_squared_avx2_inner(a, b) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn l2_squared_avx2_inner(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0;
+    // Main loop: 32 floats per iteration across 4 independent
+    // accumulators so consecutive FMAs do not serialize on latency.
+    while i + 32 <= n {
+        let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+        let d1 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i + 8)), _mm256_loadu_ps(pb.add(i + 8)));
+        let d2 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i + 16)), _mm256_loadu_ps(pb.add(i + 16)));
+        let d3 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i + 24)), _mm256_loadu_ps(pb.add(i + 24)));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+        acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+        i += 32;
+    }
+    while i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+        acc0 = _mm256_fmadd_ps(d, d, acc0);
+        i += 8;
+    }
+    let mut acc = hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+    while i < n {
+        let d = *a.get_unchecked(i) - *b.get_unchecked(i);
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+fn inner_product_avx2(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: installed only after runtime detection of avx2+fma.
+    unsafe { inner_product_avx2_inner(a, b) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn inner_product_avx2_inner(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        acc1 =
+            _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i + 8)), _mm256_loadu_ps(pb.add(i + 8)), acc1);
+        acc2 =
+            _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i + 16)), _mm256_loadu_ps(pb.add(i + 16)), acc2);
+        acc3 =
+            _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i + 24)), _mm256_loadu_ps(pb.add(i + 24)), acc3);
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        i += 8;
+    }
+    let mut acc = hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+    while i < n {
+        acc += *a.get_unchecked(i) * *b.get_unchecked(i);
+        i += 1;
+    }
+    acc
+}
+
+/// Horizontal sum of the 8 lanes of a `__m256`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256(v: std::arch::x86_64::__m256) -> f32 {
+    use std::arch::x86_64::*;
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let lo = _mm256_castps256_ps128(v);
+    let sum4 = _mm_add_ps(lo, hi);
+    let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+    let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps::<0b01>(sum2, sum2));
+    _mm_cvtss_f32(sum1)
+}
+
+#[cfg(target_arch = "aarch64")]
+fn l2_squared_neon(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: installed only after runtime detection of neon.
+    unsafe { l2_squared_neon_inner(a, b) }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn l2_squared_neon_inner(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::aarch64::*;
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 16 <= n {
+        let d0 = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        let d1 = vsubq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        let d2 = vsubq_f32(vld1q_f32(pa.add(i + 8)), vld1q_f32(pb.add(i + 8)));
+        let d3 = vsubq_f32(vld1q_f32(pa.add(i + 12)), vld1q_f32(pb.add(i + 12)));
+        acc0 = vfmaq_f32(acc0, d0, d0);
+        acc1 = vfmaq_f32(acc1, d1, d1);
+        acc2 = vfmaq_f32(acc2, d2, d2);
+        acc3 = vfmaq_f32(acc3, d3, d3);
+        i += 16;
+    }
+    let mut acc = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+    while i < n {
+        let d = *a.get_unchecked(i) - *b.get_unchecked(i);
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(target_arch = "aarch64")]
+fn inner_product_neon(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: installed only after runtime detection of neon.
+    unsafe { inner_product_neon_inner(a, b) }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn inner_product_neon_inner(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::aarch64::*;
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 16 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        acc2 = vfmaq_f32(acc2, vld1q_f32(pa.add(i + 8)), vld1q_f32(pb.add(i + 8)));
+        acc3 = vfmaq_f32(acc3, vld1q_f32(pa.add(i + 12)), vld1q_f32(pb.add(i + 12)));
+        i += 16;
+    }
+    let mut acc = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+    while i < n {
+        acc += *a.get_unchecked(i) * *b.get_unchecked(i);
+        i += 1;
+    }
+    acc
+}
+
+thread_local! {
+    /// Per-thread query pad reused across batched distance calls; grown
+    /// once to the largest stride seen, allocation-free afterwards.
+    static QUERY_PAD: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with `query` zero-extended to `stride` floats.
+///
+/// The pad lives in thread-local scratch, so steady-state callers pay
+/// no allocation. If the query already has the full stride it is passed
+/// through untouched. `f` must not itself call `with_padded_query` on
+/// the same thread (the scratch is a single buffer).
+pub fn with_padded_query<R>(query: &[f32], stride: usize, f: impl FnOnce(&[f32]) -> R) -> R {
+    debug_assert!(query.len() <= stride);
+    if query.len() == stride {
+        return f(query);
+    }
+    QUERY_PAD.with(|cell| {
+        let mut pad = cell.borrow_mut();
+        pad.clear();
+        pad.resize(stride, 0.0);
+        pad[..query.len()].copy_from_slice(query);
+        f(&pad)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(dim: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic generator; avoids pulling rand in here.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..dim)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatched_matches_scalar_across_dims_and_tails() {
+        for dim in [1, 2, 7, 8, 15, 16, 31, 32, 33, 63, 64, 100, 128, 200, 256, 960] {
+            let a = pseudo(dim, 1);
+            let b = pseudo(dim, 2);
+            let l2_ref = l2_squared_scalar(&a, &b);
+            let ip_ref = inner_product_scalar(&a, &b);
+            let l2 = l2_squared(&a, &b);
+            let ip = inner_product(&a, &b);
+            let tol = 1e-4;
+            assert!((l2 - l2_ref).abs() <= tol * l2_ref.abs().max(1.0), "l2 dim={dim}");
+            assert!((ip - ip_ref).abs() <= tol * ip_ref.abs().max(1.0), "ip dim={dim}");
+        }
+    }
+
+    #[test]
+    fn zero_padding_is_inert() {
+        // Padding contributes exactly zero; only the association of the
+        // existing terms can change, so scalar kernels agree exactly
+        // and vector kernels agree to rounding.
+        let a = pseudo(100, 3);
+        let b = pseudo(100, 4);
+        let mut ap = a.clone();
+        let mut bp = b.clone();
+        ap.resize(112, 0.0);
+        bp.resize(112, 0.0);
+        assert_eq!(l2_squared_scalar(&ap, &bp), l2_squared_scalar(&a, &b));
+        assert_eq!(inner_product_scalar(&ap, &bp), inner_product_scalar(&a, &b));
+        let (l2p, l2u) = (l2_squared(&ap, &bp), l2_squared(&a, &b));
+        let (ipp, ipu) = (inner_product(&ap, &bp), inner_product(&a, &b));
+        assert!((l2p - l2u).abs() <= 1e-5 * l2u.abs().max(1.0));
+        assert!((ipp - ipu).abs() <= 1e-5 * ipu.abs().max(1.0));
+    }
+
+    #[test]
+    fn with_padded_query_extends_with_zeros() {
+        let q = vec![1.0, 2.0, 3.0];
+        with_padded_query(&q, 16, |padded| {
+            assert_eq!(padded.len(), 16);
+            assert_eq!(&padded[..3], &[1.0, 2.0, 3.0]);
+            assert!(padded[3..].iter().all(|&x| x == 0.0));
+        });
+        // Full-stride queries pass through without copying.
+        let full: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        with_padded_query(&full, 16, |padded| {
+            assert_eq!(padded.as_ptr(), full.as_ptr());
+        });
+    }
+
+    #[test]
+    fn kernel_name_is_stable() {
+        let name = kernel_name();
+        assert!(["avx2+fma", "neon", "scalar"].contains(&name), "unexpected kernel: {name}");
+    }
+
+    #[test]
+    fn prefetch_is_callable_on_any_slice() {
+        prefetch_row(&[]);
+        prefetch_row(&[1.0f32; 33]);
+    }
+}

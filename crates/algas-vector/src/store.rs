@@ -1,16 +1,36 @@
-//! Dense row-major vector storage.
+//! Dense row-major vector storage with 64-byte aligned, padded rows.
 
-use serde::{Deserialize, Serialize};
+/// Floats per 64-byte block; rows are padded to a multiple of this.
+const FLOATS_PER_BLOCK: usize = 16;
+
+/// One cache line of floats. The alignment of this type is what makes
+/// every row in a [`VectorStore`] start on a 64-byte boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C, align(64))]
+struct Block([f32; FLOATS_PER_BLOCK]);
+
+const ZERO_BLOCK: Block = Block([0.0; FLOATS_PER_BLOCK]);
 
 /// A dense, row-major matrix of `f32` vectors.
 ///
-/// All vectors in a store share one dimension. Rows are contiguous, so a
-/// row access is a single slice borrow; this is the layout the simulated
-/// GPU global memory uses as well (one coalesced segment per vector).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// All vectors in a store share one dimension. Each row occupies
+/// [`stride`](Self::stride) floats — `dim` rounded up to a multiple of
+/// 16 — so every row starts on a 64-byte (cache line / AVX-512 register)
+/// boundary and the tail of each row is zero-filled. This is the layout
+/// the simulated GPU global memory uses as well (one coalesced, aligned
+/// segment per vector), and it is what lets the SIMD distance kernels
+/// in [`crate::simd`] run aligned full-width loops with no remainder
+/// handling on the batched path.
+///
+/// [`get`](Self::get) still returns exactly `dim` floats, so code that
+/// is not distance-critical never sees the padding;
+/// [`row_padded`](Self::row_padded) exposes the full aligned stride.
+#[derive(Clone, Debug, PartialEq)]
 pub struct VectorStore {
     dim: usize,
-    data: Vec<f32>,
+    stride: usize,
+    len: usize,
+    blocks: Vec<Block>,
 }
 
 impl VectorStore {
@@ -20,13 +40,19 @@ impl VectorStore {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            stride: dim.div_ceil(FLOATS_PER_BLOCK) * FLOATS_PER_BLOCK,
+            len: 0,
+            blocks: Vec::new(),
+        }
     }
 
     /// Creates a store with pre-allocated capacity for `n` vectors.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
-        assert!(dim > 0, "vector dimension must be positive");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        let mut store = Self::new(dim);
+        store.blocks.reserve(n * store.blocks_per_row());
+        store
     }
 
     /// Builds a store from a flat row-major buffer.
@@ -36,12 +62,16 @@ impl VectorStore {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim
         );
-        Self { dim, data }
+        let mut store = Self::with_capacity(dim, data.len() / dim);
+        for row in data.chunks_exact(dim) {
+            store.push(row);
+        }
+        store
     }
 
     /// Builds a store from an iterator of rows.
@@ -59,25 +89,59 @@ impl VectorStore {
         store
     }
 
+    #[inline]
+    fn blocks_per_row(&self) -> usize {
+        self.stride / FLOATS_PER_BLOCK
+    }
+
+    /// The flat padded buffer viewed as floats (`len * stride` long).
+    #[inline]
+    fn flat(&self) -> &[f32] {
+        // SAFETY: `Block` is `repr(C, align(64))` around `[f32; 16]`
+        // (64 bytes, no padding bytes), so a slice of blocks is exactly
+        // a contiguous, initialized run of `16 * blocks.len()` f32s.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.blocks.as_ptr().cast::<f32>(),
+                self.blocks.len() * FLOATS_PER_BLOCK,
+            )
+        }
+    }
+
+    #[inline]
+    fn flat_mut(&mut self) -> &mut [f32] {
+        // SAFETY: same layout argument as `flat`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.blocks.as_mut_ptr().cast::<f32>(),
+                self.blocks.len() * FLOATS_PER_BLOCK,
+            )
+        }
+    }
+
     /// Appends one vector.
     ///
     /// # Panics
     /// Panics if `row.len() != self.dim()`.
     pub fn push(&mut self, row: &[f32]) {
         assert_eq!(row.len(), self.dim, "row length must equal store dimension");
-        self.data.extend_from_slice(row);
+        self.blocks.resize(self.blocks.len() + self.blocks_per_row(), ZERO_BLOCK);
+        self.len += 1;
+        let start = (self.len - 1) * self.stride;
+        let dim = self.dim;
+        self.flat_mut()[start..start + dim].copy_from_slice(row);
     }
 
     /// Number of vectors stored.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.len
     }
 
     /// Whether the store holds no vectors.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// The shared dimension of all vectors.
@@ -86,32 +150,55 @@ impl VectorStore {
         self.dim
     }
 
-    /// Borrows vector `i`.
+    /// Floats per stored row: `dim` rounded up to a multiple of 16.
+    ///
+    /// `stride() - dim()` trailing floats of every
+    /// [`row_padded`](Self::row_padded) slice are zero.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Borrows vector `i` (exactly `dim` floats, padding excluded).
     ///
     /// # Panics
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> &[f32] {
-        let start = i * self.dim;
-        &self.data[start..start + self.dim]
+        assert!(i < self.len, "row index {i} out of bounds for store of len {}", self.len);
+        let start = i * self.stride;
+        &self.flat()[start..start + self.dim]
     }
 
-    /// Borrows vector `i` mutably.
+    /// Borrows vector `i` with its zero padding: `stride` floats
+    /// starting on a 64-byte boundary.
+    ///
+    /// This is the accessor the batched SIMD kernels use — the slice
+    /// length is always a multiple of 16, so a full-width vector loop
+    /// covers it with no scalar tail.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row_padded(&self, i: usize) -> &[f32] {
+        assert!(i < self.len, "row index {i} out of bounds for store of len {}", self.len);
+        let start = i * self.stride;
+        &self.flat()[start..start + self.stride]
+    }
+
+    /// Borrows vector `i` mutably (padding excluded, so the zero tail
+    /// cannot be corrupted through this accessor).
     #[inline]
     pub fn get_mut(&mut self, i: usize) -> &mut [f32] {
-        let start = i * self.dim;
-        &mut self.data[start..start + self.dim]
+        assert!(i < self.len, "row index {i} out of bounds for store of len {}", self.len);
+        let start = i * self.stride;
+        let dim = self.dim;
+        &mut self.flat_mut()[start..start + dim]
     }
 
-    /// The underlying flat row-major buffer.
-    #[inline]
-    pub fn as_flat(&self) -> &[f32] {
-        &self.data
-    }
-
-    /// Iterates over rows in index order.
+    /// Iterates over rows in index order (each exactly `dim` floats).
     pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> {
-        self.data.chunks_exact(self.dim)
+        (0..self.len).map(move |i| self.get(i))
     }
 
     /// L2-normalizes every vector in place.
@@ -121,7 +208,8 @@ impl VectorStore {
     /// cosine similarity reduces to an inner product — the same trick the
     /// GPU implementations in the paper's lineage (SONG, CAGRA) use.
     pub fn normalize_l2(&mut self) {
-        for row in self.data.chunks_exact_mut(self.dim) {
+        for i in 0..self.len {
+            let row = self.get_mut(i);
             let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
             if norm > 0.0 {
                 for x in row.iter_mut() {
@@ -131,9 +219,17 @@ impl VectorStore {
         }
     }
 
-    /// Returns the memory footprint of the raw vector data in bytes.
+    /// Returns the memory footprint of the logical vector payload in
+    /// bytes (`len * dim * 4`), excluding alignment padding — this is
+    /// also exactly what the binary codec serializes. See
+    /// [`nbytes_padded`](Self::nbytes_padded) for the resident size.
     pub fn nbytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
+        self.len * self.dim * std::mem::size_of::<f32>()
+    }
+
+    /// Returns the resident size of the padded backing buffer in bytes.
+    pub fn nbytes_padded(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<Block>()
     }
 }
 
@@ -175,7 +271,12 @@ mod tests {
     fn from_rows_matches_pushes() {
         let rows: Vec<Vec<f32>> = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
         let s = VectorStore::from_rows(2, rows.iter().map(|r| r.as_slice()));
-        assert_eq!(s.as_flat(), &[0.0, 1.0, 2.0, 3.0]);
+        let mut t = VectorStore::new(2);
+        t.push(&[0.0, 1.0]);
+        t.push(&[2.0, 3.0]);
+        assert_eq!(s, t);
+        assert_eq!(s.get(0), &[0.0, 1.0]);
+        assert_eq!(s.get(1), &[2.0, 3.0]);
     }
 
     #[test]
@@ -200,5 +301,38 @@ mod tests {
     fn nbytes_counts_payload() {
         let s = VectorStore::from_flat(4, vec![0.0; 16]);
         assert_eq!(s.nbytes(), 64);
+    }
+
+    #[test]
+    fn rows_are_aligned_and_zero_padded() {
+        for dim in [1, 3, 16, 17, 100, 128, 200] {
+            let mut s = VectorStore::new(dim);
+            s.push(&vec![1.5; dim]);
+            s.push(&vec![-2.5; dim]);
+            assert_eq!(s.stride(), dim.div_ceil(16) * 16);
+            assert_eq!(s.stride() % 16, 0);
+            for i in 0..s.len() {
+                let padded = s.row_padded(i);
+                assert_eq!(padded.as_ptr() as usize % 64, 0, "dim={dim} row={i} misaligned");
+                assert_eq!(padded.len(), s.stride());
+                assert_eq!(&padded[..dim], s.get(i));
+                assert!(padded[dim..].iter().all(|&x| x == 0.0), "dim={dim} pad not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_stays_zero_after_mutation() {
+        let mut s = VectorStore::new(5);
+        s.push(&[1.0; 5]);
+        s.get_mut(0).copy_from_slice(&[9.0; 5]);
+        s.normalize_l2();
+        assert!(s.row_padded(0)[5..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn nbytes_padded_counts_backing_blocks() {
+        let s = VectorStore::from_flat(4, vec![0.0; 16]); // 4 rows, 1 block each
+        assert_eq!(s.nbytes_padded(), 4 * 64);
     }
 }

@@ -22,11 +22,9 @@ fn main() {
     let k = 10;
 
     // ---- Part 1: the real threaded server. -------------------------
-    let engine = AlgasEngine::new(
-        index.clone(),
-        EngineConfig { k, l: 48, slots: 8, ..Default::default() },
-    )
-    .expect("feasible");
+    let engine =
+        AlgasEngine::new(index.clone(), EngineConfig { k, l: 48, slots: 8, ..Default::default() })
+            .expect("feasible");
     let server = AlgasServer::start(
         engine,
         RuntimeConfig { n_slots: 8, n_workers: 2, n_host_threads: 1, queue_capacity: 512 },
@@ -50,15 +48,8 @@ fn main() {
     let wall = t0.elapsed();
     latencies.sort_unstable();
     println!("== native threaded runtime ==");
-    println!(
-        "{n} queries in {wall:.2?}  ({:.0} q/s)",
-        n as f64 / wall.as_secs_f64()
-    );
-    println!(
-        "latency p50 {} µs   p99 {} µs",
-        latencies[n / 2],
-        latencies[(n * 99) / 100]
-    );
+    println!("{n} queries in {wall:.2?}  ({:.0} q/s)", n as f64 / wall.as_secs_f64());
+    println!("latency p50 {} µs   p99 {} µs", latencies[n / 2], latencies[(n * 99) / 100]);
     server.shutdown();
 
     // ---- Part 2: simulated GPU, open-loop arrivals. -----------------
@@ -70,8 +61,8 @@ fn main() {
     let run_a = algas.run_workload(&ds.queries);
     let run_c = cagra.run_workload(&ds.queries);
 
-    let mean_gpu_ns: u64 = run_a.works.iter().map(|w| w.max_cta_ns()).sum::<u64>()
-        / run_a.works.len() as u64;
+    let mean_gpu_ns: u64 =
+        run_a.works.iter().map(|w| w.max_cta_ns()).sum::<u64>() / run_a.works.len() as u64;
     // Offered load ≈ 60% of one-slot capacity × 16 slots.
     let inter_arrival = (mean_gpu_ns as f64 / 16.0 / 0.6) as u64;
     let arrivals: Vec<u64> = (0..run_a.works.len() as u64)

@@ -33,7 +33,10 @@ fn main() {
 
     // 4. Search, with full cost tracing.
     let traced = engine.search_traced(ds.queries.get(0), 0);
-    println!("\nquery 0 → top-10 ids: {:?}", traced.topk.iter().map(|&(_, id)| id).collect::<Vec<_>>());
+    println!(
+        "\nquery 0 → top-10 ids: {:?}",
+        traced.topk.iter().map(|&(_, id)| id).collect::<Vec<_>>()
+    );
     println!(
         "   simulated GPU time {} µs across {} CTAs ({} total steps), host merge {} ns",
         traced.work.max_cta_ns() / 1000,

@@ -48,7 +48,10 @@ fn main() {
         )),
     ];
 
-    println!("\n{:<8} {:>8} {:>14} {:>12} {:>14}", "method", "recall", "latency (µs)", "p99 (µs)", "thpt (kq/s)");
+    println!(
+        "\n{:<8} {:>8} {:>14} {:>12} {:>14}",
+        "method", "recall", "latency (µs)", "p99 (µs)", "thpt (kq/s)"
+    );
     let arrivals = vec![0u64; ds.queries.len()];
     for m in &methods {
         let run = m.run_workload(&ds.queries);

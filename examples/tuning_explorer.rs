@@ -12,8 +12,13 @@ use algas::gpu::DeviceProps;
 
 fn main() {
     let device = DeviceProps::rtx_a6000();
-    println!("device: {} ({} SMs, {} blocks/SM, {} KiB shared/SM)\n",
-        device.name, device.num_sms, device.max_blocks_per_sm, device.shared_mem_per_sm / 1024);
+    println!(
+        "device: {} ({} SMs, {} blocks/SM, {} KiB shared/SM)\n",
+        device.name,
+        device.num_sms,
+        device.max_blocks_per_sm,
+        device.shared_mem_per_sm / 1024
+    );
 
     // How N_parallel degrades as slots grow (fixed SIFT-like shape).
     println!("== N_parallel vs slot count (dim 128, L 64) ==");
@@ -51,10 +56,8 @@ fn main() {
     // Raw occupancy curve: blocks/SM as a block's shared memory grows.
     println!("\n== occupancy vs per-block shared memory (32 threads) ==");
     for kib in [1usize, 2, 4, 6, 8, 12, 16, 24, 32, 48] {
-        let occ = device_occupancy(
-            &device,
-            &BlockDemand { threads: 32, shared_mem_bytes: kib * 1024 },
-        );
+        let occ =
+            device_occupancy(&device, &BlockDemand { threads: 32, shared_mem_bytes: kib * 1024 });
         println!(
             "{:>3} KiB/block → {:>2} blocks/SM, {:>4} resident blocks",
             kib, occ.blocks_per_sm, occ.total_resident_blocks

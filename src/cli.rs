@@ -220,11 +220,7 @@ fn cmd_search(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<()
         queries.normalize_l2();
     }
     if queries.dim() != index.base.dim() {
-        return Err(format!(
-            "query dim {} != index dim {}",
-            queries.dim(),
-            index.base.dim()
-        ));
+        return Err(format!("query dim {} != index dim {}", queries.dim(), index.base.dim()));
     }
     let engine = engine_from_flags(index, flags)?;
     let k = engine.config().k;
@@ -348,8 +344,19 @@ mod tests {
         let results = tmp("r.ivecs");
 
         let msg = run_ok(&[
-            "gen", "--out", &base, "--queries", &queries, "--n", "600", "--nq", "40", "--dim",
-            "12", "--seed", "7",
+            "gen",
+            "--out",
+            &base,
+            "--queries",
+            &queries,
+            "--n",
+            "600",
+            "--nq",
+            "40",
+            "--dim",
+            "12",
+            "--seed",
+            "7",
         ]);
         assert!(msg.contains("600 base vectors"));
 
@@ -362,8 +369,19 @@ mod tests {
         assert!(msg.contains("600 x dim 12"));
 
         let msg = run_ok(&[
-            "search", "--index", &index, "--queries", &queries, "--k", "10", "--l", "64", "--gt",
-            &gt, "--out", &results,
+            "search",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--k",
+            "10",
+            "--l",
+            "64",
+            "--gt",
+            &gt,
+            "--out",
+            &results,
         ]);
         assert!(msg.contains("recall@10"), "{msg}");
         let recall: f64 = msg
@@ -375,7 +393,15 @@ mod tests {
         assert!(recall > 0.85, "CLI pipeline recall {recall}");
 
         let msg = run_ok(&[
-            "serve", "--index", &index, "--queries", &queries, "--slots", "4", "--repeat", "2",
+            "serve",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--slots",
+            "4",
+            "--repeat",
+            "2",
         ]);
         assert!(msg.contains("served 80 queries"), "{msg}");
 

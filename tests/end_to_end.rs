@@ -142,10 +142,7 @@ fn hnsw_pipeline_through_facade() {
     let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, 10);
     let results: Vec<Vec<u32>> = (0..ds.queries.len())
         .map(|q| {
-            hnsw.search(&ds.base, ds.queries.get(q), 64, 10)
-                .into_iter()
-                .map(|(_, id)| id)
-                .collect()
+            hnsw.search(&ds.base, ds.queries.get(q), 64, 10).into_iter().map(|(_, id)| id).collect()
         })
         .collect();
     let r = mean_recall(&results, &gt, 10);
@@ -158,8 +155,8 @@ fn hnsw_pipeline_through_facade() {
         Metric::L2,
         algas::graph::GraphKind::Nsw,
     );
-    let engine = AlgasEngine::new(index, EngineConfig { k: 10, l: 64, ..Default::default() })
-        .unwrap();
+    let engine =
+        AlgasEngine::new(index, EngineConfig { k: 10, l: 64, ..Default::default() }).unwrap();
     let wl = engine.run_workload(&ds.queries);
     assert!(mean_recall(&wl.results, &gt, 10) > 0.9);
 }

@@ -36,11 +36,7 @@ fn claim_query_step_skew_exists() {
     // At this test scale the tail is milder than the paper-scale band
     // (the `figures fig1` harness reproduces 150%+); require a clear
     // but conservative skew here.
-    assert!(
-        max / mean > 1.15,
-        "expected a heavy step tail, got max/mean {:.2}",
-        max / mean
-    );
+    assert!(max / mean > 1.15, "expected a heavy step tail, got max/mean {:.2}", max / mean);
 }
 
 /// §III-B / Fig 3: sorting is a significant but minority share of
@@ -58,10 +54,7 @@ fn claim_sorting_share_in_paper_band() {
         }
     }
     let frac = sort as f64 / total as f64;
-    assert!(
-        (0.10..0.45).contains(&frac),
-        "sort share {frac:.3} far outside the paper's regime"
-    );
+    assert!((0.10..0.45).contains(&frac), "sort share {frac:.3} far outside the paper's regime");
 }
 
 /// §IV-B: the CPU merge undercuts the GPU cross-CTA merge for every

@@ -3,10 +3,10 @@
 use algas::core::lists::{CandidateList, VisitedBitmap};
 use algas::core::merge::merge_topk;
 use algas::core::state::SlotState;
+use algas::gpu::arrivals::ArrivalProcess;
 use algas::gpu::cost::CostModel;
 use algas::gpu::engine::schedule_blocks;
 use algas::gpu::occupancy::{max_shared_mem_per_block, required_blocks_per_sm};
-use algas::gpu::arrivals::ArrivalProcess;
 use algas::gpu::sched::dynamic::{run_dynamic, DynamicConfig};
 use algas::gpu::sched::partitioned::{run_partitioned, PartitionedConfig};
 use algas::gpu::sched::static_batch::{run_static, StaticBatchConfig};
@@ -295,11 +295,9 @@ fn recall_is_monotone_in_l() {
     let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, 10);
     let mut last = 0.0;
     for l in [16usize, 32, 64, 128] {
-        let engine = AlgasEngine::new(
-            index.clone(),
-            EngineConfig { k: 10, l, ..Default::default() },
-        )
-        .unwrap();
+        let engine =
+            AlgasEngine::new(index.clone(), EngineConfig { k: 10, l, ..Default::default() })
+                .unwrap();
         let wl = engine.run_workload(&ds.queries);
         let r = mean_recall(&wl.results, &gt, 10);
         assert!(r >= last - 0.02, "recall regressed at L={l}: {r} < {last}");

@@ -1,0 +1,53 @@
+//! End-to-end pin of the SIMD wiring: forcing the scalar kernels and
+//! running the dispatched (AVX2/NEON) kernels must produce identical
+//! neighbor ids and identical StepTrace *counters* on a seeded dataset.
+//!
+//! The cost counters are count- and dimension-based, so SIMD
+//! reassociation may change distance values in their low bits but must
+//! never change which vertices are visited, in what order, or what the
+//! accounting charges. Everything lives in one `#[test]` because
+//! `force_scalar` flips process-global dispatch state.
+
+use algas::core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
+use algas::graph::cagra::CagraParams;
+use algas::vector::datasets::DatasetSpec;
+use algas::vector::{simd, Metric};
+
+#[test]
+fn scalar_and_simd_paths_agree_end_to_end() {
+    let ds = DatasetSpec::tiny(600, 16, Metric::L2, 4242).generate();
+    let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    let cfg = EngineConfig { k: 10, l: 64, ..Default::default() };
+    let engine = AlgasEngine::new(index, cfg).unwrap();
+
+    for q in 0..ds.queries.len().min(24) {
+        let query = ds.queries.get(q);
+        simd::force_scalar(true);
+        let scalar = engine.search_traced(query, q as u64);
+        simd::force_scalar(false);
+        let vector = engine.search_traced(query, q as u64);
+
+        let ids = |t: &algas::core::engine::TracedSearch| {
+            t.topk.iter().map(|&(_, id)| id).collect::<Vec<u32>>()
+        };
+        assert_eq!(ids(&scalar), ids(&vector), "query {q}: neighbor ids diverged");
+
+        assert_eq!(scalar.multi.traces.len(), vector.multi.traces.len());
+        for (c, (ts, tv)) in scalar.multi.traces.iter().zip(&vector.multi.traces).enumerate() {
+            assert_eq!(ts.steps.len(), tv.steps.len(), "query {q} cta {c}: step counts");
+            for (i, (ss, sv)) in ts.steps.iter().zip(&tv.steps).enumerate() {
+                assert_eq!(
+                    (ss.selected_offset, ss.expansions, ss.dist_evals, ss.sorts),
+                    (sv.selected_offset, sv.expansions, sv.dist_evals, sv.sorts),
+                    "query {q} cta {c} step {i}: work counters diverged"
+                );
+                assert_eq!(
+                    (ss.calc_cycles, ss.sort_cycles, ss.other_cycles),
+                    (sv.calc_cycles, sv.sort_cycles, sv.other_cycles),
+                    "query {q} cta {c} step {i}: cycle accounting diverged"
+                );
+            }
+        }
+    }
+    simd::force_scalar(false);
+}

@@ -1,0 +1,74 @@
+//! Pins the zero-allocation serving invariant: after one warmup pass
+//! over a query set, repeating the identical pass through
+//! [`AlgasEngine::search_into`] with a reused [`SearchScratch`] must
+//! perform **zero** heap allocations.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; this
+//! file holds exactly one test so no concurrent test can perturb the
+//! counter (integration tests get their own binary, and the allocator
+//! is per-binary).
+
+use algas::core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
+use algas::graph::cagra::CagraParams;
+use algas::vector::datasets::DatasetSpec;
+use algas::vector::Metric;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn hot_path_allocates_nothing_after_warmup() {
+    let ds = DatasetSpec::tiny(600, 16, Metric::L2, 77).generate();
+    let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    let cfg = EngineConfig { k: 10, l: 64, ..Default::default() };
+    let engine = AlgasEngine::new(index, cfg).unwrap();
+
+    let n_queries = ds.queries.len().min(32);
+    let mut scratch = engine.make_scratch();
+    let mut checksum = 0u64;
+
+    // Warmup: grows every buffer in the scratch (and the thread-local
+    // padded-query staging) to this workload's high-water mark.
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+
+    // Measured pass: the identical workload must not touch the heap.
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+
+    assert_eq!(checksum, 2 * (n_queries as u64) * 10, "searches returned short TopK");
+    assert_eq!(
+        after - before,
+        0,
+        "serving hot path allocated {} times after warmup",
+        after - before
+    );
+}

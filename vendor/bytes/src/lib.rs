@@ -1,0 +1,248 @@
+//! Offline stand-in for the `bytes` crate (see `vendor/README.md`).
+//!
+//! Implements the little slice of the API this workspace's binary
+//! codecs use: `BytesMut` as a growable write buffer with `put_*_le`
+//! appenders, `Bytes` as a cheap immutable byte container, and `Buf`
+//! as a cursor over `&[u8]` with `get_*_le` readers. Unlike upstream
+//! there is no refcounted zero-copy splitting — `freeze` simply moves
+//! the backing `Vec` — which is semantically identical for every use
+//! here.
+
+use std::sync::Arc;
+
+/// Immutable contiguous bytes (shared, cheaply cloneable).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Read offset for the [`Buf`] cursor.
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes { data: Arc::new(s.to_vec()), pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::new(v), pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::new(v.to_vec()), pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable write buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] (moves the backing vec).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side cursor trait (subset of upstream `bytes::BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-side cursor trait (subset of upstream `bytes::Buf`).
+///
+/// # Panics
+/// The `get_*` methods panic when fewer than the required bytes
+/// remain, matching upstream behavior.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "Buf underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "Buf underflow");
+        self.pos += cnt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_fields() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_u8(7);
+        buf.put_f32_le(1.5);
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 17);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_cursor_advances() {
+        let mut b = Bytes::from(vec![1, 0, 0, 0, 2]);
+        assert_eq!(b.get_u32_le(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get_u8(), 2);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion 0.5
+//! API surface this workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Per benchmark it runs a short warmup,
+//! then timed batches, and prints `name ... <mean time>/iter
+//! (<iters> iters)`. No statistics, plots, or baseline files.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// (total elapsed, iterations) accumulated by `iter`.
+    measurement: Option<(Duration, u64)>,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a few warmup calls, then timed batches
+    /// until the target measurement time elapses.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= self.target {
+                self.measurement = Some((elapsed, iters));
+                return;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+fn report(name: &str, measurement: Option<(Duration, u64)>) {
+    match measurement {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            let (value, unit) = if per_iter < 1_000.0 {
+                (per_iter, "ns")
+            } else if per_iter < 1_000_000.0 {
+                (per_iter / 1_000.0, "µs")
+            } else {
+                (per_iter / 1_000_000.0, "ms")
+            };
+            println!("bench: {name:<50} {value:>10.2} {unit}/iter ({iters} iters)");
+        }
+        _ => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// Top-level harness, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, target: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Honors a benchmark-name filter argument; ignores the flags cargo
+    /// and criterion CLIs pass (`--bench`, `--test`, etc.).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--quiet" | "-q" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. --measurement-time 5).
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn measurement_time(mut self, target: Duration) -> Self {
+        self.target = target;
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            let mut b = Bencher { measurement: None, target: self.target };
+            f(&mut b);
+            report(name, b.measurement);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+}
+
+/// Group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; sampling is time-based in this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, target: Duration) -> &mut Self {
+        self.parent.target = target;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            let mut b = Bencher { measurement: None, target: self.parent.target };
+            f(&mut b);
+            report(&full, b.measurement);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            let mut b = Bencher { measurement: None, target: self.parent.target };
+            f(&mut b, input);
+            report(&full, b.measurement);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("square", |b| b.iter(|| black_box(3u64) * black_box(3u64)));
+        group.bench_with_input(BenchmarkId::new("plus", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        let mut c = Criterion { filter: None, target: Duration::from_millis(5) };
+        demo(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| black_box(1)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! `into_par_iter()`/`par_iter()` return ordinary sequential iterators,
+//! so every adapter (`map`, `filter`, `collect`, ...) is the std one
+//! and results are identical to upstream rayon's (rayon guarantees
+//! order-preserving collects). The build machine exposes a single
+//! hardware thread, so sequential execution is also the honest
+//! performance baseline here.
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v: Vec<u32> = (0..100u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100u32).map(|x| x * 2).collect::<Vec<_>>());
+        let s: u32 = v.par_iter().sum();
+        assert_eq!(s, 9900);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Only the trait *names* and the derive macros are needed: the
+//! workspace annotates types for forward compatibility but performs all
+//! persistence through its own `binary` modules. The traits here are
+//! deliberately empty markers; the derives (re-exported from the stub
+//! `serde_derive`) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace parity with upstream (`serde::de::DeserializeOwned`).
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing actually serializes through serde (all
+//! persistence goes through the hand-rolled `binary` modules). These
+//! derives therefore expand to nothing; the `serde` helper attribute is
+//! registered so `#[serde(...)]` annotations keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
