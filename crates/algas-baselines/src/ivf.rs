@@ -1,4 +1,4 @@
-//! IVF-Flat — the quantization-family baseline (FAISS-GPU's IVF [21]).
+//! IVF-Flat — the quantization-family baseline (FAISS-GPU's IVF, paper ref \[21\]).
 //!
 //! Build: Lloyd k-means over the corpus into `nlist` cells. Search:
 //! score the query against all centroids, scan the `nprobe` nearest

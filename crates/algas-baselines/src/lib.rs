@@ -3,7 +3,7 @@
 //! The comparator systems of the paper's evaluation (§VI):
 //!
 //! * [`ivf`] — a from-scratch IVF-Flat (Lloyd k-means + nprobe scan),
-//!   standing in for FAISS-GPU's IVF [21].
+//!   standing in for FAISS-GPU's IVF (paper ref \[21\]).
 //! * [`methods`] — the uniform [`methods::SearchMethod`] interface
 //!   bundling each method's functional search with its batching
 //!   discipline: ALGAS (dynamic slots, beam extend, CPU merge), CAGRA

@@ -5,6 +5,7 @@
 //! figures fig10 [--scale S]               # one experiment to stdout
 //! figures list                            # available experiment ids
 //! figures bench_distance [--out PATH]     # SIMD kernel timings → BENCH_distance.json
+//! figures bench_build [--scale S] [--out PATH]  # build speedup + relayout → BENCH_build.json
 //! ```
 //!
 //! `--scale` scales the synthetic corpora (default 0.15 ≈ 9k vectors
@@ -47,7 +48,10 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: figures [all|list|bench_distance|<experiment-id>] [--scale S] [--out PATH]");
+    eprintln!(
+        "usage: figures [all|list|bench_distance|bench_build|<experiment-id>] \
+         [--scale S] [--out PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -131,6 +135,14 @@ fn main() {
     if args.command == "bench_distance" {
         // Kernel microbenchmark: no dataset prep, no cache.
         bench_distance(args.out.as_deref().unwrap_or("BENCH_distance.json"));
+        return;
+    }
+    if args.command == "bench_build" {
+        // Graph-construction + relayout benchmark: self-contained prep.
+        algas_bench::build_bench::run(
+            args.scale,
+            args.out.as_deref().unwrap_or("BENCH_build.json"),
+        );
         return;
     }
 

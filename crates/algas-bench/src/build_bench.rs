@@ -1,0 +1,136 @@
+//! `figures bench_build`: graph-construction speedup and relayout
+//! latency report → `BENCH_build.json`.
+//!
+//! Two measurements back the parallel-build + relayout work:
+//!
+//! 1. **Build speedup** — every builder (NSW, HNSW, CAGRA) timed
+//!    serial (1 thread) vs parallel ([`parallel::max_threads`] threads)
+//!    at n ∈ {10k, 50k} (scaled by `--scale`). The builders are
+//!    thread-count invariant, so the speedup column is pure wall-clock.
+//! 2. **Relayout effect** — mean per-query beam-extend search latency
+//!    and recall@10 on the same CAGRA index before and after
+//!    [`AlgasIndex::relayout`]. The medoid entry policy pins the same
+//!    physical start point, so recall must come back unchanged and the
+//!    latency delta isolates the cache-layout + prefetch effect.
+
+use algas_core::engine::{AlgasEngine, AlgasIndex, BeamMode, EngineConfig};
+use algas_graph::cagra::CagraParams;
+use algas_graph::hnsw::{build_hnsw_parallel, HnswParams};
+use algas_graph::nsw::NswParams;
+use algas_graph::{parallel, CagraBuilder, EntryPolicy, NswBuilder};
+use algas_vector::datasets::DatasetSpec;
+use algas_vector::ground_truth::{brute_force_knn, mean_recall};
+use algas_vector::{Metric, VectorStore};
+use std::time::Instant;
+
+const DIM: usize = 64;
+const BASE_SIZES: [usize; 2] = [10_000, 50_000];
+
+fn secs(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64()
+}
+
+/// One builder timed serial vs parallel on one corpus.
+fn time_builder(name: &str, n: usize, threads: usize, build: impl Fn(usize) -> usize) -> String {
+    let t = Instant::now();
+    let edges_serial = build(1);
+    let serial_s = secs(t);
+    let t = Instant::now();
+    let edges_parallel = build(threads);
+    let parallel_s = secs(t);
+    assert_eq!(edges_serial, edges_parallel, "{name}: thread-count variance detected");
+    let speedup = serial_s / parallel_s;
+    eprintln!(
+        "  {name:<5} n={n:>6}: serial {serial_s:7.2}s  parallel({threads}) {parallel_s:7.2}s  \
+         ({speedup:.2}x)"
+    );
+    format!(
+        "    {{\"graph\": \"{name}\", \"n\": {n}, \"serial_s\": {serial_s:.3}, \
+         \"parallel_s\": {parallel_s:.3}, \"threads\": {threads}, \"speedup\": {speedup:.2}}}"
+    )
+}
+
+/// Mean per-query `search_into` latency in microseconds (best of 3
+/// passes over the query set) plus recall@10.
+fn measure_engine(
+    engine: &AlgasEngine,
+    queries: &VectorStore,
+    gt: &algas_vector::ground_truth::GroundTruth,
+) -> (f64, f64) {
+    let mut scratch = engine.make_scratch();
+    // Warmup sizes the scratch so the timed passes are allocation-free.
+    engine.search_into(queries.get(0), 0, &mut scratch);
+    let mut best = f64::INFINITY;
+    let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+    for pass in 0..3 {
+        let t = Instant::now();
+        for q in 0..queries.len() {
+            engine.search_into(queries.get(q), q as u64, &mut scratch);
+            if pass == 0 {
+                results.push(scratch.topk.iter().map(|&(_, id)| id).collect());
+            }
+        }
+        best = best.min(secs(t) * 1e6 / queries.len() as f64);
+    }
+    (best, mean_recall(&results, gt, 10))
+}
+
+/// Runs the build + relayout benchmark, writing `out_path`.
+pub fn run(scale: f64, out_path: &str) {
+    let threads = parallel::max_threads();
+    eprintln!("bench_build: {threads} thread(s), scale {scale}");
+
+    let mut build_rows = Vec::new();
+    for base_n in BASE_SIZES {
+        let n = ((base_n as f64 * scale) as usize).max(512);
+        let ds = DatasetSpec::tiny(n, DIM, Metric::L2, 0xB11D + base_n as u64).generate();
+        let base = &ds.base;
+
+        let nsw = NswBuilder::new(Metric::L2, NswParams::default());
+        build_rows.push(time_builder("nsw", n, threads, |t| nsw.build_parallel(base, t).nbytes()));
+        build_rows.push(time_builder("hnsw", n, threads, |t| {
+            build_hnsw_parallel(base, Metric::L2, HnswParams::default(), t).base().nbytes()
+        }));
+        let cagra = CagraBuilder::new(Metric::L2, CagraParams::default());
+        build_rows.push(time_builder("cagra", n, threads, |t| {
+            cagra.build_with_threads(base, t).nbytes()
+        }));
+    }
+
+    // Relayout: latency + recall on the larger corpus's CAGRA index.
+    let n = ((BASE_SIZES[1] as f64 * scale) as usize).max(512);
+    let ds = DatasetSpec::tiny(n, DIM, Metric::L2, 0x1A10).generate();
+    let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, 10);
+    let cfg = EngineConfig {
+        k: 10,
+        l: 64,
+        slots: 8,
+        beam: BeamMode::Auto,
+        entry: EntryPolicy::Medoid,
+        ..Default::default()
+    };
+    let mut relayouted = index.clone();
+    relayouted.relayout();
+    let before = AlgasEngine::new(index, cfg).expect("engine (insertion order)");
+    let after = AlgasEngine::new(relayouted, cfg).expect("engine (relayouted)");
+    let (lat_before, recall_before) = measure_engine(&before, &ds.queries, &gt);
+    let (lat_after, recall_after) = measure_engine(&after, &ds.queries, &gt);
+    eprintln!(
+        "  relayout n={n}: {lat_before:.1} -> {lat_after:.1} us/query ({:.2}x), \
+         recall {recall_before:.4} -> {recall_after:.4}",
+        lat_before / lat_after
+    );
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"scale\": {scale},\n  \"dim\": {DIM},\n  \
+         \"build\": [\n{}\n  ],\n  \"relayout\": {{\"n\": {n}, \
+         \"latency_us_before\": {lat_before:.2}, \"latency_us_after\": {lat_after:.2}, \
+         \"speedup\": {:.3}, \"recall_before\": {recall_before:.4}, \
+         \"recall_after\": {recall_after:.4}}}\n}}\n",
+        build_rows.join(",\n"),
+        lat_before / lat_after
+    );
+    std::fs::write(out_path, &json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

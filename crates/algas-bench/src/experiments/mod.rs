@@ -1,5 +1,6 @@
 //! One module per paper table/figure. Each `run` takes the prepared
-//! datasets and returns rendered [`ExperimentReport`]s; the `figures`
+//! datasets and returns rendered
+//! [`ExperimentReport`](crate::report::ExperimentReport)s; the `figures`
 //! binary assembles them into `EXPERIMENTS.md`.
 
 pub mod ablations;

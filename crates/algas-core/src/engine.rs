@@ -13,7 +13,7 @@ use crate::search::{BeamParams, SearchContext};
 use crate::tuning::{tune, TuningError, TuningInput, TuningPlan};
 use algas_gpu_sim::{CostModel, CtaWork, DeviceProps, QueryWork};
 use algas_graph::entry::{medoid, EntryPolicy};
-use algas_graph::{CagraBuilder, FixedDegreeGraph, GraphKind, NswBuilder};
+use algas_graph::{CagraBuilder, FixedDegreeGraph, GraphKind, NodePermutation, NswBuilder};
 use algas_vector::metric::DistValue;
 use algas_vector::{Metric, VectorStore};
 
@@ -30,6 +30,9 @@ pub struct AlgasIndex {
     pub medoid: u32,
     /// Which family the graph was built as.
     pub kind: GraphKind,
+    /// Physical → original id map when the index has been relayouted
+    /// (see [`AlgasIndex::relayout`]); `None` means ids are unpermuted.
+    pub id_map: Option<NodePermutation>,
 }
 
 impl AlgasIndex {
@@ -41,7 +44,7 @@ impl AlgasIndex {
     ) -> Self {
         let graph = NswBuilder::new(metric, params).build(&base);
         let medoid = medoid(&base, metric);
-        Self { base, graph, metric, medoid, kind: GraphKind::Nsw }
+        Self { base, graph, metric, medoid, kind: GraphKind::Nsw, id_map: None }
     }
 
     /// Builds a CAGRA-style fixed out-degree index.
@@ -52,7 +55,7 @@ impl AlgasIndex {
     ) -> Self {
         let graph = CagraBuilder::new(metric, params).build(&base);
         let medoid = medoid(&base, metric);
-        Self { base, graph, metric, medoid, kind: GraphKind::Cagra }
+        Self { base, graph, metric, medoid, kind: GraphKind::Cagra, id_map: None }
     }
 
     /// Wraps pre-built parts (e.g. graphs loaded from a cache).
@@ -67,7 +70,50 @@ impl AlgasIndex {
     ) -> Self {
         assert_eq!(base.len(), graph.len(), "graph/corpus size mismatch");
         let medoid = medoid(&base, metric);
-        Self { base, graph, metric, medoid, kind }
+        Self { base, graph, metric, medoid, kind, id_map: None }
+    }
+
+    /// Relayouts the index for cache locality: renumbers nodes by a
+    /// BFS, degree-aware permutation from the medoid (see
+    /// [`NodePermutation::bfs_from`]), permutes the vector rows to
+    /// match, and remembers the physical → original id map so search
+    /// results still come back in the caller's original id space.
+    ///
+    /// Idempotent in effect: relayouting twice composes the maps, and
+    /// results always translate straight back to original ids. Returns
+    /// the permutation applied by *this* call.
+    pub fn relayout(&mut self) -> NodePermutation {
+        let perm = NodePermutation::bfs_from(&self.graph, self.medoid);
+        self.graph = perm.apply_to_graph(&self.graph);
+        self.base = self.base.permute(perm.new_to_old());
+        self.medoid = perm.to_new(self.medoid);
+        self.id_map = Some(match self.id_map.take() {
+            Some(prev) => prev.compose(&perm),
+            None => perm.clone(),
+        });
+        perm
+    }
+
+    /// Maps a physical (post-relayout) id back to the caller's original
+    /// id; identity when the index was never relayouted.
+    #[inline]
+    pub fn external_id(&self, internal: u32) -> u32 {
+        match &self.id_map {
+            Some(map) => map.to_old(internal),
+            None => internal,
+        }
+    }
+
+    /// Rewrites the ids of a scored result list from physical to
+    /// original ids, in place (allocation-free — the serving hot path
+    /// calls this on every reply).
+    #[inline]
+    pub fn externalize(&self, results: &mut [(DistValue, u32)]) {
+        if let Some(map) = &self.id_map {
+            for (_, id) in results.iter_mut() {
+                *id = map.to_old(*id);
+            }
+        }
     }
 
     /// Corpus size.
@@ -262,6 +308,10 @@ impl AlgasEngine {
     /// This is the serving hot path: after one warmup query per scratch
     /// it touches the heap zero times (pinned by the workspace's
     /// counting-allocator test).
+    ///
+    /// `scratch.topk` comes back in the caller's *original* id space
+    /// (the relayout id-map, if any, is applied in place);
+    /// `scratch.multi` keeps the raw per-CTA lists in physical ids.
     pub fn search_into(&self, query: &[f32], query_id: u64, scratch: &mut SearchScratch) {
         let ctx = SearchContext::new(
             &self.index.graph,
@@ -279,6 +329,7 @@ impl AlgasEngine {
             &mut scratch.multi,
         );
         merge_topk_into(scratch.multi.per_cta(), self.cfg.k, &mut scratch.merge, &mut scratch.topk);
+        self.index.externalize(&mut scratch.topk);
     }
 
     /// Searches one query: exact ids plus the timed work descriptor.

@@ -10,13 +10,16 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const INDEX_MAGIC: u32 = 0x414C_4958; // "ALIX"
-const FORMAT_VERSION: u32 = 1;
+/// Format 2 appends a node-permutation section (the relayout id-map)
+/// after the graph; format-1 files (no such section) are still read.
+const FORMAT_VERSION: u32 = 2;
 
 /// Serializes an index into a writer.
 pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
     let store_blob = algas_vector::binary::encode_store(&index.base);
     let graph_blob = algas_graph::binary::encode_graph(&index.graph);
-    let mut header = BytesMut::with_capacity(32);
+    let perm_blob = index.id_map.as_ref().map(algas_graph::binary::encode_permutation);
+    let mut header = BytesMut::with_capacity(40);
     header.put_u32_le(INDEX_MAGIC);
     header.put_u32_le(FORMAT_VERSION);
     header.put_u8(match index.metric {
@@ -30,13 +33,18 @@ pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
     header.put_u32_le(index.medoid);
     header.put_u64_le(store_blob.len() as u64);
     header.put_u64_le(graph_blob.len() as u64);
+    // Zero-length section = index was never relayouted.
+    header.put_u64_le(perm_blob.as_ref().map_or(0, |b| b.len() as u64));
     w.write_all(&header)?;
     w.write_all(&store_blob)?;
     w.write_all(&graph_blob)?;
+    if let Some(blob) = perm_blob {
+        w.write_all(&blob)?;
+    }
     Ok(())
 }
 
-/// Deserializes an index from a reader.
+/// Deserializes an index from a reader (accepts format 1 and 2).
 pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     let mut header = [0u8; 30];
     r.read_exact(&mut header)?;
@@ -45,7 +53,7 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
         return Err(invalid("not an ALGAS index file"));
     }
     let version = h.get_u32_le();
-    if version != FORMAT_VERSION {
+    if version != 1 && version != FORMAT_VERSION {
         return Err(invalid(&format!("unsupported index format version {version}")));
     }
     let metric = match h.get_u8() {
@@ -61,6 +69,13 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     let medoid = h.get_u32_le();
     let store_len = h.get_u64_le() as usize;
     let graph_len = h.get_u64_le() as usize;
+    let perm_len = if version >= 2 {
+        let mut ext = [0u8; 8];
+        r.read_exact(&mut ext).map_err(|_| invalid("truncated v2 header"))?;
+        u64::from_le_bytes(ext) as usize
+    } else {
+        0
+    };
 
     let mut store_blob = vec![0u8; store_len];
     r.read_exact(&mut store_blob).map_err(|_| invalid("truncated corpus section"))?;
@@ -75,7 +90,18 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     if (medoid as usize) >= base.len().max(1) {
         return Err(invalid("medoid out of range"));
     }
-    Ok(AlgasIndex { base, graph, metric, medoid, kind })
+    let id_map = if perm_len > 0 {
+        let mut perm_blob = vec![0u8; perm_len];
+        r.read_exact(&mut perm_blob).map_err(|_| invalid("truncated permutation section"))?;
+        let perm = algas_graph::binary::decode_permutation(&perm_blob)?;
+        if perm.len() != base.len() {
+            return Err(invalid("permutation/corpus size mismatch"));
+        }
+        Some(perm)
+    } else {
+        None
+    };
+    Ok(AlgasIndex { base, graph, metric, medoid, kind, id_map })
 }
 
 impl AlgasIndex {
@@ -139,6 +165,41 @@ mod tests {
         let e2 = AlgasEngine::new(back, cfg).unwrap();
         let q: Vec<f32> = vec![0.1; 8];
         assert_eq!(e1.search(&q, 0), e2.search(&q, 0));
+    }
+
+    #[test]
+    fn relayouted_index_roundtrips_with_id_map() {
+        let mut index = sample_index();
+        index.relayout();
+        assert!(index.id_map.is_some());
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let back = read_index(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.id_map, index.id_map);
+        assert_eq!(back.base, index.base);
+        assert_eq!(back.graph, index.graph);
+        assert_eq!(back.medoid, index.medoid);
+    }
+
+    #[test]
+    fn reads_format_v1_files_without_permutation() {
+        // Hand-build a v1 file: same layout minus the perm-length field.
+        let index = sample_index();
+        let store_blob = algas_vector::binary::encode_store(&index.base);
+        let graph_blob = algas_graph::binary::encode_graph(&index.graph);
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(INDEX_MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u8(1); // cosine
+        buf.put_u8(1); // cagra
+        buf.put_u32_le(index.medoid);
+        buf.put_u64_le(store_blob.len() as u64);
+        buf.put_u64_le(graph_blob.len() as u64);
+        buf.extend_from_slice(&store_blob);
+        buf.extend_from_slice(&graph_blob);
+        let back = read_index(std::io::Cursor::new(buf.to_vec())).unwrap();
+        assert!(back.id_map.is_none());
+        assert_eq!(back.graph, index.graph);
     }
 
     #[test]

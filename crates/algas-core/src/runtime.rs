@@ -287,6 +287,43 @@ impl Drop for AlgasServer {
     }
 }
 
+/// Bounded spin-then-yield backoff for the polling loops (crossbeam
+/// `Backoff`-style). A poller that just found work spins in short
+/// `spin_loop` bursts — a slot may flip any nanosecond and an OS yield
+/// would cost microseconds of latency — but each idle pass doubles the
+/// burst, and once the wait stretches past `SPIN_LIMIT` passes the
+/// poller falls back to `yield_now`, so idle slots stop burning a full
+/// core. Finding work resets the backoff to hot spinning.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Idle passes spent spinning before falling back to OS yields.
+    const SPIN_LIMIT: u32 = 6;
+
+    fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Waits a little; call after a pass over the slots found no work.
+    fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Back to hot spinning; call after a pass that did work.
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
 /// Persistent worker ("CTA group"): polls owned slots for `Work`,
 /// executes the multi-CTA search, publishes per-CTA lists, flips to
 /// `Finish`. Exits once every owned slot reaches `Quit`.
@@ -297,6 +334,7 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
     // serving path performs no heap allocation in this thread.
     let mut scratch = SearchScratch::new();
     let mut query_buf: Vec<f32> = Vec::new();
+    let mut backoff = Backoff::new();
     loop {
         let mut all_quit = true;
         let mut did_work = false;
@@ -338,8 +376,10 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
         if all_quit {
             return;
         }
-        if !did_work {
-            std::thread::yield_now();
+        if did_work {
+            backoff.reset();
+        } else {
+            backoff.snooze();
         }
     }
 }
@@ -353,6 +393,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
     // allocate because they are handed to the client.
     let mut merge = MergeScratch::new();
     let mut merged: Vec<(DistValue, u32)> = Vec::new();
+    let mut backoff = Backoff::new();
     loop {
         let mut all_quit = true;
         let mut did_work = false;
@@ -371,6 +412,9 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                         merge_topk_into(&payload.per_cta, k, &mut merge, &mut merged);
                         payload.job.take().expect("Finish implies a job")
                     };
+                    // Per-CTA lists carry physical (relayouted) ids;
+                    // replies speak the caller's original id space.
+                    shared.engine.index().externalize(&mut merged);
                     let reply = SearchReply {
                         tag: job.tag,
                         ids: merged.iter().map(|&(_, id)| id).collect(),
@@ -414,8 +458,10 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
         if all_quit {
             return;
         }
-        if !did_work {
-            std::thread::yield_now();
+        if did_work {
+            backoff.reset();
+        } else {
+            backoff.snooze();
         }
     }
 }
@@ -448,6 +494,46 @@ mod tests {
             },
         );
         (server, ds, oracle)
+    }
+
+    #[test]
+    fn backoff_spins_then_yields_and_resets() {
+        let mut b = Backoff::new();
+        for _ in 0..(Backoff::SPIN_LIMIT + 50) {
+            b.snooze(); // must stay bounded: no panic, no overflow
+        }
+        assert!(b.step > Backoff::SPIN_LIMIT, "backoff should exhaust its spin budget");
+        b.reset();
+        assert_eq!(b.step, 0);
+    }
+
+    #[test]
+    fn relayouted_server_replies_in_original_id_space() {
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        // Medoid entry: the same physical start point pre/post relayout,
+        // so the reply ids must match the unpermuted oracle exactly.
+        let cfg = EngineConfig {
+            k: 8,
+            l: 32,
+            slots: 4,
+            beam: BeamMode::Auto,
+            entry: algas_graph::EntryPolicy::Medoid,
+            ..Default::default()
+        };
+        let oracle = AlgasEngine::new(index.clone(), cfg).unwrap();
+        let mut relayouted = index;
+        relayouted.relayout();
+        let server = AlgasServer::start(
+            AlgasEngine::new(relayouted, cfg).unwrap(),
+            RuntimeConfig { n_slots: 4, n_workers: 2, n_host_threads: 1, queue_capacity: 64 },
+        );
+        for i in 0..5 {
+            let q = ds.queries.get(i).to_vec();
+            let reply = server.search_blocking(q.clone()).unwrap();
+            assert_eq!(reply.ids, oracle.search(&q, reply.tag), "query {i}");
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -104,6 +104,22 @@ impl CtaScratch {
     fn list(&self) -> &CandidateList {
         self.list.as_ref().expect("scratch not seeded")
     }
+
+    /// Prefetches the adjacency row of the candidate this scratch's
+    /// search will select next (advisory; no-op when finished). The
+    /// multi-CTA driver calls this one CTA *ahead* of the one it steps,
+    /// overlapping the next CTA's first memory touch with the current
+    /// CTA's compute the way a GPU hides latency across resident CTAs.
+    pub fn prefetch_upcoming(&self, ctx: &SearchContext<'_>) {
+        if self.done {
+            return;
+        }
+        if let Some(list) = &self.list {
+            if let Some(next) = list.closest_unexpanded() {
+                ctx.graph.prefetch_row(list.items()[next].id);
+            }
+        }
+    }
 }
 
 /// A resumable single-CTA search (one [`step`](CtaSearch::step) per
@@ -211,7 +227,15 @@ impl<'a> CtaSearch<'a> {
         }
         let best_distance = list.items()[first].dist.0;
 
-        // ② Expand + bitmap filter.
+        // ② Expand + bitmap filter. All selected adjacency rows are
+        // prefetched up front so the expansion loop walks warm lines
+        // (after a relayout they are also near-contiguous); each
+        // surviving neighbor's vector row is prefetched as it is
+        // admitted, hiding its load behind the rest of the filter pass
+        // before step ③ batch-computes the distances.
+        for &offset in &s.selected {
+            self.ctx.graph.prefetch_row(list.items()[offset].id);
+        }
         s.expand_ids.clear();
         let mut filter_checked = 0usize;
         for &offset in &s.selected {
@@ -219,6 +243,7 @@ impl<'a> CtaSearch<'a> {
             for u in self.ctx.graph.neighbors(v) {
                 filter_checked += 1;
                 if visited.test_and_set(u) {
+                    self.ctx.base.prefetch(u as usize);
                     s.expand_ids.push(u);
                 }
             }
@@ -243,6 +268,13 @@ impl<'a> CtaSearch<'a> {
             (c, 1)
         };
         list.merge_batch(&s.scored);
+
+        // Prefetch next step's first touch — the adjacency row of the
+        // candidate selection ① will pick — so its load overlaps the
+        // trace bookkeeping and whatever runs between steps.
+        if let Some(next) = list.closest_unexpanded() {
+            self.ctx.graph.prefetch_row(list.items()[next].id);
+        }
 
         let other_cycles = SELECT_CYCLES
             + self.ctx.cost.bitmap_filter_cycles(filter_checked, self.params.bitmap_in_shared);

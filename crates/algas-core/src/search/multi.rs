@@ -171,8 +171,14 @@ pub fn search_multi_into(
     let mut any_active = true;
     while any_active {
         any_active = false;
-        for cta in scratch.ctas[..params.n_ctas].iter_mut() {
-            let mut search = CtaSearch::resume(ctx, intra, query, cta);
+        for c in 0..params.n_ctas {
+            // Prefetch the *next* CTA's upcoming adjacency row so its
+            // first memory touch overlaps this CTA's step — the CPU
+            // analogue of a GPU hiding latency across resident CTAs.
+            if params.n_ctas > 1 {
+                scratch.ctas[(c + 1) % params.n_ctas].prefetch_upcoming(&ctx);
+            }
+            let mut search = CtaSearch::resume(ctx, intra, query, &mut scratch.ctas[c]);
             if !search.is_done() && search.step(shared_visited) {
                 any_active = true;
             }

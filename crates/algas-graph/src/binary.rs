@@ -1,10 +1,13 @@
-//! Canonical binary serialization of [`FixedDegreeGraph`].
+//! Canonical binary serialization of [`FixedDegreeGraph`] and
+//! [`NodePermutation`].
 
 use crate::csr::{FixedDegreeGraph, INVALID_ID};
+use crate::layout::NodePermutation;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io;
 
 const GRAPH_MAGIC: u32 = 0x414C_4752; // "ALGR"
+const PERM_MAGIC: u32 = 0x414C_504D; // "ALPM"
 
 /// Serializes a graph (including padding slots, so the roundtrip is
 /// exact).
@@ -50,6 +53,41 @@ pub fn decode_graph(mut data: &[u8]) -> io::Result<FixedDegreeGraph> {
     Ok(graph)
 }
 
+/// Serializes a node permutation (its `new → old` side only — the
+/// inverse is rebuilt on decode).
+pub fn encode_permutation(perm: &NodePermutation) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + perm.len() * 4);
+    buf.put_u32_le(PERM_MAGIC);
+    buf.put_u64_le(perm.len() as u64);
+    for &old in perm.new_to_old() {
+        buf.put_u32_le(old);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a node permutation; rejects wrong magic, truncation,
+/// and non-bijective maps.
+pub fn decode_permutation(mut data: &[u8]) -> io::Result<NodePermutation> {
+    if data.remaining() < 12 || data.get_u32_le() != PERM_MAGIC {
+        return Err(invalid("not a permutation blob"));
+    }
+    let n = data.get_u64_le() as usize;
+    if data.remaining() != n * 4 {
+        return Err(invalid("permutation blob truncated"));
+    }
+    let mut new_to_old = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for _ in 0..n {
+        let old = data.get_u32_le();
+        if old as usize >= n || seen[old as usize] {
+            return Err(invalid("permutation blob is not a bijection"));
+        }
+        seen[old as usize] = true;
+        new_to_old.push(old);
+    }
+    Ok(NodePermutation::from_new_to_old(new_to_old))
+}
+
 fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
@@ -72,6 +110,24 @@ mod tests {
         let mut blob = encode_graph(&FixedDegreeGraph::new(2, 2)).to_vec();
         blob.truncate(blob.len() - 2);
         assert!(decode_graph(&blob).is_err());
+    }
+
+    #[test]
+    fn permutation_roundtrip_and_rejects() {
+        let p = NodePermutation::from_new_to_old(vec![2, 0, 1, 3]);
+        assert_eq!(decode_permutation(&encode_permutation(&p)).unwrap(), p);
+        // Identity roundtrips too.
+        let id = NodePermutation::identity(6);
+        assert_eq!(decode_permutation(&encode_permutation(&id)).unwrap(), id);
+        // Garbage and non-bijections are rejected.
+        assert!(decode_permutation(&[9, 9]).is_err());
+        let mut buf = bytes::BytesMut::new();
+        use bytes::BufMut;
+        buf.put_u32_le(super::PERM_MAGIC);
+        buf.put_u64_le(2);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1); // old id 1 mapped twice
+        assert!(decode_permutation(&buf).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! CAGRA-style fixed out-degree graph optimization.
 //!
-//! CAGRA [25] turns an initial k-NN graph (k = 2·d) into a searchable
+//! CAGRA (paper ref \[25\]) turns an initial k-NN graph (k = 2·d) into a searchable
 //! fixed out-degree graph in two passes:
 //!
 //! 1. **Rank/detour pruning** — for each directed edge `(v, u)` count the
@@ -17,7 +17,10 @@
 //! `graph_degree`, padded where reverse edges run out.
 
 use crate::csr::FixedDegreeGraph;
-use crate::knn::{build_knn_graph_exact, build_knn_graph_nn_descent, NnDescentParams};
+use crate::knn::{
+    build_knn_graph_exact_threads, build_knn_graph_nn_descent_threads, NnDescentParams,
+};
+use crate::parallel;
 use algas_vector::metric::DistValue;
 use algas_vector::{Metric, VectorStore};
 
@@ -62,23 +65,42 @@ impl CagraBuilder {
         Self { params, metric }
     }
 
-    /// Builds the optimized graph over `base`.
+    /// Builds the optimized graph over `base`, using every available
+    /// core (see [`parallel::max_threads`]). Output is identical for
+    /// every thread count — all parallel passes are per-vertex pure.
     pub fn build(&self, base: &VectorStore) -> FixedDegreeGraph {
-        let knn = self.build_intermediate(base);
-        self.optimize(base, &knn)
+        self.build_with_threads(base, parallel::max_threads())
+    }
+
+    /// [`build`](Self::build) with an explicit thread count (used by the
+    /// build benchmarks to compare serial vs parallel construction).
+    pub fn build_with_threads(&self, base: &VectorStore, threads: usize) -> FixedDegreeGraph {
+        let knn = self.build_intermediate_threads(base, threads);
+        self.optimize_with_threads(base, &knn, threads)
     }
 
     /// Builds the intermediate k-NN graph (exact below the threshold,
     /// NN-descent above it).
     pub fn build_intermediate(&self, base: &VectorStore) -> FixedDegreeGraph {
+        self.build_intermediate_threads(base, parallel::max_threads())
+    }
+
+    /// [`build_intermediate`](Self::build_intermediate) with an explicit
+    /// thread count.
+    pub fn build_intermediate_threads(
+        &self,
+        base: &VectorStore,
+        threads: usize,
+    ) -> FixedDegreeGraph {
         let k = self.params.intermediate_degree.min(base.len().saturating_sub(1)).max(1);
         if base.len() <= self.params.exact_threshold {
-            build_knn_graph_exact(base, self.metric, k)
+            build_knn_graph_exact_threads(base, self.metric, k, threads)
         } else {
-            build_knn_graph_nn_descent(
+            build_knn_graph_nn_descent_threads(
                 base,
                 self.metric,
                 NnDescentParams { k, seed: self.params.seed, ..Default::default() },
+                threads,
             )
         }
     }
@@ -88,20 +110,33 @@ impl CagraBuilder {
     /// Exposed separately so tests and ablations can feed a hand-made
     /// intermediate graph.
     pub fn optimize(&self, base: &VectorStore, knn: &FixedDegreeGraph) -> FixedDegreeGraph {
+        self.optimize_with_threads(base, knn, parallel::max_threads())
+    }
+
+    /// [`optimize`](Self::optimize) with an explicit thread count. Both
+    /// passes parallelize over vertices; every per-vertex computation
+    /// reads only the immutable k-NN graph (pass 1) or the fully built
+    /// reverse lists (pass 2), so the result is thread-count invariant.
+    pub fn optimize_with_threads(
+        &self,
+        base: &VectorStore,
+        knn: &FixedDegreeGraph,
+        threads: usize,
+    ) -> FixedDegreeGraph {
         let n = knn.len();
         let d_out = self.params.graph_degree;
         let forward_keep = (d_out / 2).max(1);
 
-        // Pass 1: detour-count pruning. knn rows are sorted by distance
-        // (ranks), so rank(w) < rank(u) ⇔ w precedes u in the row. A
-        // route v → w → u only counts as a detour when *both* hops are
-        // shorter than the direct edge (CAGRA's detourable-route rule);
-        // otherwise greedy search would not actually take it.
-        let mut kept_forward: Vec<Vec<u32>> = Vec::with_capacity(n);
-        let mut row_dists: Vec<f32> = Vec::new();
-        for v in 0..n as u32 {
-            let row: Vec<u32> = knn.neighbors(v).collect();
-            self.metric.distance_batch(base.get(v as usize), base, &row, &mut row_dists);
+        // Pass 1: detour-count pruning, parallel over vertices. knn rows
+        // are sorted by distance (ranks), so rank(w) < rank(u) ⇔ w
+        // precedes u in the row. A route v → w → u only counts as a
+        // detour when *both* hops are shorter than the direct edge
+        // (CAGRA's detourable-route rule); otherwise greedy search would
+        // not actually take it.
+        let kept_forward: Vec<Vec<u32>> = parallel::par_map(n, 32, threads, |v| {
+            let row: Vec<u32> = knn.neighbors(v as u32).collect();
+            let mut row_dists: Vec<f32> = Vec::with_capacity(row.len());
+            self.metric.distance_batch(base.get(v), base, &row, &mut row_dists);
             let dists: Vec<DistValue> = row_dists.iter().map(|&d| DistValue(d)).collect();
             let mut scored: Vec<(usize, usize, u32)> = Vec::with_capacity(row.len());
             for (rank_u, &u) in row.iter().enumerate() {
@@ -122,22 +157,23 @@ impl CagraBuilder {
             }
             // Fewest detours first; rank breaks ties (closer wins).
             scored.sort();
-            kept_forward.push(scored.into_iter().take(forward_keep).map(|(_, _, u)| u).collect());
-        }
+            scored.into_iter().take(forward_keep).map(|(_, _, u)| u).collect()
+        });
 
         // Pass 2: reverse-edge augmentation. Collect reverses of the kept
-        // edges, sorted by edge length so the closest reverses win slots.
+        // edges (sequential scatter — cheap), then assemble each final
+        // row in parallel, sorted so the closest reverses win slots.
         let mut reverse: Vec<Vec<(DistValue, u32)>> = vec![Vec::new(); n];
+        let mut row_dists: Vec<f32> = Vec::new();
         for (v, row) in kept_forward.iter().enumerate() {
             self.metric.distance_batch(base.get(v), base, row, &mut row_dists);
             for (&u, &d) in row.iter().zip(&row_dists) {
                 reverse[u as usize].push((DistValue(d), v as u32));
             }
         }
-        let mut graph = FixedDegreeGraph::new(n, d_out);
-        for v in 0..n as u32 {
-            let mut ids = kept_forward[v as usize].clone();
-            let mut rev = std::mem::take(&mut reverse[v as usize]);
+        let rows: Vec<Vec<u32>> = parallel::par_map(n, 64, threads, |v| {
+            let mut ids = kept_forward[v].clone();
+            let mut rev = reverse[v].clone();
             rev.sort();
             for (_, u) in rev {
                 if ids.len() == d_out {
@@ -149,7 +185,7 @@ impl CagraBuilder {
             }
             // Backfill with the pruned forward edges if slots remain.
             if ids.len() < d_out {
-                for u in knn.neighbors(v) {
+                for u in knn.neighbors(v as u32) {
                     if ids.len() == d_out {
                         break;
                     }
@@ -158,7 +194,11 @@ impl CagraBuilder {
                     }
                 }
             }
-            graph.set_row(v, &ids);
+            ids
+        });
+        let mut graph = FixedDegreeGraph::new(n, d_out);
+        for (v, ids) in rows.iter().enumerate() {
+            graph.set_row(v as u32, ids);
         }
         repair_in_degree(&mut graph, knn);
         graph
@@ -208,9 +248,26 @@ fn repair_in_degree(graph: &mut FixedDegreeGraph, knn: &FixedDegreeGraph) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::knn::build_knn_graph_exact;
     use crate::nsw::beam_search;
     use algas_vector::datasets::DatasetSpec;
     use algas_vector::ground_truth::{brute_force_knn, mean_recall};
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Every parallel pass in the CAGRA pipeline is per-vertex pure,
+        // so the built graph must be exactly equal across thread counts.
+        let ds = DatasetSpec::tiny(350, 10, Metric::L2, 42).generate();
+        let builder = CagraBuilder::new(
+            Metric::L2,
+            CagraParams { graph_degree: 12, intermediate_degree: 24, ..Default::default() },
+        );
+        let serial = builder.build_with_threads(&ds.base, 1);
+        let par2 = builder.build_with_threads(&ds.base, 2);
+        let par4 = builder.build_with_threads(&ds.base, 4);
+        assert_eq!(serial, par2);
+        assert_eq!(serial, par4);
+    }
 
     #[test]
     fn build_has_fixed_degree_and_validates() {

@@ -91,6 +91,13 @@ impl FixedDegreeGraph {
         self.neighbors(v).count()
     }
 
+    /// Hints the CPU to pull the adjacency row of `v` into cache ahead
+    /// of expansion. Advisory only; never faults.
+    #[inline]
+    pub fn prefetch_row(&self, v: u32) {
+        algas_vector::simd::prefetch_ids(self.row(v));
+    }
+
     /// Overwrites the neighbor row of `v`, padding with [`INVALID_ID`].
     ///
     /// # Panics

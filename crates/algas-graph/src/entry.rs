@@ -1,7 +1,7 @@
 //! Entry-point selection.
 //!
 //! Single-CTA search starts at one entry; the paper's multi-CTA mode has
-//! each of a query's CTAs "enter [a] random entry point" (§III-B) so the
+//! each of a query's CTAs "enter \[a\] random entry point" (§III-B) so the
 //! CTAs explore disjoint regions before meeting in the TopK neighborhood.
 
 use algas_vector::{Metric, VectorStore};

@@ -4,54 +4,63 @@
 //! graph*. The authors bootstrap that k-NN graph on the GPU; here we
 //! provide two CPU builders with one output type:
 //!
-//! * [`build_knn_graph_exact`] — O(n²) brute force, rayon-parallel over
-//!   rows. Exact, used for small corpora and as the oracle in tests.
+//! * [`build_knn_graph_exact`] — O(n²) brute force, parallel over rows
+//!   via scoped threads ([`crate::parallel::par_map`]). Exact, used for
+//!   small corpora and as the oracle in tests.
 //! * [`build_knn_graph_nn_descent`] — NN-descent (Dong et al.), the
 //!   standard approximate construction: start random, repeatedly let each
 //!   vertex compare its neighbors' neighbors, keep the k best. Converges
 //!   in a handful of rounds on clustered data.
 
 use crate::csr::FixedDegreeGraph;
+use crate::parallel;
 use algas_vector::metric::DistValue;
 use algas_vector::{Metric, VectorStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// Exact k-NN graph by brute force (excluding self).
 ///
 /// # Panics
 /// Panics if `k == 0` or `k >= base.len()`.
 pub fn build_knn_graph_exact(base: &VectorStore, metric: Metric, k: usize) -> FixedDegreeGraph {
+    build_knn_graph_exact_threads(base, metric, k, parallel::max_threads())
+}
+
+/// [`build_knn_graph_exact`] with an explicit thread count. Rows are
+/// independent, so the output is identical for every thread count.
+pub fn build_knn_graph_exact_threads(
+    base: &VectorStore,
+    metric: Metric,
+    k: usize,
+    threads: usize,
+) -> FixedDegreeGraph {
     let n = base.len();
     assert!(k > 0, "k must be positive");
     assert!(k < n, "k={k} must be < n={n}");
-    let rows: Vec<Vec<u32>> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            // One batched sweep over the whole corpus, then a bounded
-            // heap pass skipping the self-distance.
-            let mut dists = Vec::with_capacity(n);
-            metric.distance_all(base.get(v), base, &mut dists);
-            let mut heap: std::collections::BinaryHeap<(DistValue, u32)> =
-                std::collections::BinaryHeap::with_capacity(k + 1);
-            for (u, &dist) in dists.iter().enumerate() {
-                if u == v {
-                    continue;
-                }
-                let d = DistValue(dist);
-                if heap.len() < k {
-                    heap.push((d, u as u32));
-                } else if d < heap.peek().expect("non-empty").0 {
-                    heap.pop();
-                    heap.push((d, u as u32));
-                }
+    let rows: Vec<Vec<u32>> = parallel::par_map(n, 16, threads, |v| {
+        // One batched sweep over the whole corpus, then a bounded
+        // heap pass skipping the self-distance.
+        let mut dists = Vec::with_capacity(n);
+        metric.distance_all(base.get(v), base, &mut dists);
+        let mut heap: std::collections::BinaryHeap<(DistValue, u32)> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (u, &dist) in dists.iter().enumerate() {
+            if u == v {
+                continue;
             }
-            let mut pairs = heap.into_vec();
-            pairs.sort();
-            pairs.into_iter().map(|(_, id)| id).collect()
-        })
-        .collect();
+            let d = DistValue(dist);
+            if heap.len() < k {
+                heap.push((d, u as u32));
+            } else if d < heap.peek().expect("non-empty").0 {
+                heap.pop();
+                heap.push((d, u as u32));
+            }
+        }
+        let mut pairs = heap.into_vec();
+        pairs.sort();
+        pairs.into_iter().map(|(_, id)| id).collect()
+    });
     FixedDegreeGraph::from_adjacency(n, k, &rows)
 }
 
@@ -118,6 +127,23 @@ pub fn build_knn_graph_nn_descent(
     metric: Metric,
     params: NnDescentParams,
 ) -> FixedDegreeGraph {
+    build_knn_graph_nn_descent_threads(base, metric, params, parallel::max_threads())
+}
+
+/// [`build_knn_graph_nn_descent`] with an explicit thread count.
+///
+/// Within each round, the pair sets of the local join depend only on the
+/// round-start samples — never on inserts made earlier in the same round
+/// — so the expensive distance computations run in parallel over a
+/// window of vertices while the list inserts are applied sequentially in
+/// exactly the serial order. The output is therefore bit-identical for
+/// every thread count.
+pub fn build_knn_graph_nn_descent_threads(
+    base: &VectorStore,
+    metric: Metric,
+    params: NnDescentParams,
+    threads: usize,
+) -> FixedDegreeGraph {
     let n = base.len();
     let k = params.k;
     assert!(k > 0, "k must be positive");
@@ -173,25 +199,46 @@ pub fn build_knn_graph_nn_descent(
             }
         }
         // Local join: for each vertex, compare (new × new) and
-        // (new × old) pairs among its forward+reverse samples.
+        // (new × old) pairs among its forward+reverse samples. The pair
+        // distances are pure functions of the round-start samples, so
+        // they are computed in parallel per window of vertices; the list
+        // inserts are then applied sequentially in vertex order, which
+        // reproduces the serial algorithm exactly. Windowing bounds the
+        // buffered pairs to O(window · k²).
         let mut updates = 0usize;
         let rev_cap = k; // bound reverse lists like the reference algorithm
-        for v in 0..n {
-            let mut new_ids = samples[v].0.clone();
-            let mut old_ids = samples[v].1.clone();
-            for (extra, rev) in [(&mut new_ids, &rev_new[v]), (&mut old_ids, &rev_old[v])] {
-                for &u in rev.iter().take(rev_cap) {
-                    if !extra.contains(&u) {
-                        extra.push(u);
+        const WINDOW: usize = 2048;
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + WINDOW).min(n);
+            let pair_batches: Vec<Vec<(u32, u32, DistValue)>> =
+                parallel::par_map(hi - lo, 64, threads, |i| {
+                    let v = lo + i;
+                    let mut new_ids = samples[v].0.clone();
+                    let mut old_ids = samples[v].1.clone();
+                    for (extra, rev) in [(&mut new_ids, &rev_new[v]), (&mut old_ids, &rev_old[v])] {
+                        for &u in rev.iter().take(rev_cap) {
+                            if !extra.contains(&u) {
+                                extra.push(u);
+                            }
+                        }
                     }
-                }
-            }
-            for (i, &a) in new_ids.iter().enumerate() {
-                for &b in new_ids.iter().skip(i + 1).chain(old_ids.iter()) {
-                    if a == b {
-                        continue;
+                    let mut pairs = Vec::new();
+                    for (i, &a) in new_ids.iter().enumerate() {
+                        for &b in new_ids.iter().skip(i + 1).chain(old_ids.iter()) {
+                            if a == b {
+                                continue;
+                            }
+                            let d = DistValue(
+                                metric.distance(base.get(a as usize), base.get(b as usize)),
+                            );
+                            pairs.push((a, b, d));
+                        }
                     }
-                    let d = DistValue(metric.distance(base.get(a as usize), base.get(b as usize)));
+                    pairs
+                });
+            for pairs in &pair_batches {
+                for &(a, b, d) in pairs {
                     if lists[a as usize].insert(d, b) {
                         updates += 1;
                     }
@@ -200,6 +247,7 @@ pub fn build_knn_graph_nn_descent(
                     }
                 }
             }
+            lo = hi;
         }
         if (updates as f64) < params.termination_frac * (n * k) as f64 {
             break;
@@ -259,6 +307,18 @@ mod tests {
         assert!(approx.validate().is_ok());
         let r = knn_graph_recall(&exact, &approx);
         assert!(r > 0.85, "NN-descent edge recall too low: {r}");
+    }
+
+    #[test]
+    fn builders_are_thread_count_invariant() {
+        let ds = DatasetSpec::tiny(300, 8, Metric::L2, 21).generate();
+        let exact1 = build_knn_graph_exact_threads(&ds.base, Metric::L2, 6, 1);
+        let exact4 = build_knn_graph_exact_threads(&ds.base, Metric::L2, 6, 4);
+        assert_eq!(exact1, exact4);
+        let p = NnDescentParams { k: 6, ..Default::default() };
+        let nd1 = build_knn_graph_nn_descent_threads(&ds.base, Metric::L2, p, 1);
+        let nd4 = build_knn_graph_nn_descent_threads(&ds.base, Metric::L2, p, 4);
+        assert_eq!(nd1, nd4);
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Cache-conscious node relayout for the search hot path.
+//!
+//! Beam search touches the graph in near-BFS order from the entry point,
+//! but builders emit nodes in *insertion* order, so consecutive hops
+//! land on adjacency rows (and vector rows) scattered across the whole
+//! index — every expansion is a cold cache line. BANG and similar
+//! systems show that memory layout dominates traversal cost at scale,
+//! so ALGAS relayouts the finalized graph once at build time:
+//!
+//! 1. compute a **BFS, degree-aware permutation** from the entry point
+//!    ([`NodePermutation::bfs_from`]) — high-out-degree neighbors are
+//!    visited first since they are the hubs search expands through,
+//! 2. permute the CSR rows ([`NodePermutation::apply_to_graph`]) *and*
+//!    the `VectorStore` rows to match, so graph order equals vector
+//!    order and a hop's adjacency + vector loads are near each other,
+//! 3. keep the permutation around: search runs entirely in the new
+//!    (internal) id space and translates back to the caller's original
+//!    (external) ids only at result time via [`NodePermutation::to_old`].
+//!
+//! The id-map contract: `new_to_old[new] = old` and
+//! `old_to_new[old] = new`; both arrays are bijections over `0..n`.
+//! Everything downstream (engine, persistence, replies) speaks external
+//! ids; only the traversal core sees internal ids.
+
+use crate::csr::FixedDegreeGraph;
+
+/// A bijective relabeling of graph nodes (`old` = builder/caller ids,
+/// `new` = cache-optimized physical ids).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodePermutation {
+    new_to_old: Vec<u32>,
+    old_to_new: Vec<u32>,
+}
+
+impl NodePermutation {
+    /// The identity permutation over `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<u32> = (0..n as u32).collect();
+        Self { new_to_old: ids.clone(), old_to_new: ids }
+    }
+
+    /// Builds a permutation from its `new → old` side.
+    ///
+    /// # Panics
+    /// Panics if `new_to_old` is not a bijection over `0..len`.
+    pub fn from_new_to_old(new_to_old: Vec<u32>) -> Self {
+        let n = new_to_old.len();
+        let mut old_to_new = vec![u32::MAX; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            assert!((old as usize) < n, "old id {old} out of range (n={n})");
+            assert!(old_to_new[old as usize] == u32::MAX, "old id {old} mapped twice");
+            old_to_new[old as usize] = new as u32;
+        }
+        Self { new_to_old, old_to_new }
+    }
+
+    /// BFS permutation of `graph` from `entry`, visiting each frontier
+    /// in descending out-degree (hubs first, ties by old id so the
+    /// result is deterministic). Unreachable nodes are appended in old-id
+    /// order, so the result is always a full bijection.
+    pub fn bfs_from(graph: &FixedDegreeGraph, entry: u32) -> Self {
+        let n = graph.len();
+        if n == 0 {
+            return Self::identity(0);
+        }
+        assert!((entry as usize) < n, "entry {entry} out of range (n={n})");
+        let mut new_to_old: Vec<u32> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut frontier: Vec<u32> = vec![entry];
+        seen[entry as usize] = true;
+        while !frontier.is_empty() {
+            // Hubs first: search expands through high-degree nodes most
+            // often, so they get the hottest addresses of their level.
+            frontier.sort_by_key(|&v| (std::cmp::Reverse(graph.valid_degree(v)), v));
+            let mut next: Vec<u32> = Vec::new();
+            for &v in &frontier {
+                new_to_old.push(v);
+                for u in graph.neighbors(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // Disconnected remainder keeps old relative order.
+        for v in 0..n as u32 {
+            if !seen[v as usize] {
+                new_to_old.push(v);
+            }
+        }
+        Self::from_new_to_old(new_to_old)
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// True when the permutation covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// True when this is the identity (relayout was a no-op).
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old.iter().enumerate().all(|(i, &v)| i as u32 == v)
+    }
+
+    /// Maps an internal (new) id back to the caller's original id.
+    #[inline(always)]
+    pub fn to_old(&self, new: u32) -> u32 {
+        self.new_to_old[new as usize]
+    }
+
+    /// Maps an original (old) id to its internal (new) id.
+    #[inline(always)]
+    pub fn to_new(&self, old: u32) -> u32 {
+        self.old_to_new[old as usize]
+    }
+
+    /// The full `new → old` side (what persistence stores).
+    pub fn new_to_old(&self) -> &[u32] {
+        &self.new_to_old
+    }
+
+    /// Composes two relabelings: `self` maps `mid → old`, `inner` maps
+    /// `new → mid`; the result maps `new → old`. Used when an index is
+    /// relayouted more than once — the stored id-map must always take a
+    /// physical id straight back to the caller's original id.
+    pub fn compose(&self, inner: &NodePermutation) -> NodePermutation {
+        assert_eq!(self.len(), inner.len(), "composed permutations must cover the same nodes");
+        Self::from_new_to_old(inner.new_to_old.iter().map(|&mid| self.to_old(mid)).collect())
+    }
+
+    /// Rewrites `graph` into the new id space: row `new` holds the
+    /// relabeled neighbors of old node `new_to_old[new]`. Neighbor
+    /// *order within a row* is preserved (rows are sorted
+    /// best-distance-first by the builders and search relies on that).
+    pub fn apply_to_graph(&self, graph: &FixedDegreeGraph) -> FixedDegreeGraph {
+        assert_eq!(graph.len(), self.len(), "permutation size mismatch");
+        let mut out = FixedDegreeGraph::new(graph.len(), graph.degree());
+        let mut row: Vec<u32> = Vec::with_capacity(graph.degree());
+        for new in 0..self.len() as u32 {
+            let old = self.new_to_old[new as usize];
+            row.clear();
+            row.extend(graph.neighbors(old).map(|u| self.old_to_new[u as usize]));
+            out.set_row(new, &row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, degree: usize) -> FixedDegreeGraph {
+        let rows: Vec<Vec<u32>> =
+            (0..n).map(|v| (1..=degree).map(|d| ((v + d) % n) as u32).collect()).collect();
+        FixedDegreeGraph::from_adjacency(n, degree, &rows)
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = NodePermutation::identity(5);
+        assert!(p.is_identity());
+        for v in 0..5u32 {
+            assert_eq!(p.to_old(v), v);
+            assert_eq!(p.to_new(v), v);
+        }
+        let g = ring(5, 2);
+        assert_eq!(p.apply_to_graph(&g), g);
+    }
+
+    #[test]
+    fn bfs_is_bijective_and_entry_first() {
+        let g = ring(50, 3);
+        let p = NodePermutation::bfs_from(&g, 7);
+        assert_eq!(p.len(), 50);
+        assert_eq!(p.to_old(0), 7); // entry becomes node 0
+        let mut olds: Vec<u32> = p.new_to_old().to_vec();
+        olds.sort();
+        assert_eq!(olds, (0..50).collect::<Vec<u32>>());
+        for old in 0..50u32 {
+            assert_eq!(p.to_old(p.to_new(old)), old);
+        }
+    }
+
+    #[test]
+    fn apply_preserves_edge_structure() {
+        let g = ring(30, 4);
+        let p = NodePermutation::bfs_from(&g, 0);
+        let h = p.apply_to_graph(&g);
+        assert!(h.validate().is_ok());
+        for old in 0..30u32 {
+            let expect: Vec<u32> = g.neighbors(old).map(|u| p.to_new(u)).collect();
+            let got: Vec<u32> = h.neighbors(p.to_new(old)).collect();
+            assert_eq!(got, expect, "row of old node {old}");
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_are_appended() {
+        // Node 3 is an island: nothing points at it, it points nowhere.
+        let rows = vec![vec![1], vec![2], vec![0], vec![]];
+        let g = FixedDegreeGraph::from_adjacency(4, 1, &rows);
+        let p = NodePermutation::bfs_from(&g, 0);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.to_old(3), 3); // island lands at the end
+    }
+
+    #[test]
+    fn hubs_come_first_within_a_level() {
+        // 0 -> {1, 2}; 2 has two out-edges, 1 has one: 2 should get the
+        // lower new id even though 1 < 2 by old id.
+        let rows = vec![vec![1, 2], vec![0], vec![0, 1]];
+        let g = FixedDegreeGraph::from_adjacency(3, 2, &rows);
+        let p = NodePermutation::bfs_from(&g, 0);
+        assert_eq!(p.new_to_old(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn compose_chains_relabelings() {
+        let first = NodePermutation::from_new_to_old(vec![2, 0, 1]); // mid → old
+        let second = NodePermutation::from_new_to_old(vec![1, 2, 0]); // new → mid
+        let combined = first.compose(&second);
+        for new in 0..3u32 {
+            assert_eq!(combined.to_old(new), first.to_old(second.to_old(new)));
+        }
+        let id = NodePermutation::identity(3);
+        assert_eq!(first.compose(&id), first);
+        assert_eq!(id.compose(&first), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped twice")]
+    fn non_bijection_rejected() {
+        NodePermutation::from_new_to_old(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let p = NodePermutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+    }
+}

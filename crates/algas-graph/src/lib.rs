@@ -13,7 +13,7 @@
 //!
 //! * [`nsw::NswBuilder`] — incremental navigable-small-world construction
 //!   (insert, greedy-search M nearest so far, connect bidirectionally).
-//! * [`knn::build_knn_graph`] — exact (brute force, rayon) or
+//! * [`knn::build_knn_graph_exact`] — exact (brute force, parallel) or
 //!   NN-descent approximate k-NN graph construction.
 //! * [`cagra::CagraBuilder`] — CAGRA-style graph optimization: start
 //!   from a k-NN graph, apply rank-based + 2-hop detour pruning and
@@ -32,13 +32,16 @@ pub mod csr;
 pub mod entry;
 pub mod hnsw;
 pub mod knn;
+pub mod layout;
 pub mod nsw;
+pub mod parallel;
 pub mod stats;
 
 pub use cagra::CagraBuilder;
 pub use csr::FixedDegreeGraph;
 pub use entry::EntryPolicy;
 pub use hnsw::{build_hnsw, HnswIndex, HnswParams};
+pub use layout::NodePermutation;
 pub use nsw::NswBuilder;
 
 /// Which graph family an index was built as; used by benchmarks to label

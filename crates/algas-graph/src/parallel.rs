@@ -1,0 +1,190 @@
+//! Deterministic parallel-build primitives.
+//!
+//! Graph construction in this crate parallelizes the way CAGRA's GPU
+//! builder does: the expensive per-vertex work (construction-time
+//! searches, detour counting, k-NN rows) is a *pure function of a
+//! read-only snapshot*, so it can run on any number of threads and
+//! still produce bit-identical output. The primitives here encode that
+//! contract:
+//!
+//! * work is split into contiguous index chunks,
+//! * each chunk's results are computed independently (threads pull
+//!   chunks from a shared atomic counter, so scheduling is dynamic),
+//! * results are reassembled **in chunk order**, erasing any trace of
+//!   which thread ran what.
+//!
+//! The graph that comes out therefore depends only on the input and the
+//! chunk *schedule* — never on the thread count or OS scheduling — which
+//! is what lets the builders promise "deterministic under a fixed seed"
+//! while still scaling across cores.
+//!
+//! `std::thread::scope` is used directly instead of a rayon pool: the
+//! offline build environment pins rayon to a sequential stub
+//! (`vendor/rayon`), and scoped threads give real multi-core speedup in
+//! both environments with no extra dependency surface.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default number of build threads: the `ALGAS_BUILD_THREADS`
+/// environment variable when set (≥ 1), otherwise the machine's
+/// available parallelism.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("ALGAS_BUILD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// `f` must be a pure function of its index (plus captured read-only
+/// state): the output is then identical for every `threads` value,
+/// including 1. Chunks of `chunk_size` indices are pulled dynamically
+/// by the worker threads, and the per-chunk outputs are stitched back
+/// together in chunk order.
+///
+/// # Panics
+/// Panics if `chunk_size == 0`, or propagates a worker panic.
+pub fn par_map<T, F>(n: usize, chunk_size: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1);
+    if threads == 1 || n <= chunk_size {
+        return (0..n).map(f).collect();
+    }
+
+    let n_chunks = n.div_ceil(chunk_size);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Vec<T>>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n_chunks) {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    return;
+                }
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(n);
+                // Compute outside the lock; store under it. The lock is
+                // taken once per chunk, so contention is negligible.
+                let out: Vec<T> = (lo..hi).map(&f).collect();
+                let mut slots = slots.lock().expect("no poisoned chunk slots");
+                debug_assert!(slots[c].is_none(), "chunk {c} computed twice");
+                slots[c] = Some(out);
+            });
+        }
+    });
+
+    let mut slots = slots.into_inner().expect("no poisoned chunk slots");
+    let mut result = Vec::with_capacity(n);
+    for slot in slots.iter_mut() {
+        result.append(slot.as_mut().expect("every chunk computed"));
+    }
+    result
+}
+
+/// The batch schedule for snapshot-batched graph insertion (NSW/HNSW).
+///
+/// Vertices `0..seed` are inserted one at a time (the young graph is too
+/// sparse for stale snapshots); afterwards batch `b` covers the next
+/// `min(max(min_batch, inserted / growth_div), remaining)` vertices.
+/// The schedule is a pure function of `n` — never of the thread count —
+/// so the built graph is identical on every machine.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchSchedule {
+    /// Vertices inserted serially before batching starts.
+    pub seed: usize,
+    /// Minimum batch size once batching starts.
+    pub min_batch: usize,
+    /// Batch size grows as `inserted / growth_div`.
+    pub growth_div: usize,
+}
+
+impl Default for BatchSchedule {
+    fn default() -> Self {
+        Self { seed: 128, min_batch: 64, growth_div: 8 }
+    }
+}
+
+impl BatchSchedule {
+    /// Yields the `(start, end)` vertex ranges of every batch for a
+    /// corpus of `n` vertices (vertex 0 is the entry and is never
+    /// inserted; ranges start at 1).
+    pub fn batches(&self, n: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut done = 1usize; // vertex 0 pre-exists
+        while done < n {
+            let size = if done < self.seed {
+                1
+            } else {
+                (done / self.growth_div).max(self.min_batch).min(n - done)
+            };
+            out.push((done, done + size));
+            done += size;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let expect: Vec<u64> = (0..1000).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            for chunk in [1, 7, 64, 2000] {
+                let got = par_map(1000, chunk, threads, |i| (i as u64) * 3 + 1);
+                assert_eq!(got, expect, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        assert!(par_map(0, 8, 4, |i| i).is_empty());
+        assert_eq!(par_map(1, 8, 4, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn batch_schedule_covers_everything_once() {
+        let s = BatchSchedule::default();
+        for n in [1usize, 2, 5, 129, 1000, 12345] {
+            let batches = s.batches(n);
+            let mut expect = 1usize;
+            for &(lo, hi) in &batches {
+                assert_eq!(lo, expect, "n={n}");
+                assert!(hi > lo && hi <= n, "n={n}");
+                expect = hi;
+            }
+            assert_eq!(expect, n.max(1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_schedule_grows_after_seed() {
+        let s = BatchSchedule::default();
+        let batches = s.batches(10_000);
+        // Serial prefix.
+        assert!(batches.iter().take_while(|&&(_, hi)| hi <= s.seed).all(|&(lo, hi)| hi - lo == 1));
+        // Late batches are large.
+        let last = batches.last().unwrap();
+        assert!(last.1 - last.0 >= s.min_batch);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -138,24 +138,53 @@ pub fn inner_product_scalar(a: &[f32], b: &[f32]) -> f32 {
 /// to call with any slice: prefetching is advisory and cannot fault.
 #[inline]
 pub fn prefetch_row(row: &[f32]) {
+    prefetch_span(row.as_ptr().cast::<u8>(), std::mem::size_of_val(row));
+}
+
+/// Hints the CPU to pull an id row (graph adjacency) into cache.
+#[inline]
+pub fn prefetch_ids(ids: &[u32]) {
+    prefetch_span(ids.as_ptr().cast::<u8>(), std::mem::size_of_val(ids));
+}
+
+/// Issues a read prefetch hint for every cache line in
+/// `[ptr, ptr + bytes)`. Advisory only: never faults, never loads
+/// architecturally; a no-op on architectures without a prefetch
+/// instruction exposed.
+#[inline]
+#[allow(clippy::not_unsafe_ptr_arg_deref)] // prefetch hints never dereference
+pub fn prefetch_span(ptr: *const u8, bytes: usize) {
+    const LINE: usize = 64;
     #[cfg(target_arch = "x86_64")]
     {
         use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-        // Touch one line per 64 bytes; rows are 64-byte aligned so each
-        // iteration starts a new cache line.
-        let ptr = row.as_ptr();
         let mut off = 0;
-        while off < row.len() {
+        while off < bytes {
             // SAFETY: `_mm_prefetch` is a hint; it never dereferences
-            // the pointer architecturally and is safe for any address
-            // within (or one past) an allocated object.
+            // the pointer architecturally and is safe for any address.
             unsafe { _mm_prefetch::<_MM_HINT_T0>(ptr.add(off).cast::<i8>()) };
-            off += 16;
+            off += LINE;
         }
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
     {
-        let _ = row;
+        let mut off = 0;
+        while off < bytes {
+            // SAFETY: PRFM is a hint instruction — it cannot fault and
+            // performs no architectural memory access.
+            unsafe {
+                std::arch::asm!(
+                    "prfm pldl1keep, [{0}]",
+                    in(reg) ptr.add(off),
+                    options(nostack, preserves_flags, readonly)
+                );
+            }
+            off += LINE;
+        }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = (ptr, bytes);
     }
 }
 

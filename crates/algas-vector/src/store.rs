@@ -219,6 +219,34 @@ impl VectorStore {
         }
     }
 
+    /// Returns a new store whose row `i` is this store's row
+    /// `new_to_old[i]` — the vector-side half of a graph relayout, so
+    /// that graph node order and vector row order stay equal.
+    ///
+    /// # Panics
+    /// Panics if `new_to_old` is not a permutation of `0..len` (length
+    /// mismatch or out-of-range id; duplicate ids are caught by the
+    /// length check plus range check only in debug builds — callers pass
+    /// validated `NodePermutation` sides).
+    pub fn permute(&self, new_to_old: &[u32]) -> VectorStore {
+        assert_eq!(new_to_old.len(), self.len, "permutation length must equal store length");
+        let mut out = Self::with_capacity(self.dim, self.len);
+        for &old in new_to_old {
+            out.push(self.get(old as usize));
+        }
+        out
+    }
+
+    /// Hints the CPU to pull row `i` into cache ahead of a future
+    /// [`get`](Self::get). Advisory only; never faults.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        crate::simd::prefetch_row(self.row_padded(i));
+    }
+
     /// Returns the memory footprint of the logical vector payload in
     /// bytes (`len * dim * 4`), excluding alignment padding — this is
     /// also exactly what the binary codec serializes. See
@@ -328,6 +356,26 @@ mod tests {
         s.get_mut(0).copy_from_slice(&[9.0; 5]);
         s.normalize_l2();
         assert!(s.row_padded(0)[5..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn permute_reorders_rows() {
+        let s = VectorStore::from_flat(2, vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1]);
+        let p = s.permute(&[2, 0, 1]);
+        assert_eq!(p.get(0), s.get(2));
+        assert_eq!(p.get(1), s.get(0));
+        assert_eq!(p.get(2), s.get(1));
+        assert_eq!(p.stride(), s.stride());
+        // Identity permutation reproduces the store exactly.
+        assert_eq!(s.permute(&[0, 1, 2]), s);
+        s.prefetch(0); // advisory — just must not fault
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length")]
+    fn permute_rejects_wrong_length() {
+        let s = VectorStore::from_flat(1, vec![1.0, 2.0]);
+        let _ = s.permute(&[0]);
     }
 
     #[test]

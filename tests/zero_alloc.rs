@@ -71,4 +71,31 @@ fn hot_path_allocates_nothing_after_warmup() {
         "serving hot path allocated {} times after warmup",
         after - before
     );
+
+    // Same invariant on a relayouted index: the id-map translation
+    // (physical → original ids) runs inside `search_into` on every
+    // query and must be allocation-free too.
+    let mut relayouted =
+        AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    relayouted.relayout();
+    assert!(relayouted.id_map.is_some(), "relayout must record the id map");
+    let engine = AlgasEngine::new(relayouted, cfg).unwrap();
+    let mut scratch = engine.make_scratch();
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(checksum, 4 * (n_queries as u64) * 10, "searches returned short TopK");
+    assert_eq!(
+        after - before,
+        0,
+        "relayouted hot path allocated {} times after warmup",
+        after - before
+    );
 }
