@@ -6,6 +6,7 @@
 //! figures list                            # available experiment ids
 //! figures bench_distance [--out PATH]     # SIMD kernel timings → BENCH_distance.json
 //! figures bench_build [--scale S] [--out PATH]  # build speedup + relayout → BENCH_build.json
+//! figures bench_serve [--scale S] [--out PATH]  # serving telemetry → BENCH_serve.json
 //! ```
 //!
 //! `--scale` scales the synthetic corpora (default 0.15 ≈ 9k vectors
@@ -49,7 +50,7 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [all|list|bench_distance|bench_build|<experiment-id>] \
+        "usage: figures [all|list|bench_distance|bench_build|bench_serve|<experiment-id>] \
          [--scale S] [--out PATH]"
     );
     std::process::exit(2);
@@ -142,6 +143,14 @@ fn main() {
         algas_bench::build_bench::run(
             args.scale,
             args.out.as_deref().unwrap_or("BENCH_build.json"),
+        );
+        return;
+    }
+    if args.command == "bench_serve" {
+        // Serving-path telemetry benchmark: self-contained prep.
+        algas_bench::serve_bench::run(
+            args.scale,
+            args.out.as_deref().unwrap_or("BENCH_serve.json"),
         );
         return;
     }

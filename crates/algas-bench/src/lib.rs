@@ -21,6 +21,7 @@ pub mod cache;
 pub mod experiments;
 pub mod prep;
 pub mod report;
+pub mod serve_bench;
 
 use crate::prep::Prepared;
 use crate::report::ExperimentReport;

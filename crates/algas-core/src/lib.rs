@@ -19,6 +19,9 @@
 //! * [`runtime`] — a real threaded implementation of the architecture
 //!   (persistent workers, atomic slots, host pollers) usable as a CPU
 //!   ANNS server.
+//! * [`obs`] — serving-path telemetry: lock-free counters, log-linear
+//!   latency histograms, query lifecycle spans, and JSON / Prometheus
+//!   exposition of [`obs::RuntimeStats`] (feature `obs`, default-on).
 //! * [`persist`] — index save/load (one self-describing file).
 //!
 //! ## Quick example
@@ -39,6 +42,7 @@
 pub mod engine;
 pub mod lists;
 pub mod merge;
+pub mod obs;
 pub mod persist;
 pub mod runtime;
 pub mod search;
@@ -48,6 +52,7 @@ pub mod tuning;
 
 pub use engine::{AlgasEngine, AlgasIndex, BeamMode, EngineConfig, TracedSearch, Workload};
 pub use merge::{merge_topk, HostCostModel};
+pub use obs::{Histogram, HistogramSnapshot, RuntimeStats};
 pub use runtime::{AlgasServer, RuntimeConfig, SearchReply, StatsSnapshot};
 pub use search::BeamParams;
 pub use state::{AtomicSlotState, SlotState};

@@ -80,10 +80,47 @@ pub fn merge_topk(lists: &[Vec<(DistValue, u32)>], k: usize) -> Vec<(DistValue, 
     out
 }
 
-/// Reusable state for [`merge_topk_into`]: one cursor per source list.
+/// Plain (non-atomic) merge counters, accumulated across every
+/// [`merge_topk_into`] call on one scratch. The owning host thread
+/// reads deltas and publishes them to the serving snapshot
+/// ([`crate::obs::RuntimeStats`]); keeping the fields plain `u64`s
+/// keeps the merge loop free of atomics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeStats {
+    /// Merge invocations.
+    pub merges: u64,
+    /// Elements consumed from the source lists.
+    pub elements: u64,
+    /// Cross-CTA duplicates dropped.
+    pub dupes_dropped: u64,
+}
+
+impl MergeStats {
+    /// The delta accumulated since `earlier` (same scratch, earlier
+    /// point in time).
+    pub fn since(&self, earlier: &MergeStats) -> MergeStats {
+        MergeStats {
+            merges: self.merges - earlier.merges,
+            elements: self.elements - earlier.elements,
+            dupes_dropped: self.dupes_dropped - earlier.dupes_dropped,
+        }
+    }
+
+    /// Folds another stats block in.
+    pub fn merge(&mut self, other: &MergeStats) {
+        self.merges += other.merges;
+        self.elements += other.elements;
+        self.dupes_dropped += other.dupes_dropped;
+    }
+}
+
+/// Reusable state for [`merge_topk_into`]: one cursor per source list,
+/// plus running [`MergeStats`].
 #[derive(Debug, Default)]
 pub struct MergeScratch {
     pos: Vec<usize>,
+    /// Counters accumulated over every merge run on this scratch.
+    pub stats: MergeStats,
 }
 
 impl MergeScratch {
@@ -112,6 +149,7 @@ pub fn merge_topk_into(
     out.clear();
     scratch.pos.clear();
     scratch.pos.resize(lists.len(), 0);
+    scratch.stats.merges += 1;
     while out.len() < k {
         let mut best: Option<((DistValue, u32), usize)> = None;
         for (li, list) in lists.iter().enumerate() {
@@ -125,10 +163,13 @@ pub fn merge_topk_into(
             break;
         };
         scratch.pos[li] += 1;
+        scratch.stats.elements += 1;
         // Any duplicate's first occurrence is already in `out` (the
         // merge emits in ascending order), so scanning it replaces the
         // hash set of the allocating variant.
-        if !out.iter().any(|&(_, seen)| seen == id) {
+        if out.iter().any(|&(_, seen)| seen == id) {
+            scratch.stats.dupes_dropped += 1;
+        } else {
             out.push((d, id));
         }
     }
@@ -204,6 +245,25 @@ mod tests {
                 assert_eq!(out, merge_topk(lists, k), "k={k}, lists={lists:?}");
             }
         }
+    }
+
+    #[test]
+    fn merge_stats_count_elements_and_dupes() {
+        let lists = vec![vec![(d(1.0), 7)], vec![(d(1.0), 7), (d(2.0), 8)]];
+        let mut scratch = MergeScratch::new();
+        let mut out = Vec::new();
+        let before = scratch.stats;
+        merge_topk_into(&lists, 3, &mut scratch, &mut out);
+        let delta = scratch.stats.since(&before);
+        assert_eq!(delta, MergeStats { merges: 1, elements: 3, dupes_dropped: 1 });
+        // Stats accumulate across calls on the same scratch.
+        merge_topk_into(&lists, 3, &mut scratch, &mut out);
+        assert_eq!(scratch.stats.merges, 2);
+        assert_eq!(scratch.stats.elements, 6);
+        let mut folded = MergeStats::default();
+        folded.merge(&delta);
+        folded.merge(&delta);
+        assert_eq!(folded, scratch.stats);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Serving-path observability: lock-free metrics, latency histograms,
+//! query lifecycle spans, and a stats exposition surface.
+//!
+//! The module splits into an always-compiled reporting layer and a
+//! feature-gated recording layer:
+//!
+//! * [`counters`] / [`hist`] — the primitives: cache-padded relaxed
+//!   counters and log-linear (HDR-style) latency histograms, both
+//!   lock-free and allocation-free to record.
+//! * [`snapshot`] — [`RuntimeStats`], the point-in-time schema shared
+//!   by the threaded runtime and the timing simulators, with JSON and
+//!   Prometheus text serializers (and a JSON parser to validate them).
+//! * [`recorder`] — the hot-path instrumentation
+//!   ([`RuntimeObs`], [`JobStamps`]). Behind the default-on `obs`
+//!   feature: compiled out, both become zero-sized no-ops and no clock
+//!   is read, so the serving loops carry zero instrumentation cost
+//!   while every call site stays `#[cfg]`-free.
+//! * [`json`] / [`prom`] — the self-contained wire formats (the
+//!   hermetic workspace has no `serde_json`).
+
+pub mod counters;
+pub mod hist;
+pub mod json;
+pub mod prom;
+pub mod recorder;
+pub mod snapshot;
+
+pub use counters::{CachePadded, Counter};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use recorder::{stamp, JobStamps, RuntimeObs, Stamp};
+pub use snapshot::{HostStats, PhaseStats, RuntimeStats, SlotStats, WorkerStats};

@@ -1,0 +1,210 @@
+//! Prometheus text exposition format: a writer for the stats surface
+//! and a small parser used to validate the emitted page.
+//!
+//! The emitted page follows the text format v0.0.4: `# TYPE` headers,
+//! one `name{labels} value` sample per line. Histogram phases are
+//! exposed as Prometheus *summaries* (pre-computed quantiles plus
+//! `_sum`/`_count`) rather than `_bucket` series — the log-linear
+//! histograms have ~1900 buckets and a 6-phase bucket dump would swamp
+//! any scrape.
+
+/// Incrementally builds an exposition page.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits a `# TYPE` header (`counter`, `gauge`, `summary`).
+    pub fn type_header(&mut self, name: &str, kind: &str) -> &mut Self {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        self
+    }
+
+    /// Emits one sample; `labels` are `(key, value)` pairs.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                // Label values escape backslash, quote, newline.
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        if value.fract() == 0.0 && value.abs() < 1e18 {
+            self.out.push_str(&format!("{}", value as i64));
+        } else {
+            self.out.push_str(&format!("{value}"));
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// An unlabeled integer sample.
+    pub fn scalar(&mut self, name: &str, value: u64) -> &mut Self {
+        self.sample(name, &[], value as f64)
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Metric name.
+    pub name: String,
+    /// Label `(key, value)` pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses an exposition page into its samples, validating the line
+/// grammar. Comment (`#`) and blank lines are skipped.
+///
+/// # Errors
+/// The first malformed line, with its 1-based line number.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples
+            .push(parse_sample(line).map_err(|e| format!("line {}: {e}: `{line}`", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+// Sequential scan, not chained `replace`: `\\n` (escaped backslash
+// followed by `n`) must decode to `\n`-the-two-characters, which a
+// `replace("\\n", ..)` pass would corrupt.
+fn unescape_label(v: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            _ => return Err("bad label escape".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (head, value) = match line.rfind(' ') {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => return Err("missing value".into()),
+    };
+    let value: f64 = value.parse().map_err(|_| "bad value".to_string())?;
+    let (name, labels) = match head.find('{') {
+        None => (head.to_string(), Vec::new()),
+        Some(open) => {
+            if !head.ends_with('}') {
+                return Err("unterminated label set".into());
+            }
+            let name = head[..open].to_string();
+            let body = &head[open + 1..head.len() - 1];
+            let mut labels = Vec::new();
+            if !body.is_empty() {
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').ok_or("label missing `=`")?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or("label value not quoted")?;
+                    labels.push((k.to_string(), unescape_label(v)?));
+                }
+            }
+            (name, labels)
+        }
+    };
+    if name.is_empty()
+        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err("bad metric name".into());
+    }
+    Ok(PromSample { name, labels, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_parses_back() {
+        let mut w = PromWriter::new();
+        w.type_header("algas_queries_total", "counter")
+            .scalar("algas_queries_total", 42)
+            .type_header("algas_phase_ns", "summary")
+            .sample("algas_phase_ns", &[("phase", "e2e"), ("quantile", "0.99")], 1234.0)
+            .sample("algas_phase_ns_sum", &[("phase", "e2e")], 5678.0);
+        let page = w.finish();
+        let samples = parse_prometheus(&page).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(
+            samples[0],
+            PromSample { name: "algas_queries_total".into(), labels: vec![], value: 42.0 }
+        );
+        assert_eq!(samples[1].label("phase"), Some("e2e"));
+        assert_eq!(samples[1].label("quantile"), Some("0.99"));
+        assert_eq!(samples[2].value, 5678.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["noval", "1bad_name 3", "x{a=b} 1", "x{a=\"b\"", "x notanumber"] {
+            assert!(parse_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let mut w = PromWriter::new();
+        w.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        let samples = parse_prometheus(&w.finish()).unwrap();
+        assert_eq!(samples[0].label("k"), Some("a\"b\\c\nd"));
+    }
+}

@@ -1,0 +1,429 @@
+//! The hot-path recorder behind the `obs` feature flag.
+//!
+//! [`RuntimeObs`] owns the live metric cells the serving threads write:
+//! cache-padded per-worker / per-host / per-slot counter blocks (each
+//! thread's counters live on their own cache lines, so relaxed
+//! increments never contend) and the six shared phase histograms.
+//! [`JobStamps`] rides inside each in-flight job and collects the
+//! lifecycle timestamps the phase spans are computed from.
+//!
+//! With the (default-on) `obs` feature disabled both types compile to
+//! zero-sized no-ops and [`stamp`] stops calling `Instant::now`, so the
+//! serving loops keep identical shape with zero instrumentation cost —
+//! call sites never need `#[cfg]`.
+
+#[cfg(feature = "obs")]
+pub use enabled::{stamp, JobStamps, RuntimeObs, Stamp};
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::{stamp, JobStamps, RuntimeObs, Stamp};
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use crate::merge::MergeStats;
+    use crate::obs::counters::{CachePadded, Counter};
+    use crate::obs::hist::Histogram;
+    use crate::obs::snapshot::{HostStats, RuntimeStats, SlotStats, WorkerStats};
+    use crate::tracer::StepTotals;
+    use std::time::Instant;
+
+    /// A point in time on the serving path (an `Instant` when `obs` is
+    /// on, a zero-sized unit when off).
+    pub type Stamp = Instant;
+
+    /// The current time, as the recorder understands it.
+    #[inline]
+    pub fn stamp() -> Stamp {
+        Instant::now()
+    }
+
+    fn ns_between(from: Stamp, to: Stamp) -> u64 {
+        to.saturating_duration_since(from).as_nanos() as u64
+    }
+
+    /// Lifecycle timestamps carried inside one in-flight job.
+    #[derive(Clone, Copy, Debug)]
+    pub struct JobStamps {
+        submitted: Stamp,
+        slot: Option<Stamp>,
+        work_start: Option<Stamp>,
+        finish: Option<Stamp>,
+    }
+
+    impl JobStamps {
+        /// Stamps the submission time (call at `submit`).
+        pub fn new() -> Self {
+            Self { submitted: stamp(), slot: None, work_start: None, finish: None }
+        }
+
+        /// Stamps slot assignment (host refill).
+        pub fn mark_slot(&mut self) {
+            self.slot = Some(stamp());
+        }
+
+        /// Stamps search start (worker picked the slot up).
+        pub fn mark_work_start(&mut self) {
+            self.work_start = Some(stamp());
+        }
+
+        /// Stamps search completion (`Work → Finish` flip).
+        pub fn mark_finish(&mut self) {
+            self.finish = Some(stamp());
+        }
+    }
+
+    impl Default for JobStamps {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    #[derive(Default)]
+    struct WorkerCells {
+        queries: Counter,
+        busy_passes: Counter,
+        idle_passes: Counter,
+        // Search totals land in the owning worker's block so the hot
+        // path never shares a cache line with another thread.
+        steps: Counter,
+        expansions: Counter,
+        dist_evals: Counter,
+        sorts: Counter,
+        calc_cycles: Counter,
+        sort_cycles: Counter,
+        other_cycles: Counter,
+    }
+
+    #[derive(Default)]
+    struct HostCells {
+        delivered: Counter,
+        refills: Counter,
+        busy_passes: Counter,
+        idle_passes: Counter,
+        merges: Counter,
+        merge_elements: Counter,
+        merge_dupes: Counter,
+    }
+
+    #[derive(Default)]
+    struct SlotCells {
+        assigned: Counter,
+        finished: Counter,
+        delivered: Counter,
+    }
+
+    /// The live metric cells of one running server.
+    pub struct RuntimeObs {
+        workers: Vec<CachePadded<WorkerCells>>,
+        hosts: Vec<CachePadded<HostCells>>,
+        slots: Vec<CachePadded<SlotCells>>,
+        submit_to_slot: Histogram,
+        slot_to_work: Histogram,
+        work_to_finish: Histogram,
+        finish_to_merged: Histogram,
+        merged_to_delivered: Histogram,
+        end_to_end: Histogram,
+    }
+
+    impl RuntimeObs {
+        /// Allocates the cells for the given runtime shape (startup
+        /// only; recording never allocates).
+        pub fn new(n_slots: usize, n_workers: usize, n_host_threads: usize) -> Self {
+            Self {
+                workers: (0..n_workers).map(|_| CachePadded::default()).collect(),
+                hosts: (0..n_host_threads).map(|_| CachePadded::default()).collect(),
+                slots: (0..n_slots).map(|_| CachePadded::default()).collect(),
+                submit_to_slot: Histogram::new(),
+                slot_to_work: Histogram::new(),
+                work_to_finish: Histogram::new(),
+                finish_to_merged: Histogram::new(),
+                merged_to_delivered: Histogram::new(),
+                end_to_end: Histogram::new(),
+            }
+        }
+
+        /// Accounts one worker poll pass.
+        #[inline]
+        pub fn worker_pass(&self, w: usize, did_work: bool) {
+            let cells = &self.workers[w];
+            if did_work {
+                cells.busy_passes.incr();
+            } else {
+                cells.idle_passes.incr();
+            }
+        }
+
+        /// Accounts one host-poller pass.
+        #[inline]
+        pub fn host_pass(&self, h: usize, did_work: bool) {
+            let cells = &self.hosts[h];
+            if did_work {
+                cells.busy_passes.incr();
+            } else {
+                cells.idle_passes.incr();
+            }
+        }
+
+        /// Accounts one completed search on worker `w` for slot `s`.
+        /// The totals are read out of `multi` here, not at the call
+        /// site, so a disabled build skips the aggregation entirely.
+        #[inline]
+        pub fn record_search(
+            &self,
+            w: usize,
+            s: usize,
+            multi: &crate::search::multi::MultiScratch,
+        ) {
+            self.record_search_totals(w, s, &multi.step_totals());
+        }
+
+        /// [`RuntimeObs::record_search`] with pre-aggregated totals.
+        #[inline]
+        pub fn record_search_totals(&self, w: usize, s: usize, totals: &StepTotals) {
+            let cells = &self.workers[w];
+            cells.queries.incr();
+            cells.steps.add(totals.steps);
+            cells.expansions.add(totals.expansions);
+            cells.dist_evals.add(totals.dist_evals);
+            cells.sorts.add(totals.sorts);
+            cells.calc_cycles.add(totals.calc_cycles);
+            cells.sort_cycles.add(totals.sort_cycles);
+            cells.other_cycles.add(totals.other_cycles);
+            self.slots[s].finished.incr();
+        }
+
+        /// Accounts a slot refill by host poller `h`.
+        #[inline]
+        pub fn slot_assigned(&self, h: usize, s: usize) {
+            self.hosts[h].refills.incr();
+            self.slots[s].assigned.incr();
+        }
+
+        /// Accounts one delivered result: bumps host/slot counters,
+        /// folds the merge delta in, and records all six phase spans.
+        #[inline]
+        pub fn record_delivery(
+            &self,
+            h: usize,
+            s: usize,
+            stamps: &JobStamps,
+            merged_at: Stamp,
+            delivered_at: Stamp,
+            merge_delta: &MergeStats,
+        ) {
+            let host = &self.hosts[h];
+            host.delivered.incr();
+            host.merges.add(merge_delta.merges);
+            host.merge_elements.add(merge_delta.elements);
+            host.merge_dupes.add(merge_delta.dupes_dropped);
+            self.slots[s].delivered.incr();
+            if let Some(slot) = stamps.slot {
+                self.submit_to_slot.record(ns_between(stamps.submitted, slot));
+                if let Some(ws) = stamps.work_start {
+                    self.slot_to_work.record(ns_between(slot, ws));
+                }
+            }
+            if let (Some(ws), Some(fin)) = (stamps.work_start, stamps.finish) {
+                self.work_to_finish.record(ns_between(ws, fin));
+            }
+            if let Some(fin) = stamps.finish {
+                self.finish_to_merged.record(ns_between(fin, merged_at));
+            }
+            self.merged_to_delivered.record(ns_between(merged_at, delivered_at));
+            self.end_to_end.record(ns_between(stamps.submitted, delivered_at));
+        }
+
+        /// Copies every cell into `out` (per-thread blocks, phase
+        /// histograms, and the cross-worker search / cross-host merge
+        /// totals). Counter fields of `out` that the recorder doesn't
+        /// own (queue totals, gauges) are left untouched.
+        pub fn populate(&self, out: &mut RuntimeStats) {
+            out.per_worker = self
+                .workers
+                .iter()
+                .map(|c| WorkerStats {
+                    queries: c.queries.get(),
+                    busy_passes: c.busy_passes.get(),
+                    idle_passes: c.idle_passes.get(),
+                })
+                .collect();
+            out.per_host = self
+                .hosts
+                .iter()
+                .map(|c| HostStats {
+                    delivered: c.delivered.get(),
+                    refills: c.refills.get(),
+                    busy_passes: c.busy_passes.get(),
+                    idle_passes: c.idle_passes.get(),
+                })
+                .collect();
+            out.per_slot = self
+                .slots
+                .iter()
+                .map(|c| SlotStats {
+                    assigned: c.assigned.get(),
+                    finished: c.finished.get(),
+                    delivered: c.delivered.get(),
+                })
+                .collect();
+            out.search = StepTotals::default();
+            for c in &self.workers {
+                out.search.merge(&StepTotals {
+                    steps: c.steps.get(),
+                    expansions: c.expansions.get(),
+                    dist_evals: c.dist_evals.get(),
+                    sorts: c.sorts.get(),
+                    calc_cycles: c.calc_cycles.get(),
+                    sort_cycles: c.sort_cycles.get(),
+                    other_cycles: c.other_cycles.get(),
+                });
+            }
+            out.merge = MergeStats::default();
+            for c in &self.hosts {
+                out.merge.merge(&MergeStats {
+                    merges: c.merges.get(),
+                    elements: c.merge_elements.get(),
+                    dupes_dropped: c.merge_dupes.get(),
+                });
+            }
+            out.phases.submit_to_slot = self.submit_to_slot.snapshot();
+            out.phases.slot_to_work = self.slot_to_work.snapshot();
+            out.phases.work_to_finish = self.work_to_finish.snapshot();
+            out.phases.finish_to_merged = self.finish_to_merged.snapshot();
+            out.phases.merged_to_delivered = self.merged_to_delivered.snapshot();
+            out.phases.end_to_end = self.end_to_end.snapshot();
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    use crate::merge::MergeStats;
+    use crate::obs::snapshot::RuntimeStats;
+
+    /// Zero-sized stand-in for `Instant` when `obs` is compiled out.
+    pub type Stamp = ();
+
+    /// No-op: no clock is read when `obs` is compiled out.
+    #[inline]
+    pub fn stamp() -> Stamp {}
+
+    /// Zero-sized no-op stand-in for the lifecycle timestamps.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct JobStamps;
+
+    impl JobStamps {
+        /// No-op.
+        pub fn new() -> Self {
+            Self
+        }
+
+        /// No-op.
+        pub fn mark_slot(&mut self) {}
+
+        /// No-op.
+        pub fn mark_work_start(&mut self) {}
+
+        /// No-op.
+        pub fn mark_finish(&mut self) {}
+    }
+
+    /// Zero-sized no-op stand-in for the live metric cells.
+    pub struct RuntimeObs;
+
+    impl RuntimeObs {
+        /// No-op.
+        pub fn new(_n_slots: usize, _n_workers: usize, _n_host_threads: usize) -> Self {
+            Self
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn worker_pass(&self, _w: usize, _did_work: bool) {}
+
+        /// No-op.
+        #[inline]
+        pub fn host_pass(&self, _h: usize, _did_work: bool) {}
+
+        /// No-op.
+        #[inline]
+        pub fn record_search(
+            &self,
+            _w: usize,
+            _s: usize,
+            _multi: &crate::search::multi::MultiScratch,
+        ) {
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn slot_assigned(&self, _h: usize, _s: usize) {}
+
+        /// No-op.
+        #[inline]
+        pub fn record_delivery(
+            &self,
+            _h: usize,
+            _s: usize,
+            _stamps: &JobStamps,
+            _merged_at: Stamp,
+            _delivered_at: Stamp,
+            _merge_delta: &MergeStats,
+        ) {
+        }
+
+        /// No-op: the snapshot keeps its zeroed breakdowns.
+        pub fn populate(&self, _out: &mut RuntimeStats) {}
+    }
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+    use crate::merge::MergeStats;
+    use crate::obs::snapshot::RuntimeStats;
+    use crate::tracer::StepTotals;
+
+    #[test]
+    fn recorder_populates_snapshot() {
+        let obs = RuntimeObs::new(2, 2, 1);
+        let mut stamps = JobStamps::new();
+        stamps.mark_slot();
+        stamps.mark_work_start();
+        obs.slot_assigned(0, 1);
+        obs.worker_pass(0, true);
+        obs.worker_pass(1, false);
+        obs.host_pass(0, true);
+        let totals = StepTotals {
+            steps: 10,
+            expansions: 12,
+            dist_evals: 200,
+            sorts: 10,
+            calc_cycles: 900,
+            sort_cycles: 80,
+            other_cycles: 20,
+        };
+        obs.record_search_totals(0, 1, &totals);
+        stamps.mark_finish();
+        let merged_at = stamp();
+        let delivered_at = stamp();
+        let delta = MergeStats { merges: 1, elements: 16, dupes_dropped: 2 };
+        obs.record_delivery(0, 1, &stamps, merged_at, delivered_at, &delta);
+
+        let mut s = RuntimeStats::empty(2, 2, 1);
+        obs.populate(&mut s);
+        assert_eq!(s.per_worker[0].queries, 1);
+        assert_eq!(s.per_worker[1].idle_passes, 1);
+        assert_eq!(s.per_host[0].delivered, 1);
+        assert_eq!(s.per_host[0].refills, 1);
+        assert_eq!(s.per_slot[1].assigned, 1);
+        assert_eq!(s.per_slot[1].finished, 1);
+        assert_eq!(s.per_slot[1].delivered, 1);
+        assert_eq!(s.search, totals);
+        assert_eq!(s.merge, delta);
+        for (name, h) in s.phases.named() {
+            assert_eq!(h.count, 1, "phase {name} should hold one sample");
+        }
+        assert!(s.phases.end_to_end.sum >= s.phases.work_to_finish.sum);
+    }
+}

@@ -1,0 +1,655 @@
+//! The serving-telemetry snapshot schema and its exposition formats.
+//!
+//! [`RuntimeStats`] is the single point-in-time view of a serving run:
+//! query counters, occupancy gauges, per-worker / per-host / per-slot
+//! breakdowns, the six lifecycle-phase latency histograms, and the
+//! aggregated search ([`StepTotals`]) and merge ([`MergeStats`])
+//! totals. The same schema is produced by the threaded runtime
+//! ([`crate::runtime::AlgasServer::runtime_stats`]) and by the timing
+//! simulators ([`RuntimeStats::from_sim_report`]), so simulated and
+//! native runs are directly comparable.
+//!
+//! Serialization is hand-rolled over [`super::json`] and
+//! [`super::prom`] (the hermetic workspace has no `serde_json`):
+//! `to_json` / `from_json` round-trip exactly, and `to_prometheus`
+//! emits text exposition format v0.0.4.
+
+use super::hist::HistogramSnapshot;
+use super::json::{obj, Value};
+use super::prom::PromWriter;
+use crate::merge::MergeStats;
+use crate::tracer::StepTotals;
+use algas_gpu_sim::sched::SimReport;
+
+/// Per-worker ("CTA group" thread) counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Queries searched by this worker.
+    pub queries: u64,
+    /// Poll passes that executed at least one search.
+    pub busy_passes: u64,
+    /// Poll passes that found nothing to do (idle spins).
+    pub idle_passes: u64,
+}
+
+/// Per-host-poller counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Results merged and delivered by this poller.
+    pub delivered: u64,
+    /// Slots refilled from the submission queue.
+    pub refills: u64,
+    /// Poll passes that did work.
+    pub busy_passes: u64,
+    /// Poll passes that found nothing to do.
+    pub idle_passes: u64,
+}
+
+/// Per-slot state-transition counts (the §V-A protocol edges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// `None/Done → Work` transitions (jobs assigned).
+    pub assigned: u64,
+    /// `Work → Finish` transitions (searches completed).
+    pub finished: u64,
+    /// `Finish → Done` transitions (results delivered).
+    pub delivered: u64,
+}
+
+/// The query-lifecycle phase latency histograms (ns).
+///
+/// The five spans partition the end-to-end path: `submit→slot` (queue
+/// wait), `slot→work` (worker pickup), `work→finish` (search),
+/// `finish→merged` (host pickup + merge), `merged→delivered` (reply
+/// delivery). `end_to_end` is recorded independently from the same
+/// timestamps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Submission → slot assignment (queue wait).
+    pub submit_to_slot: HistogramSnapshot,
+    /// Slot assignment → worker starts searching.
+    pub slot_to_work: HistogramSnapshot,
+    /// Search start → `Finish` flip (the GPU-side work).
+    pub work_to_finish: HistogramSnapshot,
+    /// `Finish` → host merge completed.
+    pub finish_to_merged: HistogramSnapshot,
+    /// Merge → reply handed to the client channel.
+    pub merged_to_delivered: HistogramSnapshot,
+    /// Submission → delivery.
+    pub end_to_end: HistogramSnapshot,
+}
+
+impl PhaseStats {
+    /// The phases as `(name, histogram)` pairs, in lifecycle order.
+    pub fn named(&self) -> [(&'static str, &HistogramSnapshot); 6] {
+        [
+            ("submit_to_slot", &self.submit_to_slot),
+            ("slot_to_work", &self.slot_to_work),
+            ("work_to_finish", &self.work_to_finish),
+            ("finish_to_merged", &self.finish_to_merged),
+            ("merged_to_delivered", &self.merged_to_delivered),
+            ("end_to_end", &self.end_to_end),
+        ]
+    }
+
+    fn named_mut(&mut self) -> [(&'static str, &mut HistogramSnapshot); 6] {
+        [
+            ("submit_to_slot", &mut self.submit_to_slot),
+            ("slot_to_work", &mut self.slot_to_work),
+            ("work_to_finish", &mut self.work_to_finish),
+            ("finish_to_merged", &mut self.finish_to_merged),
+            ("merged_to_delivered", &mut self.merged_to_delivered),
+            ("end_to_end", &mut self.end_to_end),
+        ]
+    }
+}
+
+/// A complete point-in-time view of a serving run's telemetry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RuntimeStats {
+    /// Configured slot count.
+    pub n_slots: usize,
+    /// Configured worker-thread count.
+    pub n_workers: usize,
+    /// Configured host-poller count.
+    pub n_host_threads: usize,
+    /// Queries accepted into the submission queue.
+    pub submitted: u64,
+    /// Queries fully served.
+    pub completed: u64,
+    /// Queries rejected because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Gauge: submissions queued at snapshot time.
+    pub queue_depth: u64,
+    /// Gauge: slots holding an in-flight query at snapshot time.
+    pub slots_occupied: u64,
+    /// Per-worker breakdown (`n_workers` entries).
+    pub per_worker: Vec<WorkerStats>,
+    /// Per-host-poller breakdown (`n_host_threads` entries).
+    pub per_host: Vec<HostStats>,
+    /// Per-slot transition counts (`n_slots` entries).
+    pub per_slot: Vec<SlotStats>,
+    /// Lifecycle-phase latency histograms.
+    pub phases: PhaseStats,
+    /// Aggregated per-step search totals (cycles split into
+    /// calc/sort/other, as Fig 3 / Fig 17 split them).
+    pub search: StepTotals,
+    /// Host-side merge totals.
+    pub merge: MergeStats,
+}
+
+impl RuntimeStats {
+    /// An all-zero snapshot with the per-component vectors sized.
+    pub fn empty(n_slots: usize, n_workers: usize, n_host_threads: usize) -> Self {
+        Self {
+            n_slots,
+            n_workers,
+            n_host_threads,
+            per_worker: vec![WorkerStats::default(); n_workers],
+            per_host: vec![HostStats::default(); n_host_threads],
+            per_slot: vec![SlotStats::default(); n_slots],
+            ..Self::default()
+        }
+    }
+
+    /// Renders the snapshot as compact JSON (the `--stats-json` /
+    /// `BENCH_serve.json` wire form; [`RuntimeStats::from_json`] is its
+    /// exact inverse).
+    pub fn to_json(&self) -> String {
+        let hist = |h: &HistogramSnapshot| {
+            let (p50, p95, p99, p999) = h.percentiles();
+            obj(vec![
+                ("count", Value::Uint(h.count)),
+                ("sum", Value::Uint(h.sum)),
+                ("min", Value::Uint(h.min)),
+                ("max", Value::Uint(h.max)),
+                ("p50", Value::Uint(p50)),
+                ("p95", Value::Uint(p95)),
+                ("p99", Value::Uint(p99)),
+                ("p999", Value::Uint(p999)),
+                (
+                    "buckets",
+                    Value::Arr(
+                        h.sparse()
+                            .into_iter()
+                            .map(|(i, c)| Value::Arr(vec![Value::Uint(i as u64), Value::Uint(c)]))
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let doc = obj(vec![
+            (
+                "config",
+                obj(vec![
+                    ("n_slots", Value::Uint(self.n_slots as u64)),
+                    ("n_workers", Value::Uint(self.n_workers as u64)),
+                    ("n_host_threads", Value::Uint(self.n_host_threads as u64)),
+                ]),
+            ),
+            (
+                "queries",
+                obj(vec![
+                    ("submitted", Value::Uint(self.submitted)),
+                    ("completed", Value::Uint(self.completed)),
+                    ("rejected_queue_full", Value::Uint(self.rejected_queue_full)),
+                ]),
+            ),
+            (
+                "gauges",
+                obj(vec![
+                    ("queue_depth", Value::Uint(self.queue_depth)),
+                    ("slots_occupied", Value::Uint(self.slots_occupied)),
+                ]),
+            ),
+            (
+                "workers",
+                Value::Arr(
+                    self.per_worker
+                        .iter()
+                        .map(|w| {
+                            obj(vec![
+                                ("queries", Value::Uint(w.queries)),
+                                ("busy_passes", Value::Uint(w.busy_passes)),
+                                ("idle_passes", Value::Uint(w.idle_passes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "hosts",
+                Value::Arr(
+                    self.per_host
+                        .iter()
+                        .map(|h| {
+                            obj(vec![
+                                ("delivered", Value::Uint(h.delivered)),
+                                ("refills", Value::Uint(h.refills)),
+                                ("busy_passes", Value::Uint(h.busy_passes)),
+                                ("idle_passes", Value::Uint(h.idle_passes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "slots",
+                Value::Arr(
+                    self.per_slot
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("assigned", Value::Uint(s.assigned)),
+                                ("finished", Value::Uint(s.finished)),
+                                ("delivered", Value::Uint(s.delivered)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "phases",
+                Value::Obj(
+                    self.phases
+                        .named()
+                        .into_iter()
+                        .map(|(name, h)| (name.to_string(), hist(h)))
+                        .collect(),
+                ),
+            ),
+            (
+                "search",
+                obj(vec![
+                    ("steps", Value::Uint(self.search.steps)),
+                    ("expansions", Value::Uint(self.search.expansions)),
+                    ("dist_evals", Value::Uint(self.search.dist_evals)),
+                    ("sorts", Value::Uint(self.search.sorts)),
+                    ("calc_cycles", Value::Uint(self.search.calc_cycles)),
+                    ("sort_cycles", Value::Uint(self.search.sort_cycles)),
+                    ("other_cycles", Value::Uint(self.search.other_cycles)),
+                    // Derived; emitted for consumers, ignored on parse.
+                    ("sort_fraction", Value::Num(self.search.sort_fraction())),
+                ]),
+            ),
+            (
+                "merge",
+                obj(vec![
+                    ("merges", Value::Uint(self.merge.merges)),
+                    ("elements", Value::Uint(self.merge.elements)),
+                    ("dupes_dropped", Value::Uint(self.merge.dupes_dropped)),
+                ]),
+            ),
+        ]);
+        doc.render()
+    }
+
+    /// Parses the JSON produced by [`RuntimeStats::to_json`].
+    ///
+    /// # Errors
+    /// Malformed JSON or missing/mistyped fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Value::parse(text)?;
+        let u = |v: &Value, key: &str| -> Result<u64, String> {
+            v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let hist = |v: &Value| -> Result<HistogramSnapshot, String> {
+            let pairs: Vec<(usize, u64)> = v
+                .get("buckets")
+                .and_then(Value::as_arr)
+                .ok_or("missing `buckets`")?
+                .iter()
+                .map(|pair| -> Result<(usize, u64), String> {
+                    let pair = pair.as_arr().ok_or("bucket entry not a pair")?;
+                    match pair {
+                        [i, c] => Ok((
+                            i.as_u64().ok_or("bad bucket index")? as usize,
+                            c.as_u64().ok_or("bad bucket count")?,
+                        )),
+                        _ => Err("bucket entry not a pair".into()),
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            let snap =
+                HistogramSnapshot::from_sparse(&pairs, u(v, "sum")?, u(v, "min")?, u(v, "max")?)?;
+            if snap.count != u(v, "count")? {
+                return Err("histogram count disagrees with buckets".into());
+            }
+            Ok(snap)
+        };
+        let cfg = doc.get("config").ok_or("missing `config`")?;
+        let queries = doc.get("queries").ok_or("missing `queries`")?;
+        let gauges = doc.get("gauges").ok_or("missing `gauges`")?;
+        let mut out = RuntimeStats {
+            n_slots: u(cfg, "n_slots")? as usize,
+            n_workers: u(cfg, "n_workers")? as usize,
+            n_host_threads: u(cfg, "n_host_threads")? as usize,
+            submitted: u(queries, "submitted")?,
+            completed: u(queries, "completed")?,
+            rejected_queue_full: u(queries, "rejected_queue_full")?,
+            queue_depth: u(gauges, "queue_depth")?,
+            slots_occupied: u(gauges, "slots_occupied")?,
+            ..Self::default()
+        };
+        for w in doc.get("workers").and_then(Value::as_arr).ok_or("missing `workers`")? {
+            out.per_worker.push(WorkerStats {
+                queries: u(w, "queries")?,
+                busy_passes: u(w, "busy_passes")?,
+                idle_passes: u(w, "idle_passes")?,
+            });
+        }
+        for h in doc.get("hosts").and_then(Value::as_arr).ok_or("missing `hosts`")? {
+            out.per_host.push(HostStats {
+                delivered: u(h, "delivered")?,
+                refills: u(h, "refills")?,
+                busy_passes: u(h, "busy_passes")?,
+                idle_passes: u(h, "idle_passes")?,
+            });
+        }
+        for s in doc.get("slots").and_then(Value::as_arr).ok_or("missing `slots`")? {
+            out.per_slot.push(SlotStats {
+                assigned: u(s, "assigned")?,
+                finished: u(s, "finished")?,
+                delivered: u(s, "delivered")?,
+            });
+        }
+        let phases = doc.get("phases").ok_or("missing `phases`")?;
+        for (name, slot) in out.phases.named_mut() {
+            *slot = hist(phases.get(name).ok_or_else(|| format!("missing phase `{name}`"))?)?;
+        }
+        let search = doc.get("search").ok_or("missing `search`")?;
+        out.search = StepTotals {
+            steps: u(search, "steps")?,
+            expansions: u(search, "expansions")?,
+            dist_evals: u(search, "dist_evals")?,
+            sorts: u(search, "sorts")?,
+            calc_cycles: u(search, "calc_cycles")?,
+            sort_cycles: u(search, "sort_cycles")?,
+            other_cycles: u(search, "other_cycles")?,
+        };
+        let merge = doc.get("merge").ok_or("missing `merge`")?;
+        out.merge = MergeStats {
+            merges: u(merge, "merges")?,
+            elements: u(merge, "elements")?,
+            dupes_dropped: u(merge, "dupes_dropped")?,
+        };
+        Ok(out)
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (v0.0.4). Phase histograms become summaries (quantiles +
+    /// `_sum`/`_count`) under one `algas_phase_latency_ns` family.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        w.type_header("algas_runtime_info", "gauge").sample(
+            "algas_runtime_info",
+            &[
+                ("n_slots", &self.n_slots.to_string()),
+                ("n_workers", &self.n_workers.to_string()),
+                ("n_host_threads", &self.n_host_threads.to_string()),
+            ],
+            1.0,
+        );
+        for (name, v) in [
+            ("algas_queries_submitted_total", self.submitted),
+            ("algas_queries_completed_total", self.completed),
+            ("algas_queries_rejected_queue_full_total", self.rejected_queue_full),
+        ] {
+            w.type_header(name, "counter").scalar(name, v);
+        }
+        for (name, v) in
+            [("algas_queue_depth", self.queue_depth), ("algas_slots_occupied", self.slots_occupied)]
+        {
+            w.type_header(name, "gauge").scalar(name, v);
+        }
+        let series =
+            |w: &mut PromWriter, name: &str, label: &str, vals: &mut dyn Iterator<Item = u64>| {
+                w.type_header(name, "counter");
+                for (i, v) in vals.enumerate() {
+                    w.sample(name, &[(label, &i.to_string())], v as f64);
+                }
+            };
+        series(
+            &mut w,
+            "algas_worker_queries_total",
+            "worker",
+            &mut self.per_worker.iter().map(|x| x.queries),
+        );
+        series(
+            &mut w,
+            "algas_worker_busy_passes_total",
+            "worker",
+            &mut self.per_worker.iter().map(|x| x.busy_passes),
+        );
+        series(
+            &mut w,
+            "algas_worker_idle_passes_total",
+            "worker",
+            &mut self.per_worker.iter().map(|x| x.idle_passes),
+        );
+        series(
+            &mut w,
+            "algas_host_delivered_total",
+            "host",
+            &mut self.per_host.iter().map(|x| x.delivered),
+        );
+        series(
+            &mut w,
+            "algas_host_refills_total",
+            "host",
+            &mut self.per_host.iter().map(|x| x.refills),
+        );
+        series(
+            &mut w,
+            "algas_host_busy_passes_total",
+            "host",
+            &mut self.per_host.iter().map(|x| x.busy_passes),
+        );
+        series(
+            &mut w,
+            "algas_host_idle_passes_total",
+            "host",
+            &mut self.per_host.iter().map(|x| x.idle_passes),
+        );
+        series(
+            &mut w,
+            "algas_slot_assigned_total",
+            "slot",
+            &mut self.per_slot.iter().map(|x| x.assigned),
+        );
+        series(
+            &mut w,
+            "algas_slot_finished_total",
+            "slot",
+            &mut self.per_slot.iter().map(|x| x.finished),
+        );
+        series(
+            &mut w,
+            "algas_slot_delivered_total",
+            "slot",
+            &mut self.per_slot.iter().map(|x| x.delivered),
+        );
+        w.type_header("algas_phase_latency_ns", "summary");
+        for (phase, h) in self.phases.named() {
+            for (q, v) in [
+                ("0.5", h.quantile(0.5)),
+                ("0.95", h.quantile(0.95)),
+                ("0.99", h.quantile(0.99)),
+                ("0.999", h.quantile(0.999)),
+            ] {
+                w.sample("algas_phase_latency_ns", &[("phase", phase), ("quantile", q)], v as f64);
+            }
+            w.sample("algas_phase_latency_ns_sum", &[("phase", phase)], h.sum as f64);
+            w.sample("algas_phase_latency_ns_count", &[("phase", phase)], h.count as f64);
+        }
+        for (name, v) in [
+            ("algas_search_steps_total", self.search.steps),
+            ("algas_search_expansions_total", self.search.expansions),
+            ("algas_search_dist_evals_total", self.search.dist_evals),
+            ("algas_search_sorts_total", self.search.sorts),
+            ("algas_search_calc_cycles_total", self.search.calc_cycles),
+            ("algas_search_sort_cycles_total", self.search.sort_cycles),
+            ("algas_search_other_cycles_total", self.search.other_cycles),
+        ] {
+            w.type_header(name, "counter").scalar(name, v);
+        }
+        w.type_header("algas_search_sort_fraction", "gauge").sample(
+            "algas_search_sort_fraction",
+            &[],
+            self.search.sort_fraction(),
+        );
+        for (name, v) in [
+            ("algas_merge_total", self.merge.merges),
+            ("algas_merge_elements_total", self.merge.elements),
+            ("algas_merge_dupes_dropped_total", self.merge.dupes_dropped),
+        ] {
+            w.type_header(name, "counter").scalar(name, v);
+        }
+        w.finish()
+    }
+
+    /// Builds the same snapshot schema from a timing-simulator run, so
+    /// simulated serving (`algas-gpu-sim`) and the native runtime emit
+    /// comparable telemetry. The simulator has no worker/host threads
+    /// or slot protocol, so those breakdowns stay empty; the phase
+    /// histograms map `arrival→dispatch→gpu_start→gpu_done→completion`
+    /// onto `submit→slot→work→finish→merged` (delivery is folded into
+    /// the merge span, so `merged_to_delivered` stays empty).
+    pub fn from_sim_report(report: &SimReport, n_slots: usize) -> Self {
+        use super::hist::Histogram;
+        let mut out = RuntimeStats {
+            n_slots,
+            submitted: report.per_query.len() as u64,
+            completed: report.per_query.len() as u64,
+            ..Self::default()
+        };
+        let hists: Vec<Histogram> = (0..5).map(|_| Histogram::new()).collect();
+        for t in &report.per_query {
+            let spans = t.phase_spans_ns();
+            for (h, &v) in hists.iter().zip(spans.iter()) {
+                h.record(v);
+            }
+            hists[4].record(t.e2e_latency_ns());
+        }
+        out.phases.submit_to_slot = hists[0].snapshot();
+        out.phases.slot_to_work = hists[1].snapshot();
+        out.phases.work_to_finish = hists[2].snapshot();
+        out.phases.finish_to_merged = hists[3].snapshot();
+        out.phases.end_to_end = hists[4].snapshot();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::hist::Histogram;
+    use super::*;
+    use crate::obs::prom::parse_prometheus;
+
+    fn sample_stats() -> RuntimeStats {
+        let mut s = RuntimeStats::empty(2, 2, 1);
+        s.submitted = 40;
+        s.completed = 38;
+        s.rejected_queue_full = 3;
+        s.queue_depth = 2;
+        s.slots_occupied = 1;
+        s.per_worker[0] = WorkerStats { queries: 20, busy_passes: 19, idle_passes: 100 };
+        s.per_worker[1] = WorkerStats { queries: 18, busy_passes: 18, idle_passes: 120 };
+        s.per_host[0] = HostStats { delivered: 38, refills: 40, busy_passes: 70, idle_passes: 9 };
+        s.per_slot[0] = SlotStats { assigned: 21, finished: 20, delivered: 20 };
+        s.per_slot[1] = SlotStats { assigned: 19, finished: 18, delivered: 18 };
+        let h = Histogram::new();
+        for v in [1_000u64, 2_000, 5_000, 100_000, 12] {
+            h.record(v);
+        }
+        s.phases.end_to_end = h.snapshot();
+        s.phases.work_to_finish = h.snapshot();
+        s.search = StepTotals {
+            steps: 500,
+            expansions: 700,
+            dist_evals: 9_000,
+            sorts: 500,
+            calc_cycles: 80_000,
+            sort_cycles: 20_000,
+            other_cycles: 10_000,
+        };
+        s.merge = MergeStats { merges: 38, elements: 300, dupes_dropped: 4 };
+        s
+    }
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        let s = sample_stats();
+        let text = s.to_json();
+        assert_eq!(RuntimeStats::from_json(&text).unwrap(), s);
+        // The empty snapshot round-trips too.
+        let e = RuntimeStats::empty(4, 2, 2);
+        assert_eq!(RuntimeStats::from_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(RuntimeStats::from_json("{}").is_err());
+        assert!(RuntimeStats::from_json("not json").is_err());
+        // A tampered histogram count is caught.
+        let tampered = sample_stats().to_json().replacen("\"count\":5", "\"count\":6", 1);
+        assert!(RuntimeStats::from_json(&tampered).is_err());
+    }
+
+    #[test]
+    fn prometheus_page_parses_and_carries_values() {
+        let s = sample_stats();
+        let samples = parse_prometheus(&s.to_prometheus()).unwrap();
+        let find = |name: &str| samples.iter().find(|x| x.name == name).unwrap();
+        assert_eq!(find("algas_queries_submitted_total").value, 40.0);
+        assert_eq!(find("algas_queries_rejected_queue_full_total").value, 3.0);
+        assert_eq!(find("algas_slots_occupied").value, 1.0);
+        let w1 = samples
+            .iter()
+            .find(|x| x.name == "algas_worker_queries_total" && x.label("worker") == Some("1"))
+            .unwrap();
+        assert_eq!(w1.value, 18.0);
+        let p99 = samples
+            .iter()
+            .find(|x| {
+                x.name == "algas_phase_latency_ns"
+                    && x.label("phase") == Some("end_to_end")
+                    && x.label("quantile") == Some("0.99")
+            })
+            .unwrap();
+        assert_eq!(p99.value, s.phases.end_to_end.quantile(0.99) as f64);
+        let frac = find("algas_search_sort_fraction").value;
+        assert!((frac - s.search.sort_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_report_maps_onto_the_same_schema() {
+        use algas_gpu_sim::sched::QueryTiming;
+        let timings = vec![
+            QueryTiming {
+                arrival_ns: 0,
+                dispatch_ns: 100,
+                gpu_start_ns: 150,
+                gpu_done_ns: 1_150,
+                completion_ns: 1_200,
+            },
+            QueryTiming {
+                arrival_ns: 50,
+                dispatch_ns: 120,
+                gpu_start_ns: 180,
+                gpu_done_ns: 2_180,
+                completion_ns: 2_250,
+            },
+        ];
+        let report = SimReport::from_timings(timings, 0.9, 0.0, 0, 0);
+        let s = RuntimeStats::from_sim_report(&report, 8);
+        assert_eq!(s.n_slots, 8);
+        assert_eq!((s.submitted, s.completed), (2, 2));
+        assert_eq!(s.phases.work_to_finish.count, 2);
+        assert_eq!(s.phases.work_to_finish.min, 1_000);
+        assert!(s.phases.end_to_end.quantile(0.5) >= 1_200);
+        assert!(s.phases.merged_to_delivered.is_empty());
+        // And it serializes like any native snapshot.
+        assert_eq!(RuntimeStats::from_json(&s.to_json()).unwrap(), s);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::engine::{AlgasEngine, SearchScratch};
 use crate::merge::{merge_topk_into, MergeScratch};
+use crate::obs::{self, JobStamps, RuntimeObs, RuntimeStats};
 use crate::state::{AtomicSlotState, SlotState};
 use algas_vector::metric::DistValue;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
@@ -62,6 +63,9 @@ struct Job {
     query: Vec<f32>,
     reply_to: Sender<SearchReply>,
     submitted_at: std::time::Instant,
+    /// Lifecycle timestamps for the phase histograms (zero-sized no-op
+    /// when the `obs` feature is off).
+    stamps: JobStamps,
 }
 
 /// Per-slot payload cell. The state machine serializes access: the
@@ -83,6 +87,7 @@ struct Slot {
 struct Stats {
     submitted: std::sync::atomic::AtomicU64,
     completed: std::sync::atomic::AtomicU64,
+    rejected_queue_full: std::sync::atomic::AtomicU64,
     service_ns_total: std::sync::atomic::AtomicU64,
     max_service_ns: std::sync::atomic::AtomicU64,
 }
@@ -94,6 +99,8 @@ pub struct StatsSnapshot {
     pub submitted: u64,
     /// Queries fully served (merged + replied).
     pub completed: u64,
+    /// Queries rejected with [`SubmitError::QueueFull`] (backpressure).
+    pub rejected_queue_full: u64,
     /// Sum of service times (submit → reply) in ns.
     pub service_ns_total: u64,
     /// Worst single service time observed, ns.
@@ -122,11 +129,13 @@ struct Shared {
     submissions: Receiver<Job>,
     shutdown: AtomicBool,
     stats: Stats,
+    obs: RuntimeObs,
 }
 
 /// Handle to a running server; dropping it shuts the server down.
 pub struct AlgasServer {
     shared: Arc<Shared>,
+    cfg: RuntimeConfig,
     submit_tx: Sender<Job>,
     workers: Vec<JoinHandle<()>>,
     hosts: Vec<JoinHandle<()>>,
@@ -176,6 +185,7 @@ impl AlgasServer {
             submissions: submit_rx,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
+            obs: RuntimeObs::new(cfg.n_slots, cfg.n_workers, cfg.n_host_threads),
         });
 
         let workers = (0..cfg.n_workers)
@@ -199,7 +209,14 @@ impl AlgasServer {
             })
             .collect();
 
-        Self { shared, submit_tx, workers, hosts, next_tag: std::sync::atomic::AtomicU64::new(0) }
+        Self {
+            shared,
+            cfg,
+            submit_tx,
+            workers,
+            hosts,
+            next_tag: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Submits a query; the reply arrives on the returned channel.
@@ -217,13 +234,22 @@ impl AlgasServer {
         }
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = unbounded();
-        let job = Job { tag, query, reply_to: reply_tx, submitted_at: std::time::Instant::now() };
+        let job = Job {
+            tag,
+            query,
+            reply_to: reply_tx,
+            submitted_at: std::time::Instant::now(),
+            stamps: JobStamps::new(),
+        };
         match self.submit_tx.try_send(job) {
             Ok(()) => {
                 self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok((tag, reply_rx))
             }
-            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
         }
     }
@@ -233,9 +259,32 @@ impl AlgasServer {
         StatsSnapshot {
             submitted: self.shared.stats.submitted.load(Ordering::Relaxed),
             completed: self.shared.stats.completed.load(Ordering::Relaxed),
+            rejected_queue_full: self.shared.stats.rejected_queue_full.load(Ordering::Relaxed),
             service_ns_total: self.shared.stats.service_ns_total.load(Ordering::Relaxed),
             max_service_ns: self.shared.stats.max_service_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// The full telemetry snapshot: query counters, occupancy gauges,
+    /// per-worker / per-host / per-slot breakdowns, phase latency
+    /// histograms, and search/merge totals. The gauges and queue
+    /// counters are always live; the breakdowns and histograms carry
+    /// data only when the (default-on) `obs` feature is compiled in.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        let mut out =
+            RuntimeStats::empty(self.cfg.n_slots, self.cfg.n_workers, self.cfg.n_host_threads);
+        out.submitted = self.shared.stats.submitted.load(Ordering::Relaxed);
+        out.completed = self.shared.stats.completed.load(Ordering::Relaxed);
+        out.rejected_queue_full = self.shared.stats.rejected_queue_full.load(Ordering::Relaxed);
+        out.queue_depth = self.shared.submissions.len() as u64;
+        out.slots_occupied = self
+            .shared
+            .slots
+            .iter()
+            .filter(|s| matches!(s.state.load(), SlotState::Work | SlotState::Finish))
+            .count() as u64;
+        self.shared.obs.populate(&mut out);
+        out
     }
 
     /// Convenience: submit and block for the reply.
@@ -284,6 +333,14 @@ impl Drop for AlgasServer {
         if !self.hosts.is_empty() || !self.workers.is_empty() {
             self.shutdown_inner();
         }
+    }
+}
+
+impl RuntimeStats {
+    /// [`AlgasServer::runtime_stats`] spelled from the snapshot side:
+    /// `RuntimeStats::snapshot(&server)`.
+    pub fn snapshot(server: &AlgasServer) -> RuntimeStats {
+        server.runtime_stats()
     }
 }
 
@@ -347,8 +404,9 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                     // Copy the job's query into the reusable staging
                     // buffer under the lock, then search without it.
                     let tag = {
-                        let payload = slot.payload.lock();
-                        let job = payload.job.as_ref().expect("Work implies a job");
+                        let mut payload = slot.payload.lock();
+                        let job = payload.job.as_mut().expect("Work implies a job");
+                        job.stamps.mark_work_start();
                         query_buf.clear();
                         query_buf.extend_from_slice(&job.query);
                         job.tag
@@ -365,7 +423,9 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                             dst.clear();
                             dst.extend_from_slice(s);
                         }
+                        payload.job.as_mut().expect("Work implies a job").stamps.mark_finish();
                     }
+                    shared.obs.record_search(first, s, &scratch.multi);
                     let flipped = slot.state.transition(SlotState::Work, SlotState::Finish);
                     debug_assert!(flipped, "only this worker moves Work -> Finish");
                     did_work = true;
@@ -376,6 +436,7 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
         if all_quit {
             return;
         }
+        shared.obs.worker_pass(first, did_work);
         if did_work {
             backoff.reset();
         } else {
@@ -404,6 +465,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                 SlotState::Quit => continue,
                 SlotState::Finish => {
                     all_quit = false;
+                    let merge_before = merge.stats;
                     let job = {
                         let mut payload = slot.payload.lock();
                         // Merge while holding the lock: the lists are
@@ -412,6 +474,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                         merge_topk_into(&payload.per_cta, k, &mut merge, &mut merged);
                         payload.job.take().expect("Finish implies a job")
                     };
+                    let merged_at = obs::stamp();
                     // Per-CTA lists carry physical (relayouted) ids;
                     // replies speak the caller's original id space.
                     shared.engine.index().externalize(&mut merged);
@@ -426,6 +489,17 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                     shared.stats.service_ns_total.fetch_add(service_ns, Ordering::Relaxed);
                     shared.stats.max_service_ns.fetch_max(service_ns, Ordering::Relaxed);
+                    // Telemetry lands before the reply too, so a client
+                    // observing its reply sees its query fully recorded
+                    // (the delivery stamp marks the send boundary).
+                    shared.obs.record_delivery(
+                        first,
+                        s,
+                        &job.stamps,
+                        merged_at,
+                        obs::stamp(),
+                        &merge.stats.since(&merge_before),
+                    );
                     // The client may have dropped its receiver; fine.
                     let _ = job.reply_to.send(reply);
                     let flipped = slot.state.transition(SlotState::Finish, SlotState::Done);
@@ -435,8 +509,10 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                 SlotState::None | SlotState::Done => {
                     all_quit = false;
                     match shared.submissions.try_recv() {
-                        Ok(job) => {
+                        Ok(mut job) => {
+                            job.stamps.mark_slot();
                             slot.payload.lock().job = Some(job);
+                            shared.obs.slot_assigned(first, s);
                             let flipped = slot.state.transition(state, SlotState::Work);
                             debug_assert!(flipped, "this poller owns the slot's host edges");
                             did_work = true;
@@ -458,6 +534,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
         if all_quit {
             return;
         }
+        shared.obs.host_pass(first, did_work);
         if did_work {
             backoff.reset();
         } else {
@@ -622,6 +699,41 @@ mod tests {
     }
 
     #[test]
+    fn runtime_stats_report_counters_and_gauges() {
+        let (server, ds, _) = test_server(4, 2, 1);
+        for i in 0..10 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        let s = server.runtime_stats();
+        assert_eq!((s.n_slots, s.n_workers, s.n_host_threads), (4, 2, 1));
+        assert_eq!((s.submitted, s.completed, s.rejected_queue_full), (10, 10, 0));
+        // The breakdown vectors always carry the runtime shape, even
+        // with `obs` compiled out (they're just all-zero then).
+        assert_eq!(s.per_worker.len(), 2);
+        assert_eq!(s.per_host.len(), 1);
+        assert_eq!(s.per_slot.len(), 4);
+        assert!(s.queue_depth == 0 && s.slots_occupied <= 4);
+        #[cfg(feature = "obs")]
+        {
+            // search_blocking returned for every query, so every
+            // query's full telemetry has landed.
+            assert_eq!(s.per_worker.iter().map(|w| w.queries).sum::<u64>(), 10);
+            assert_eq!(s.per_slot.iter().map(|x| x.assigned).sum::<u64>(), 10);
+            assert_eq!(s.per_slot.iter().map(|x| x.delivered).sum::<u64>(), 10);
+            assert_eq!(s.per_host.iter().map(|h| h.delivered).sum::<u64>(), 10);
+            assert_eq!(s.phases.end_to_end.count, 10);
+            assert!(s.phases.end_to_end.quantile(0.5) > 0);
+            assert!(s.search.dist_evals > 0);
+            assert_eq!(s.merge.merges, 10);
+        }
+        // The associated-function spelling sees the same counters.
+        let again = RuntimeStats::snapshot(&server);
+        assert_eq!((again.submitted, again.completed), (10, 10));
+        server.shutdown();
+    }
+
+    #[test]
     fn shutdown_drains_inflight_queries() {
         let (server, ds, _) = test_server(4, 2, 1);
         let mut rxs = Vec::new();
@@ -654,19 +766,20 @@ mod tests {
             RuntimeConfig { n_slots: 1, n_workers: 1, n_host_threads: 1, queue_capacity: 1 },
         );
         // Flood faster than one slot can drain; eventually QueueFull.
-        let mut saw_full = false;
+        let mut rejections = 0u64;
         let mut rxs = Vec::new();
         for i in 0..200 {
             match server.submit(ds.queries.get(i % ds.queries.len()).to_vec()) {
                 Ok((_, rx)) => rxs.push(rx),
-                Err(SubmitError::QueueFull) => {
-                    saw_full = true;
-                    break;
-                }
+                Err(SubmitError::QueueFull) => rejections += 1,
                 Err(e) => panic!("unexpected: {e}"),
             }
         }
-        assert!(saw_full, "bounded queue never filled");
+        assert!(rejections > 0, "bounded queue never filled");
+        // Every rejection is counted, in both exposition surfaces.
+        assert_eq!(server.stats().rejected_queue_full, rejections);
+        assert_eq!(server.runtime_stats().rejected_queue_full, rejections);
+        assert_eq!(server.stats().submitted, 200 - rejections);
         server.shutdown();
         for rx in rxs {
             assert!(rx.recv().is_ok());

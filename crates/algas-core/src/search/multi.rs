@@ -12,7 +12,7 @@
 use crate::lists::VisitedBitmap;
 use crate::search::intra::{CtaScratch, CtaSearch, IntraParams};
 use crate::search::SearchContext;
-use crate::tracer::CtaTrace;
+use crate::tracer::{CtaTrace, StepTotals};
 use algas_graph::entry::EntryPolicy;
 use algas_vector::metric::DistValue;
 
@@ -57,6 +57,17 @@ impl MultiScratch {
     /// Maximum steps over the active CTAs (cf. [`MultiResult::max_steps`]).
     pub fn max_steps(&self) -> usize {
         (0..self.n_active).map(|c| self.ctas[c].trace().n_steps()).max().unwrap_or(0)
+    }
+
+    /// Aggregated [`StepTotals`] over the active CTAs of the most
+    /// recent search — what the serving runtime publishes to
+    /// [`crate::obs::RuntimeStats`] per query (allocation-free).
+    pub fn step_totals(&self) -> StepTotals {
+        let mut totals = StepTotals::default();
+        for c in 0..self.n_active {
+            totals.merge(&self.ctas[c].trace().totals());
+        }
+        totals
     }
 
     /// Moves the buffered results out into an owned [`MultiResult`],
@@ -301,6 +312,23 @@ mod tests {
         );
         assert_eq!(r.per_cta[0], ids);
         assert_eq!(r.traces[0], trace);
+    }
+
+    #[test]
+    fn scratch_step_totals_match_traces() {
+        let (ds, g) = setup();
+        let cost = CostModel::default();
+        let ctx = SearchContext::new(&g, &ds.base, Metric::L2, &cost);
+        let mut scratch = MultiScratch::new();
+        search_multi_into(ctx, params(32, 4), ds.queries.get(2), 2, 0, 8, &mut scratch);
+        let totals = scratch.step_totals();
+        let mut expected = StepTotals::default();
+        for c in 0..scratch.n_active() {
+            expected.merge(&scratch.trace(c).totals());
+        }
+        assert_eq!(totals, expected);
+        assert!(totals.steps > 0 && totals.dist_evals > 0);
+        assert!(totals.sort_fraction() > 0.0);
     }
 
     #[test]

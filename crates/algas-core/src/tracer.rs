@@ -42,6 +42,68 @@ impl StepStats {
     }
 }
 
+/// Cycle and operation totals over a set of steps — the unit in which
+/// tracer output flows into the serving snapshot
+/// ([`crate::obs::RuntimeStats`]), so the per-step tracer and the
+/// runtime metrics share one reporting surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepTotals {
+    /// Search steps executed.
+    pub steps: u64,
+    /// Candidates expanded.
+    pub expansions: u64,
+    /// Distances computed.
+    pub dist_evals: u64,
+    /// Sort/merge invocations.
+    pub sorts: u64,
+    /// Cycles in distance calculation.
+    pub calc_cycles: u64,
+    /// Cycles in sorting/merging.
+    pub sort_cycles: u64,
+    /// Remaining cycles (bitmap filtering, selection, control).
+    pub other_cycles: u64,
+}
+
+impl StepTotals {
+    /// Folds one step in.
+    pub fn add_step(&mut self, s: &StepStats) {
+        self.steps += 1;
+        self.expansions += u64::from(s.expansions);
+        self.dist_evals += u64::from(s.dist_evals);
+        self.sorts += u64::from(s.sorts);
+        self.calc_cycles += s.calc_cycles;
+        self.sort_cycles += s.sort_cycles;
+        self.other_cycles += s.other_cycles;
+    }
+
+    /// Folds another total in (e.g. across CTAs or queries).
+    pub fn merge(&mut self, other: &StepTotals) {
+        self.steps += other.steps;
+        self.expansions += other.expansions;
+        self.dist_evals += other.dist_evals;
+        self.sorts += other.sorts;
+        self.calc_cycles += other.calc_cycles;
+        self.sort_cycles += other.sort_cycles;
+        self.other_cycles += other.other_cycles;
+    }
+
+    /// Total cycles across the three categories.
+    pub fn total_cycles(&self) -> u64 {
+        self.calc_cycles + self.sort_cycles + self.other_cycles
+    }
+
+    /// Fraction of cycles spent sorting (Fig 3 / Fig 17's metric),
+    /// 0 when nothing ran.
+    pub fn sort_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.sort_cycles as f64 / total as f64
+        }
+    }
+}
+
 /// The full trace of one CTA's search for one query.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct CtaTrace {
@@ -78,6 +140,16 @@ impl CtaTrace {
     /// Number of sort invocations.
     pub fn sorts(&self) -> u64 {
         self.steps.iter().map(|s| s.sorts as u64).sum()
+    }
+
+    /// Aggregates the whole trace into a [`StepTotals`] (one pass; the
+    /// serving runtime calls this once per query per CTA).
+    pub fn totals(&self) -> StepTotals {
+        let mut t = StepTotals::default();
+        for s in &self.steps {
+            t.add_step(s);
+        }
+        t
     }
 
     /// Fraction of time spent sorting (Fig 3 / Fig 17's metric).
@@ -131,6 +203,23 @@ mod tests {
         assert_eq!(t.dist_evals(), 8);
         assert_eq!(t.sorts(), 2);
         assert!((t.sort_fraction() - 80.0 / 410.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_match_itemized_accessors() {
+        let t = CtaTrace { steps: vec![step(100, 50, 10), step(200, 30, 20), step(5, 5, 5)] };
+        let totals = t.totals();
+        assert_eq!(totals.steps, t.n_steps() as u64);
+        assert_eq!(totals.calc_cycles, t.calc_cycles());
+        assert_eq!(totals.sort_cycles, t.sort_cycles());
+        assert_eq!(totals.dist_evals, t.dist_evals());
+        assert_eq!(totals.sorts, t.sorts());
+        assert_eq!(totals.total_cycles(), t.total_cycles());
+        assert!((totals.sort_fraction() - t.sort_fraction()).abs() < 1e-12);
+        let mut merged = StepTotals::default();
+        merged.merge(&totals);
+        merged.merge(&CtaTrace::default().totals());
+        assert_eq!(merged, totals);
     }
 
     #[test]

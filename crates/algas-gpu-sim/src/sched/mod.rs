@@ -59,6 +59,20 @@ impl QueryTiming {
     pub fn e2e_latency_ns(&self) -> u64 {
         self.completion_ns.saturating_sub(self.arrival_ns)
     }
+
+    /// The query's lifecycle phase durations, in order:
+    /// `[arrival→dispatch, dispatch→gpu_start, gpu_start→gpu_done,
+    /// gpu_done→completion]` — the same spans the serving runtime calls
+    /// `submit→slot`, `slot→work`, `work→finish`, `finish→merged`, so
+    /// simulated and native runs report one schema.
+    pub fn phase_spans_ns(&self) -> [u64; 4] {
+        [
+            self.dispatch_ns.saturating_sub(self.arrival_ns),
+            self.gpu_start_ns.saturating_sub(self.dispatch_ns),
+            self.gpu_done_ns.saturating_sub(self.gpu_start_ns),
+            self.completion_ns.saturating_sub(self.gpu_done_ns),
+        ]
+    }
 }
 
 /// Outcome of a simulation run.
@@ -87,7 +101,7 @@ pub struct SimReport {
 
 impl SimReport {
     /// Builds the aggregate numbers from per-query timings.
-    pub(crate) fn from_timings(
+    pub fn from_timings(
         per_query: Vec<QueryTiming>,
         gpu_busy_frac: f64,
         bubble_waste_frac: f64,
@@ -172,5 +186,7 @@ mod tests {
         };
         assert_eq!(q.service_latency_ns(), 50);
         assert_eq!(q.e2e_latency_ns(), 90);
+        assert_eq!(q.phase_spans_ns(), [40, 10, 30, 10]);
+        assert_eq!(q.phase_spans_ns().iter().sum::<u64>(), q.e2e_latency_ns());
     }
 }

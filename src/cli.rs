@@ -6,8 +6,16 @@
 //! algas build  --base base.fvecs --metric l2 --graph cagra --out index.algas
 //! algas info   --index index.algas
 //! algas search --index index.algas --queries q.fvecs --k 10 --l 64 [--gt gt.ivecs] [--out r.ivecs]
-//! algas serve  --index index.algas --queries q.fvecs --clients 4 --slots 16
+//! algas serve  --index index.algas --queries q.fvecs --slots 16 [--stats-json stats.json]
+//! algas stats  --index index.algas --queries q.fvecs [--format json|prom]
 //! ```
+//!
+//! `serve` drives the threaded runtime and reports throughput and
+//! client-side latency percentiles; `--stats-json` additionally dumps
+//! the full [`RuntimeStats`](algas_core::obs::RuntimeStats) telemetry
+//! snapshot. `stats` runs the same
+//! serving session and emits only the snapshot, as JSON or Prometheus
+//! text exposition.
 //!
 //! All logic lives here (testable); `src/bin/algas.rs` is a thin shim.
 
@@ -36,6 +44,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "info" => cmd_info(&flags, out),
         "search" => cmd_search(&flags, out),
         "serve" => cmd_serve(&flags, out),
+        "stats" => cmd_stats(&flags, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage()).map_err(io_err)?;
             Ok(())
@@ -45,7 +54,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: algas <gen|gt|build|info|search|serve> [--flag value]...\n\
+    "usage: algas <gen|gt|build|info|search|serve|stats> [--flag value]...\n\
      see crate docs (src/cli.rs) for the flags of each command"
         .to_string()
 }
@@ -267,7 +276,11 @@ fn cmd_search(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<()
     Ok(())
 }
 
-fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+/// Loads the index + queries and starts the threaded runtime per the
+/// shared `serve`/`stats` flags.
+fn start_server_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<(AlgasServer, VectorStore), String> {
     let index = AlgasIndex::load(req(flags, "index")?).map_err(io_err)?;
     let mut queries = load_fvecs(req(flags, "queries")?)?;
     if index.metric.requires_normalization() {
@@ -284,13 +297,20 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
             queue_capacity: 4096,
         },
     );
-    let repeat = opt_parse(flags, "repeat", 1usize)?.max(1);
+    Ok((server, queries))
+}
+
+/// Pushes every query (×`repeat`) through the server and returns the
+/// sorted client-side latencies in µs.
+fn drive_serve_session(
+    server: &AlgasServer,
+    queries: &VectorStore,
+    repeat: usize,
+) -> Result<Vec<u128>, String> {
     let total = queries.len() * repeat;
-    let t0 = std::time::Instant::now();
     let mut pending = Vec::with_capacity(total);
-    for r in 0..repeat {
+    for _ in 0..repeat {
         for qi in 0..queries.len() {
-            let _ = r;
             let (_, rx) = server
                 .submit(queries.get(qi).to_vec())
                 .map_err(|e| format!("submit failed: {e}"))?;
@@ -303,8 +323,17 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
             rx.recv().map(|_| sent.elapsed().as_micros()).map_err(|_| "server died".to_string())
         })
         .collect::<Result<_, _>>()?;
-    let wall = t0.elapsed();
     lat_us.sort_unstable();
+    Ok(lat_us)
+}
+
+fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let (server, queries) = start_server_from_flags(flags)?;
+    let repeat = opt_parse(flags, "repeat", 1usize)?.max(1);
+    let total = queries.len() * repeat;
+    let t0 = std::time::Instant::now();
+    let lat_us = drive_serve_session(&server, &queries, repeat)?;
+    let wall = t0.elapsed();
     writeln!(
         out,
         "served {total} queries in {wall:.2?} ({:.0} q/s); latency p50 {} µs, p99 {} µs",
@@ -313,6 +342,43 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         lat_us[(total * 99) / 100],
     )
     .map_err(io_err)?;
+    let stats = server.runtime_stats();
+    if !stats.phases.end_to_end.is_empty() {
+        let p99_us = |h: &algas_core::obs::HistogramSnapshot| h.quantile(0.99) as f64 / 1000.0;
+        writeln!(
+            out,
+            "phase p99 (µs): submit→slot {:.1}, slot→work {:.1}, work→finish {:.1}, \
+             finish→merged {:.1}, merged→delivered {:.1}; sort fraction {:.3}",
+            p99_us(&stats.phases.submit_to_slot),
+            p99_us(&stats.phases.slot_to_work),
+            p99_us(&stats.phases.work_to_finish),
+            p99_us(&stats.phases.finish_to_merged),
+            p99_us(&stats.phases.merged_to_delivered),
+            stats.search.sort_fraction(),
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(path) = flags.get("stats-json") {
+        std::fs::write(path, stats.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(out, "wrote runtime stats to {path}").map_err(io_err)?;
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// `algas stats`: runs the same serving session as `serve` but emits
+/// only the telemetry snapshot — JSON (default) or Prometheus text
+/// exposition with `--format prom`.
+fn cmd_stats(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let (server, queries) = start_server_from_flags(flags)?;
+    let repeat = opt_parse(flags, "repeat", 1usize)?.max(1);
+    drive_serve_session(&server, &queries, repeat)?;
+    let stats = server.runtime_stats();
+    match flags.get("format").map(|s| s.as_str()).unwrap_or("json") {
+        "json" => writeln!(out, "{}", stats.to_json()).map_err(io_err)?,
+        "prom" | "prometheus" => write!(out, "{}", stats.to_prometheus()).map_err(io_err)?,
+        other => return Err(format!("--format must be json|prom, got `{other}`")),
+    }
     server.shutdown();
     Ok(())
 }
@@ -320,6 +386,7 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
 #[cfg(test)]
 mod tests {
     use super::*;
+    use algas_core::obs::RuntimeStats;
 
     fn run_ok(args: &[&str]) -> String {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -392,6 +459,7 @@ mod tests {
             .expect("recall line");
         assert!(recall > 0.85, "CLI pipeline recall {recall}");
 
+        let stats_json = tmp("stats.json");
         let msg = run_ok(&[
             "serve",
             "--index",
@@ -402,10 +470,28 @@ mod tests {
             "4",
             "--repeat",
             "2",
+            "--stats-json",
+            &stats_json,
         ]);
         assert!(msg.contains("served 80 queries"), "{msg}");
+        let dumped = std::fs::read_to_string(&stats_json).unwrap();
+        let parsed = RuntimeStats::from_json(&dumped).expect("stats dump parses");
+        assert_eq!((parsed.submitted, parsed.completed), (80, 80));
+        if cfg!(feature = "obs") {
+            assert!(msg.contains("phase p99"), "{msg}");
+            assert_eq!(parsed.phases.end_to_end.count, 80);
+        }
 
-        for p in [base, queries, gt, index, results] {
+        let msg = run_ok(&["stats", "--index", &index, "--queries", &queries, "--slots", "4"]);
+        let stats = RuntimeStats::from_json(msg.trim()).expect("stats output parses");
+        assert_eq!(stats.completed, 40);
+
+        let msg = run_ok(&["stats", "--index", &index, "--queries", &queries, "--format", "prom"]);
+        let samples = algas_core::obs::prom::parse_prometheus(&msg).expect("prom page parses");
+        let completed = samples.iter().find(|s| s.name == "algas_queries_completed_total").unwrap();
+        assert_eq!(completed.value, 40.0);
+
+        for p in [base, queries, gt, index, results, stats_json] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -1,0 +1,104 @@
+//! Pins the zero-allocation invariant for the serving-path telemetry:
+//! every operation the hot path performs — phase stamps, histogram
+//! records, per-worker/host/slot counter bumps, and the full
+//! delivery-accounting call — must never touch the heap. Snapshotting
+//! ([`RuntimeObs::populate`]) allocates and is deliberately outside
+//! the measured region: it runs on the control path, not per query.
+//!
+//! Like `zero_alloc.rs`, this binary holds exactly one test so no
+//! concurrent test can perturb the counting `#[global_allocator]`
+//! (integration tests get their own binary, and the allocator is
+//! per-binary).
+#![cfg(feature = "obs")]
+
+use algas::core::merge::MergeStats;
+use algas::core::obs::{stamp, Histogram, JobStamps, RuntimeObs};
+use algas::core::tracer::{StepStats, StepTotals};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// One simulated query's worth of instrumentation, exactly as the
+/// runtime issues it: stamps on the submit/refill/worker/host path,
+/// then search accounting, then delivery accounting.
+fn instrument_one_query(obs: &RuntimeObs, hist: &Histogram, totals: &StepTotals, q: u64) {
+    let mut stamps = JobStamps::new();
+    stamps.mark_slot();
+    obs.slot_assigned(0, (q % 4) as usize);
+    stamps.mark_work_start();
+    obs.record_search_totals((q % 2) as usize, (q % 4) as usize, totals);
+    stamps.mark_finish();
+    obs.worker_pass((q % 2) as usize, true);
+    let merged_at = stamp();
+    let delta = MergeStats { merges: 1, elements: 64, dupes_dropped: 3 };
+    obs.record_delivery(0, (q % 4) as usize, &stamps, merged_at, stamp(), &delta);
+    obs.host_pass(0, q.is_multiple_of(3));
+    hist.record(1 + q * 17);
+}
+
+#[test]
+fn telemetry_hot_path_allocates_nothing() {
+    let obs = RuntimeObs::new(4, 2, 1);
+    let hist = Histogram::new();
+    let mut totals = StepTotals::default();
+    totals.add_step(&StepStats {
+        expansions: 3,
+        dist_evals: 60,
+        calc_cycles: 40,
+        sort_cycles: 30,
+        sorts: 2,
+        other_cycles: 8,
+        ..Default::default()
+    });
+
+    // Warmup: one pass exercises any lazily-initialized state (the
+    // first `Instant::now` clock read, histogram bucket touch, ...).
+    for q in 0..64 {
+        instrument_one_query(&obs, &hist, &totals, q);
+    }
+
+    // Measured pass: the identical instrumentation stream must not
+    // touch the heap.
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for q in 0..512 {
+        instrument_one_query(&obs, &hist, &totals, q);
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry hot path allocated {} times after warmup",
+        after - before
+    );
+
+    // Sanity: everything recorded was actually counted.
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 64 + 512);
+    let mut stats = algas::core::obs::RuntimeStats::empty(4, 2, 1);
+    obs.populate(&mut stats);
+    assert_eq!(stats.phases.end_to_end.count, 64 + 512);
+    assert_eq!(stats.per_slot.iter().map(|s| s.delivered).sum::<u64>(), 64 + 512);
+    assert_eq!(stats.merge.elements, 64 * (64 + 512));
+}

@@ -2,6 +2,8 @@
 
 use algas::core::lists::{CandidateList, VisitedBitmap};
 use algas::core::merge::merge_topk;
+use algas::core::obs::hist::{bucket_index, bucket_lower, bucket_upper};
+use algas::core::obs::Histogram;
 use algas::core::state::SlotState;
 use algas::gpu::arrivals::ArrivalProcess;
 use algas::gpu::cost::CostModel;
@@ -278,6 +280,82 @@ proptest! {
             bad[seed as usize % 8] ^= 0xA5;
             let _ = algas::core::persist::read_index(std::io::Cursor::new(&bad));
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hist_buckets_tile_the_u64_line(raw in 0u64..u64::MAX, shift in 0u32..64) {
+        // Shifted sampling reaches every magnitude; the range strategy
+        // alone almost never draws small values.
+        let v = raw >> shift;
+        // Every value lands in a bucket that contains it, and the
+        // log-linear width guarantee bounds the quantization error:
+        // exact below 64, ≤ 1/32 relative above.
+        let i = bucket_index(v);
+        prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        if v < 64 {
+            prop_assert_eq!(bucket_lower(i), bucket_upper(i));
+        } else {
+            let width = bucket_upper(i) - bucket_lower(i);
+            prop_assert!((width as u128) < (bucket_lower(i) as u128).div_ceil(32) + 1);
+        }
+    }
+
+    #[test]
+    fn hist_quantiles_track_order_statistics(
+        values in prop::collection::vec(0u64..(1u64 << 48), 1..250),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut values = values;
+        values.sort_unstable();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, values[0]);
+        prop_assert_eq!(snap.max, *values.last().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((values.len() as f64 * q).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = snap.quantile(q);
+            // Nearest-rank semantics with log-linear buckets: the
+            // estimate never undercuts the true order statistic and
+            // overshoots by at most the bucket width (1/32 relative).
+            prop_assert!(est >= exact, "q={q}: {est} < exact {exact}");
+            prop_assert!(
+                (est as u128) <= (exact as u128) * 33 / 32 + 1,
+                "q={q}: {est} overshoots exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn hist_merge_equals_single_recorder(
+        a in prop::collection::vec(0u64..(1u64 << 48), 0..150),
+        b in prop::collection::vec(0u64..(1u64 << 48), 0..150),
+    ) {
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        // Merging per-thread snapshots is indistinguishable from one
+        // global recorder — in either merge order.
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(&merged, &hall.snapshot());
+        let mut flipped = hb.snapshot();
+        flipped.merge(&ha.snapshot());
+        prop_assert_eq!(&flipped, &hall.snapshot());
     }
 }
 
