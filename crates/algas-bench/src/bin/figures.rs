@@ -7,6 +7,7 @@
 //! figures bench_distance [--out PATH]     # SIMD kernel timings → BENCH_distance.json
 //! figures bench_build [--scale S] [--out PATH]  # build speedup + relayout → BENCH_build.json
 //! figures bench_serve [--scale S] [--out PATH]  # serving telemetry → BENCH_serve.json
+//! figures bench_quant [--scale S] [--out PATH]  # fp32 vs SQ8 → BENCH_quant.json
 //! ```
 //!
 //! `--scale` scales the synthetic corpora (default 0.15 ≈ 9k vectors
@@ -50,8 +51,8 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [all|list|bench_distance|bench_build|bench_serve|<experiment-id>] \
-         [--scale S] [--out PATH]"
+        "usage: figures [all|list|bench_distance|bench_build|bench_serve|bench_quant|\
+         <experiment-id>] [--scale S] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -151,6 +152,14 @@ fn main() {
         algas_bench::serve_bench::run(
             args.scale,
             args.out.as_deref().unwrap_or("BENCH_serve.json"),
+        );
+        return;
+    }
+    if args.command == "bench_quant" {
+        // fp32 vs SQ8 scoring + recall benchmark: self-contained prep.
+        algas_bench::quant_bench::run(
+            args.scale,
+            args.out.as_deref().unwrap_or("BENCH_quant.json"),
         );
         return;
     }

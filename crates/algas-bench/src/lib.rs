@@ -20,6 +20,7 @@ pub mod build_bench;
 pub mod cache;
 pub mod experiments;
 pub mod prep;
+pub mod quant_bench;
 pub mod report;
 pub mod serve_bench;
 

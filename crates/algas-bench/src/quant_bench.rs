@@ -1,0 +1,174 @@
+//! `figures bench_quant`: fp32-vs-SQ8 comparison → `BENCH_quant.json`.
+//!
+//! Two measurements at the paper's representative d=128:
+//!
+//! 1. **Neighbor scoring** — the traversal inner loop in isolation: a
+//!    batch of candidate ids scored against one query, fp32
+//!    (`Metric::distance_batch` over the padded f32 store) vs SQ8
+//!    (`QuantizedQuery::score_batch` over the u8 code mirror, query
+//!    encoded once). This is the kernel the quantized hot path swaps
+//!    in, and where the 4× smaller rows pay off.
+//! 2. **End-to-end search** — the same CAGRA index served by an fp32
+//!    engine and by an SQ8+rerank engine, reporting throughput and
+//!    recall@10 against brute-force ground truth. The rerank pass
+//!    keeps returned distances exact, so recall should track fp32
+//!    within the epsilon the engine tests pin (0.02).
+
+use algas_core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
+use algas_core::obs::json::{obj, Value};
+use algas_graph::cagra::CagraParams;
+use algas_vector::datasets::DatasetSpec;
+use algas_vector::ground_truth::{brute_force_knn, mean_recall};
+use algas_vector::{Metric, QuantizedQuery, QuantizedStore, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 128;
+const K: usize = 10;
+const L: usize = 64;
+const BATCH: usize = 1024;
+
+/// Best-of-reps timing of `f`, in ns per call.
+fn time_ns(iters: u64, mut f: impl FnMut() -> f32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let mut acc = 0.0f32;
+        for _ in 0..iters {
+            acc += f();
+        }
+        std::hint::black_box(acc);
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// Times one engine over the query set (after a warmup pass) and
+/// collects its result ids. Returns (qps, results).
+fn drive(engine: &AlgasEngine, queries: &VectorStore) -> (f64, Vec<Vec<u32>>) {
+    let mut scratch = engine.make_scratch();
+    let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+    for qi in 0..queries.len() {
+        engine.search_into(queries.get(qi), qi as u64, &mut scratch);
+    }
+    let t0 = std::time::Instant::now();
+    for qi in 0..queries.len() {
+        engine.search_into(queries.get(qi), qi as u64, &mut scratch);
+        results.push(scratch.topk.iter().map(|&(_, id)| id).collect());
+    }
+    let qps = queries.len() as f64 / t0.elapsed().as_secs_f64();
+    (qps, results)
+}
+
+/// Runs the quantization benchmark at `scale` and writes `out_path`.
+pub fn run(scale: f64, out_path: &str) {
+    // ── 1. Neighbor-scoring kernel: fp32 batch vs SQ8 batch ──────────
+    let mut rng = StdRng::seed_from_u64(0x5_0008);
+    let query: Vec<f32> = (0..DIM).map(|_| rng.gen()).collect();
+    let mut store = VectorStore::with_capacity(DIM, BATCH);
+    for _ in 0..BATCH {
+        let row: Vec<f32> = (0..DIM).map(|_| rng.gen()).collect();
+        store.push(&row);
+    }
+    let qstore = QuantizedStore::from_store(&store);
+    let ids: Vec<u32> = (0..BATCH as u32).collect();
+    let mut dists: Vec<f32> = Vec::with_capacity(BATCH);
+    let mut qquery = QuantizedQuery::new();
+    qquery.encode(Metric::L2, &query, &qstore);
+
+    let calls = (40_000_000 / (DIM * BATCH) as u64).max(100);
+    let fp32_ns = time_ns(calls, || {
+        Metric::L2.distance_batch(&query, &store, &ids, &mut dists);
+        dists[BATCH - 1]
+    }) / BATCH as f64;
+    let sq8_ns = time_ns(calls, || {
+        qquery.score_batch(&qstore, &ids, &mut dists);
+        dists[BATCH - 1]
+    }) / BATCH as f64;
+    let kernel_speedup = fp32_ns / sq8_ns;
+    eprintln!(
+        "d={DIM} neighbor scoring: fp32 {fp32_ns:6.2} ns/dist  sq8 {sq8_ns:6.2} ns/dist  \
+         ({kernel_speedup:.2}x)"
+    );
+
+    // ── 2. End-to-end: fp32 engine vs SQ8+rerank engine ──────────────
+    let n_base = ((20_000.0 * scale) as usize).max(2_000);
+    let spec = DatasetSpec {
+        name: "quant-bench".into(),
+        n_base,
+        n_queries: 256,
+        dim: DIM,
+        metric: Metric::L2,
+        clusters: 32,
+        spread: 0.55,
+        seed: 0x5108,
+    };
+    eprintln!("generating {n_base} x {DIM} corpus ...");
+    let ds = spec.generate();
+    let t0 = std::time::Instant::now();
+    let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    eprintln!("built CAGRA index in {:.1?}", t0.elapsed());
+    let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, K);
+
+    let cfg = EngineConfig { k: K, l: L, quantize: false, ..Default::default() };
+    let fp32_engine = AlgasEngine::new(index.clone(), cfg).expect("tuning");
+    let quant_engine =
+        AlgasEngine::new(index, EngineConfig { quantize: true, ..cfg }).expect("tuning");
+    let rerank_depth = quant_engine.rerank_depth();
+
+    let (fp32_qps, fp32_results) = drive(&fp32_engine, &ds.queries);
+    let (sq8_qps, sq8_results) = drive(&quant_engine, &ds.queries);
+    let fp32_recall = mean_recall(&fp32_results, &gt, K);
+    let sq8_recall = mean_recall(&sq8_results, &gt, K);
+    eprintln!(
+        "fp32: {fp32_qps:8.0} q/s  recall@{K} {fp32_recall:.4}\n\
+         sq8:  {sq8_qps:8.0} q/s  recall@{K} {sq8_recall:.4}  \
+         (rerank depth {rerank_depth}, Δrecall {:+.4})",
+        sq8_recall - fp32_recall
+    );
+
+    let doc = obj(vec![
+        (
+            "config",
+            obj(vec![
+                ("dim", Value::Uint(DIM as u64)),
+                ("k", Value::Uint(K as u64)),
+                ("l", Value::Uint(L as u64)),
+                ("n_base", Value::Uint(n_base as u64)),
+                ("queries", Value::Uint(ds.queries.len() as u64)),
+                ("batch", Value::Uint(BATCH as u64)),
+                ("rerank_depth", Value::Uint(rerank_depth as u64)),
+            ]),
+        ),
+        (
+            "neighbor_scoring",
+            obj(vec![
+                ("fp32_ns_per_dist", Value::Num(fp32_ns)),
+                ("sq8_ns_per_dist", Value::Num(sq8_ns)),
+                ("sq8_speedup", Value::Num(kernel_speedup)),
+            ]),
+        ),
+        (
+            "end_to_end",
+            obj(vec![
+                ("fp32_qps", Value::Num(fp32_qps)),
+                ("sq8_qps", Value::Num(sq8_qps)),
+                ("sq8_speedup", Value::Num(sq8_qps / fp32_qps)),
+                ("fp32_recall_at_10", Value::Num(fp32_recall)),
+                ("sq8_recall_at_10", Value::Num(sq8_recall)),
+                ("recall_delta", Value::Num(sq8_recall - fp32_recall)),
+            ]),
+        ),
+        (
+            "memory",
+            obj(vec![
+                ("fp32_bytes_per_row", Value::Uint((DIM * 4) as u64)),
+                ("sq8_bytes_per_row", Value::Uint(DIM as u64)),
+            ]),
+        ),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    std::fs::write(out_path, text).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

@@ -15,13 +15,17 @@ use algas_gpu_sim::{CostModel, CtaWork, DeviceProps, QueryWork};
 use algas_graph::entry::{medoid, EntryPolicy};
 use algas_graph::{CagraBuilder, FixedDegreeGraph, GraphKind, NodePermutation, NswBuilder};
 use algas_vector::metric::DistValue;
-use algas_vector::{Metric, VectorStore};
+use algas_vector::{Metric, QuantizedStore, VectorStore};
+use serde::{Deserialize, Serialize};
 
 /// A searchable index: corpus + graph + metadata.
 #[derive(Clone, Debug)]
 pub struct AlgasIndex {
     /// The indexed vectors (normalized when the metric demands it).
     pub base: VectorStore,
+    /// Optional SQ8 codes mirroring `base` row-for-row (see
+    /// [`AlgasIndex::quantize`]); `None` means fp32-only search.
+    pub quant: Option<QuantizedStore>,
     /// The proximity graph.
     pub graph: FixedDegreeGraph,
     /// Distance metric.
@@ -44,7 +48,7 @@ impl AlgasIndex {
     ) -> Self {
         let graph = NswBuilder::new(metric, params).build(&base);
         let medoid = medoid(&base, metric);
-        Self { base, graph, metric, medoid, kind: GraphKind::Nsw, id_map: None }
+        Self { base, quant: None, graph, metric, medoid, kind: GraphKind::Nsw, id_map: None }
     }
 
     /// Builds a CAGRA-style fixed out-degree index.
@@ -55,7 +59,7 @@ impl AlgasIndex {
     ) -> Self {
         let graph = CagraBuilder::new(metric, params).build(&base);
         let medoid = medoid(&base, metric);
-        Self { base, graph, metric, medoid, kind: GraphKind::Cagra, id_map: None }
+        Self { base, quant: None, graph, metric, medoid, kind: GraphKind::Cagra, id_map: None }
     }
 
     /// Wraps pre-built parts (e.g. graphs loaded from a cache).
@@ -70,7 +74,7 @@ impl AlgasIndex {
     ) -> Self {
         assert_eq!(base.len(), graph.len(), "graph/corpus size mismatch");
         let medoid = medoid(&base, metric);
-        Self { base, graph, metric, medoid, kind, id_map: None }
+        Self { base, quant: None, graph, metric, medoid, kind, id_map: None }
     }
 
     /// Relayouts the index for cache locality: renumbers nodes by a
@@ -86,6 +90,9 @@ impl AlgasIndex {
         let perm = NodePermutation::bfs_from(&self.graph, self.medoid);
         self.graph = perm.apply_to_graph(&self.graph);
         self.base = self.base.permute(perm.new_to_old());
+        if let Some(q) = self.quant.take() {
+            self.quant = Some(q.permute(perm.new_to_old()));
+        }
         self.medoid = perm.to_new(self.medoid);
         self.id_map = Some(match self.id_map.take() {
             Some(prev) => prev.compose(&perm),
@@ -114,6 +121,13 @@ impl AlgasIndex {
                 *id = map.to_old(*id);
             }
         }
+    }
+
+    /// Builds (or rebuilds) the SQ8 code mirror of `base`. Idempotent
+    /// to call on an already-quantized index — the codes are derived
+    /// data and re-deriving them yields the same bytes.
+    pub fn quantize(&mut self) {
+        self.quant = Some(QuantizedStore::from_store(&self.base));
     }
 
     /// Corpus size.
@@ -150,6 +164,14 @@ pub struct EngineConfig {
     pub beam: BeamMode,
     /// Entry policy for the CTAs.
     pub entry: EntryPolicy,
+    /// Traverse on SQ8 quantized distances, then re-rank the pooled
+    /// candidates with exact f32 distances (`Default` honors the
+    /// `ALGAS_QUANTIZE` environment variable so CI can flip the whole
+    /// suite onto the quantized path).
+    pub quantize: bool,
+    /// Candidates re-ranked exactly per query when quantized; `None`
+    /// means `2 * k`. Clamped to at least `k`.
+    pub rerank_depth: Option<usize>,
 }
 
 /// How beam extend is configured.
@@ -175,7 +197,45 @@ impl Default for EngineConfig {
             n_parallel: None,
             beam: BeamMode::Auto,
             entry: EntryPolicy::Hashed { seed: 0xA16A5 },
+            quantize: std::env::var("ALGAS_QUANTIZE")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false),
+            rerank_depth: None,
         }
+    }
+}
+
+/// Plain (non-atomic) re-rank counters, accumulated across every
+/// quantized search on one scratch — the exact-distance counterpart of
+/// [`crate::merge::MergeStats`]. The owning worker thread reads deltas
+/// and publishes them to the serving snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RerankStats {
+    /// Re-rank passes executed (one per quantized query).
+    pub reranks: u64,
+    /// Pooled candidates scored with exact f32 distances.
+    pub candidates: u64,
+    /// Results that entered the final TopK only because the exact pass
+    /// reordered the quantized ranking (a direct read on how much
+    /// recall the re-rank buys back).
+    pub promotions: u64,
+}
+
+impl RerankStats {
+    /// The counters accumulated since `earlier` was captured.
+    pub fn since(&self, earlier: &RerankStats) -> RerankStats {
+        RerankStats {
+            reranks: self.reranks - earlier.reranks,
+            candidates: self.candidates - earlier.candidates,
+            promotions: self.promotions - earlier.promotions,
+        }
+    }
+
+    /// Folds another counter block into this one.
+    pub fn merge(&mut self, other: &RerankStats) {
+        self.reranks += other.reranks;
+        self.candidates += other.candidates;
+        self.promotions += other.promotions;
     }
 }
 
@@ -203,6 +263,16 @@ pub struct SearchScratch {
     merge: MergeScratch,
     /// Final merged TopK of the most recent search, ascending.
     pub topk: Vec<(DistValue, u32)>,
+    /// Pooled rerank candidates (quantized path; `rerank_depth` deep).
+    pooled: Vec<(DistValue, u32)>,
+    /// Candidate ids handed to the exact batch scorer.
+    rerank_ids: Vec<u32>,
+    /// Exact f32 distances for `rerank_ids`.
+    rerank_dists: Vec<f32>,
+    /// The quantized-order TopK ids, kept to count promotions.
+    quant_prefix: Vec<u32>,
+    /// Re-rank counters accumulated across searches on this scratch.
+    pub rerank: RerankStats,
 }
 
 impl SearchScratch {
@@ -226,8 +296,11 @@ impl AlgasEngine {
     /// # Errors
     /// Returns the tuner's error when the slot count or list sizes
     /// cannot be made resident on the device.
-    pub fn new(index: AlgasIndex, cfg: EngineConfig) -> Result<Self, TuningError> {
+    pub fn new(mut index: AlgasIndex, cfg: EngineConfig) -> Result<Self, TuningError> {
         assert!(cfg.k > 0 && cfg.l >= cfg.k, "need 0 < k <= L");
+        if cfg.quantize && index.quant.is_none() {
+            index.quantize();
+        }
         let mut input = TuningInput::new(cfg.device, cfg.slots, index.base.dim(), cfg.l, cfg.k);
         input.graph_degree = index.graph.degree();
         input.beam_width = match cfg.beam {
@@ -301,6 +374,121 @@ impl AlgasEngine {
         SearchScratch::new()
     }
 
+    /// Whether this engine traverses on SQ8 quantized distances.
+    #[inline]
+    pub fn quantized(&self) -> bool {
+        self.index.quant.is_some()
+    }
+
+    /// The effective exact-rerank pool depth (`>= k`; meaningful only
+    /// when [`quantized`](Self::quantized)).
+    #[inline]
+    pub fn rerank_depth(&self) -> usize {
+        self.cfg.rerank_depth.unwrap_or(2 * self.cfg.k).max(self.cfg.k)
+    }
+
+    /// Per-CTA result-list length: `k` on the fp32 path, the (possibly
+    /// `L`-capped) rerank depth on the quantized path, where each CTA
+    /// over-fetches so the exact pass has a pool to re-rank.
+    #[inline]
+    fn fetch_k(&self) -> usize {
+        if self.quantized() {
+            self.rerank_depth().min(self.cfg.l)
+        } else {
+            self.cfg.k
+        }
+    }
+
+    /// Allocation-free search leaving the merged TopK in *physical*
+    /// (post-relayout) ids. [`search_into`](Self::search_into) is this
+    /// plus the translation back to the caller's original id space; the
+    /// serving runtime calls this variant because its host pollers
+    /// translate once at delivery.
+    ///
+    /// On a quantized engine the traversal scores SQ8 codes, the
+    /// per-CTA pools are merged [`rerank_depth`](Self::rerank_depth)
+    /// deep, and the pool is re-scored with exact f32 distances before
+    /// the final TopK cut — so `scratch.topk` distances are always
+    /// exact, whichever path ran.
+    pub fn search_physical_into(&self, query: &[f32], query_id: u64, scratch: &mut SearchScratch) {
+        match &self.index.quant {
+            Some(quant) => {
+                let ctx = SearchContext::with_quantized(
+                    &self.index.graph,
+                    &self.index.base,
+                    quant,
+                    self.index.metric,
+                    &self.cfg.cost,
+                );
+                search_multi_into(
+                    ctx,
+                    self.multi_params(),
+                    query,
+                    query_id,
+                    self.index.medoid,
+                    self.fetch_k(),
+                    &mut scratch.multi,
+                );
+                merge_topk_into(
+                    scratch.multi.per_cta(),
+                    self.rerank_depth(),
+                    &mut scratch.merge,
+                    &mut scratch.pooled,
+                );
+                self.rerank(query, scratch);
+            }
+            None => {
+                let ctx = SearchContext::new(
+                    &self.index.graph,
+                    &self.index.base,
+                    self.index.metric,
+                    &self.cfg.cost,
+                );
+                search_multi_into(
+                    ctx,
+                    self.multi_params(),
+                    query,
+                    query_id,
+                    self.index.medoid,
+                    self.cfg.k,
+                    &mut scratch.multi,
+                );
+                merge_topk_into(
+                    scratch.multi.per_cta(),
+                    self.cfg.k,
+                    &mut scratch.merge,
+                    &mut scratch.topk,
+                );
+            }
+        }
+    }
+
+    /// Re-scores `scratch.pooled` with exact f32 distances and cuts the
+    /// final TopK into `scratch.topk` (ids stay physical).
+    fn rerank(&self, query: &[f32], scratch: &mut SearchScratch) {
+        scratch.quant_prefix.clear();
+        scratch.quant_prefix.extend(scratch.pooled.iter().take(self.cfg.k).map(|&(_, id)| id));
+        scratch.rerank_ids.clear();
+        scratch.rerank_ids.extend(scratch.pooled.iter().map(|&(_, id)| id));
+        self.index.metric.distance_batch(
+            query,
+            &self.index.base,
+            &scratch.rerank_ids,
+            &mut scratch.rerank_dists,
+        );
+        for (slot, &d) in scratch.pooled.iter_mut().zip(scratch.rerank_dists.iter()) {
+            slot.0 = DistValue(d);
+        }
+        scratch.pooled.sort_unstable();
+        scratch.topk.clear();
+        scratch.topk.extend(scratch.pooled.iter().take(self.cfg.k));
+        scratch.rerank.reranks += 1;
+        scratch.rerank.candidates += scratch.pooled.len() as u64;
+        let prefix = &scratch.quant_prefix;
+        scratch.rerank.promotions +=
+            scratch.topk.iter().filter(|&&(_, id)| !prefix.contains(&id)).count() as u64;
+    }
+
     /// Allocation-free search: runs the multi-CTA search and the host
     /// merge entirely inside `scratch`, leaving the merged TopK in
     /// `scratch.topk` and the per-CTA lists/traces in `scratch.multi`.
@@ -313,22 +501,7 @@ impl AlgasEngine {
     /// (the relayout id-map, if any, is applied in place);
     /// `scratch.multi` keeps the raw per-CTA lists in physical ids.
     pub fn search_into(&self, query: &[f32], query_id: u64, scratch: &mut SearchScratch) {
-        let ctx = SearchContext::new(
-            &self.index.graph,
-            &self.index.base,
-            self.index.metric,
-            &self.cfg.cost,
-        );
-        search_multi_into(
-            ctx,
-            self.multi_params(),
-            query,
-            query_id,
-            self.index.medoid,
-            self.cfg.k,
-            &mut scratch.multi,
-        );
-        merge_topk_into(scratch.multi.per_cta(), self.cfg.k, &mut scratch.merge, &mut scratch.topk);
+        self.search_physical_into(query, query_id, scratch);
         self.index.externalize(&mut scratch.topk);
     }
 
@@ -379,12 +552,15 @@ impl AlgasEngine {
     fn work_with_ctas(&self, ctas: Vec<CtaWork>, dim: usize) -> QueryWork {
         let dev = &self.cfg.device;
         let n_ctas = ctas.len();
+        // Each CTA ships its whole fetch list (k, or the rerank pool
+        // depth when quantized) back to the host.
+        let per_cta_k = self.fetch_k();
         QueryWork {
             ctas,
             query_bytes: (dim * 4) as u64,
-            result_bytes: (n_ctas * self.cfg.k * 8) as u64,
-            gpu_merge_ns: dev.cycles_to_ns(self.cfg.cost.gpu_topk_merge_cycles(n_ctas, self.cfg.k)),
-            host_merge_ns: self.cfg.host_cost.merge_ns(n_ctas, self.cfg.k),
+            result_bytes: (n_ctas * per_cta_k * 8) as u64,
+            gpu_merge_ns: dev.cycles_to_ns(self.cfg.cost.gpu_topk_merge_cycles(n_ctas, per_cta_k)),
+            host_merge_ns: self.cfg.host_cost.merge_ns(n_ctas, per_cta_k),
         }
     }
 
@@ -429,7 +605,9 @@ mod tests {
     ) -> (AlgasEngine, algas_vector::datasets::GeneratedDataset) {
         let ds = DatasetSpec::tiny(700, 16, Metric::L2, 101).generate();
         let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
-        let cfg = EngineConfig { k: 10, l, slots: 8, beam, ..Default::default() };
+        // quantize pinned off: this helper is the fp32 reference engine
+        // even when ALGAS_QUANTIZE=1 flips the suite's defaults.
+        let cfg = EngineConfig { k: 10, l, slots: 8, beam, quantize: false, ..Default::default() };
         (AlgasEngine::new(index, cfg).unwrap(), ds)
     }
 
@@ -495,6 +673,99 @@ mod tests {
     fn dimension_mismatch_panics() {
         let (engine, _) = small_engine(32, BeamMode::Auto);
         engine.search(&[0.0; 3], 0);
+    }
+
+    fn quantized_engine(
+        l: usize,
+        rerank_depth: Option<usize>,
+    ) -> (AlgasEngine, algas_vector::datasets::GeneratedDataset) {
+        let ds = DatasetSpec::tiny(700, 16, Metric::L2, 101).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg =
+            EngineConfig { k: 10, l, slots: 8, quantize: true, rerank_depth, ..Default::default() };
+        (AlgasEngine::new(index, cfg).unwrap(), ds)
+    }
+
+    #[test]
+    fn quantized_recall_stays_within_epsilon_of_fp32() {
+        let (fp32, ds) = small_engine(64, BeamMode::Auto);
+        let (quant, _) = quantized_engine(64, None);
+        assert!(quant.quantized() && !fp32.quantized());
+        let gt = brute_force_knn(&ds.base, &ds.queries, Metric::L2, 10);
+        let r_fp32 = mean_recall(&fp32.run_workload(&ds.queries).results, &gt, 10);
+        let r_quant = mean_recall(&quant.run_workload(&ds.queries).results, &gt, 10);
+        assert!(
+            r_quant >= r_fp32 - 0.02,
+            "SQ8+rerank recall {r_quant} fell more than 0.02 below fp32 recall {r_fp32}"
+        );
+    }
+
+    #[test]
+    fn quantized_search_returns_exact_distances() {
+        let (engine, ds) = quantized_engine(64, None);
+        let t = engine.search_traced(ds.queries.get(0), 0);
+        assert_eq!(t.topk.len(), 10);
+        for &(d, id) in &t.topk {
+            let exact = Metric::L2.distance(ds.queries.get(0), ds.base.get(id as usize));
+            assert_eq!(d, DistValue(exact), "returned distance for id {id} must be exact fp32");
+        }
+        // Ascending, as the fp32 path guarantees.
+        assert!(t.topk.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn quantized_search_is_deterministic_and_counts_reranks() {
+        let (engine, ds) = quantized_engine(48, Some(30));
+        assert_eq!(engine.rerank_depth(), 30);
+        let mut scratch = engine.make_scratch();
+        let mut first: Vec<(DistValue, u32)> = Vec::new();
+        for pass in 0..2 {
+            engine.search_into(ds.queries.get(5), 5, &mut scratch);
+            if pass == 0 {
+                first = scratch.topk.clone();
+            }
+        }
+        assert_eq!(scratch.topk, first, "quantized search must be deterministic");
+        assert_eq!(scratch.rerank.reranks, 2);
+        assert!(scratch.rerank.candidates >= 2 * 10, "pool must be at least k deep per pass");
+    }
+
+    #[test]
+    fn rerank_depth_defaults_to_twice_k_and_clamps_to_k() {
+        let (engine, _) = quantized_engine(64, None);
+        assert_eq!(engine.rerank_depth(), 20);
+        let (shallow, _) = quantized_engine(64, Some(3));
+        assert_eq!(shallow.rerank_depth(), 10, "rerank depth must clamp up to k");
+    }
+
+    #[test]
+    fn quantized_work_descriptor_ships_the_fetch_pool() {
+        let (engine, ds) = quantized_engine(32, None);
+        let t = engine.search_traced(ds.queries.get(0), 0);
+        let per_cta = engine.rerank_depth().min(32);
+        assert_eq!(t.work.result_bytes, (engine.plan().n_parallel * per_cta * 8) as u64);
+    }
+
+    #[test]
+    fn relayout_permutes_the_code_mirror() {
+        let ds = DatasetSpec::tiny(300, 8, Metric::L2, 7).generate();
+        let mut index =
+            AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        index.quantize();
+        index.relayout();
+        let q = index.quant.as_ref().unwrap();
+        assert_eq!(q.len(), index.base.len());
+        // Codes must still mirror the (permuted) base rows.
+        let mut row = Vec::new();
+        for i in 0..index.base.len() {
+            q.dequantize_into(i, &mut row);
+            for (d, (&approx, &exact)) in row.iter().zip(index.base.get(i)).enumerate() {
+                assert!(
+                    (approx - exact).abs() <= q.max_dequant_error(d) + 1e-6,
+                    "row {i} dim {d}: dequant {approx} too far from base {exact}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod state;
 pub mod tracer;
 pub mod tuning;
 
-pub use engine::{AlgasEngine, AlgasIndex, BeamMode, EngineConfig, TracedSearch, Workload};
+pub use engine::{
+    AlgasEngine, AlgasIndex, BeamMode, EngineConfig, RerankStats, TracedSearch, Workload,
+};
 pub use merge::{merge_topk, HostCostModel};
 pub use obs::{Histogram, HistogramSnapshot, RuntimeStats};
 pub use runtime::{AlgasServer, RuntimeConfig, SearchReply, StatsSnapshot};

@@ -20,6 +20,7 @@ pub use disabled::{stamp, JobStamps, RuntimeObs, Stamp};
 
 #[cfg(feature = "obs")]
 mod enabled {
+    use crate::engine::RerankStats;
     use crate::merge::MergeStats;
     use crate::obs::counters::{CachePadded, Counter};
     use crate::obs::hist::Histogram;
@@ -92,6 +93,10 @@ mod enabled {
         calc_cycles: Counter,
         sort_cycles: Counter,
         other_cycles: Counter,
+        // SQ8 exact-rerank phase totals (zero on fp32 engines).
+        reranks: Counter,
+        rerank_candidates: Counter,
+        rerank_promotions: Counter,
     }
 
     #[derive(Default)]
@@ -192,6 +197,16 @@ mod enabled {
             self.slots[s].finished.incr();
         }
 
+        /// Accounts the exact-rerank phase of quantized searches on
+        /// worker `w` (a no-op delta on fp32 engines).
+        #[inline]
+        pub fn record_rerank(&self, w: usize, delta: &RerankStats) {
+            let cells = &self.workers[w];
+            cells.reranks.add(delta.reranks);
+            cells.rerank_candidates.add(delta.candidates);
+            cells.rerank_promotions.add(delta.promotions);
+        }
+
         /// Accounts a slot refill by host poller `h`.
         #[inline]
         pub fn slot_assigned(&self, h: usize, s: usize) {
@@ -278,6 +293,14 @@ mod enabled {
                     other_cycles: c.other_cycles.get(),
                 });
             }
+            out.rerank = RerankStats::default();
+            for c in &self.workers {
+                out.rerank.merge(&RerankStats {
+                    reranks: c.reranks.get(),
+                    candidates: c.rerank_candidates.get(),
+                    promotions: c.rerank_promotions.get(),
+                });
+            }
             out.merge = MergeStats::default();
             for c in &self.hosts {
                 out.merge.merge(&MergeStats {
@@ -357,6 +380,10 @@ mod disabled {
 
         /// No-op.
         #[inline]
+        pub fn record_rerank(&self, _w: usize, _delta: &crate::engine::RerankStats) {}
+
+        /// No-op.
+        #[inline]
         pub fn slot_assigned(&self, _h: usize, _s: usize) {}
 
         /// No-op.
@@ -404,6 +431,8 @@ mod tests {
             other_cycles: 20,
         };
         obs.record_search_totals(0, 1, &totals);
+        let rerank = crate::engine::RerankStats { reranks: 1, candidates: 20, promotions: 3 };
+        obs.record_rerank(0, &rerank);
         stamps.mark_finish();
         let merged_at = stamp();
         let delivered_at = stamp();
@@ -420,6 +449,7 @@ mod tests {
         assert_eq!(s.per_slot[1].finished, 1);
         assert_eq!(s.per_slot[1].delivered, 1);
         assert_eq!(s.search, totals);
+        assert_eq!(s.rerank, rerank);
         assert_eq!(s.merge, delta);
         for (name, h) in s.phases.named() {
             assert_eq!(h.count, 1, "phase {name} should hold one sample");

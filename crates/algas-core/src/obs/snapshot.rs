@@ -17,6 +17,7 @@
 use super::hist::HistogramSnapshot;
 use super::json::{obj, Value};
 use super::prom::PromWriter;
+use crate::engine::RerankStats;
 use crate::merge::MergeStats;
 use crate::tracer::StepTotals;
 use algas_gpu_sim::sched::SimReport;
@@ -123,6 +124,11 @@ pub struct RuntimeStats {
     pub queue_depth: u64,
     /// Gauge: slots holding an in-flight query at snapshot time.
     pub slots_occupied: u64,
+    /// Gauge: logical bytes of the fp32 corpus being served.
+    pub base_bytes: u64,
+    /// Gauge: logical bytes of the SQ8 code mirror (codes + affine
+    /// tables + row norms); 0 when the engine is fp32-only.
+    pub quant_bytes: u64,
     /// Per-worker breakdown (`n_workers` entries).
     pub per_worker: Vec<WorkerStats>,
     /// Per-host-poller breakdown (`n_host_threads` entries).
@@ -134,6 +140,8 @@ pub struct RuntimeStats {
     /// Aggregated per-step search totals (cycles split into
     /// calc/sort/other, as Fig 3 / Fig 17 split them).
     pub search: StepTotals,
+    /// SQ8 exact-rerank totals (all zero on fp32 engines).
+    pub rerank: RerankStats,
     /// Host-side merge totals.
     pub merge: MergeStats,
 }
@@ -200,6 +208,8 @@ impl RuntimeStats {
                 obj(vec![
                     ("queue_depth", Value::Uint(self.queue_depth)),
                     ("slots_occupied", Value::Uint(self.slots_occupied)),
+                    ("base_bytes", Value::Uint(self.base_bytes)),
+                    ("quant_bytes", Value::Uint(self.quant_bytes)),
                 ]),
             ),
             (
@@ -273,6 +283,14 @@ impl RuntimeStats {
                 ]),
             ),
             (
+                "rerank",
+                obj(vec![
+                    ("reranks", Value::Uint(self.rerank.reranks)),
+                    ("candidates", Value::Uint(self.rerank.candidates)),
+                    ("promotions", Value::Uint(self.rerank.promotions)),
+                ]),
+            ),
+            (
                 "merge",
                 obj(vec![
                     ("merges", Value::Uint(self.merge.merges)),
@@ -329,6 +347,9 @@ impl RuntimeStats {
             rejected_queue_full: u(queries, "rejected_queue_full")?,
             queue_depth: u(gauges, "queue_depth")?,
             slots_occupied: u(gauges, "slots_occupied")?,
+            // Absent in pre-SQ8 snapshots; those parse as 0.
+            base_bytes: gauges.get("base_bytes").and_then(Value::as_u64).unwrap_or(0),
+            quant_bytes: gauges.get("quant_bytes").and_then(Value::as_u64).unwrap_or(0),
             ..Self::default()
         };
         for w in doc.get("workers").and_then(Value::as_arr).ok_or("missing `workers`")? {
@@ -367,6 +388,15 @@ impl RuntimeStats {
             sort_cycles: u(search, "sort_cycles")?,
             other_cycles: u(search, "other_cycles")?,
         };
+        // Absent in snapshots written before the SQ8 subsystem existed;
+        // those parse with zeroed rerank totals.
+        if let Some(rerank) = doc.get("rerank") {
+            out.rerank = RerankStats {
+                reranks: u(rerank, "reranks")?,
+                candidates: u(rerank, "candidates")?,
+                promotions: u(rerank, "promotions")?,
+            };
+        }
         let merge = doc.get("merge").ok_or("missing `merge`")?;
         out.merge = MergeStats {
             merges: u(merge, "merges")?,
@@ -397,9 +427,12 @@ impl RuntimeStats {
         ] {
             w.type_header(name, "counter").scalar(name, v);
         }
-        for (name, v) in
-            [("algas_queue_depth", self.queue_depth), ("algas_slots_occupied", self.slots_occupied)]
-        {
+        for (name, v) in [
+            ("algas_queue_depth", self.queue_depth),
+            ("algas_slots_occupied", self.slots_occupied),
+            ("algas_base_store_bytes", self.base_bytes),
+            ("algas_quant_store_bytes", self.quant_bytes),
+        ] {
             w.type_header(name, "gauge").scalar(name, v);
         }
         let series =
@@ -499,6 +532,9 @@ impl RuntimeStats {
             self.search.sort_fraction(),
         );
         for (name, v) in [
+            ("algas_rerank_total", self.rerank.reranks),
+            ("algas_rerank_candidates_total", self.rerank.candidates),
+            ("algas_rerank_promotions_total", self.rerank.promotions),
             ("algas_merge_total", self.merge.merges),
             ("algas_merge_elements_total", self.merge.elements),
             ("algas_merge_dupes_dropped_total", self.merge.dupes_dropped),
@@ -553,6 +589,8 @@ mod tests {
         s.rejected_queue_full = 3;
         s.queue_depth = 2;
         s.slots_occupied = 1;
+        s.base_bytes = 48_000;
+        s.quant_bytes = 12_400;
         s.per_worker[0] = WorkerStats { queries: 20, busy_passes: 19, idle_passes: 100 };
         s.per_worker[1] = WorkerStats { queries: 18, busy_passes: 18, idle_passes: 120 };
         s.per_host[0] = HostStats { delivered: 38, refills: 40, busy_passes: 70, idle_passes: 9 };
@@ -573,6 +611,7 @@ mod tests {
             sort_cycles: 20_000,
             other_cycles: 10_000,
         };
+        s.rerank = RerankStats { reranks: 38, candidates: 760, promotions: 12 };
         s.merge = MergeStats { merges: 38, elements: 300, dupes_dropped: 4 };
         s
     }
@@ -603,7 +642,11 @@ mod tests {
         let find = |name: &str| samples.iter().find(|x| x.name == name).unwrap();
         assert_eq!(find("algas_queries_submitted_total").value, 40.0);
         assert_eq!(find("algas_queries_rejected_queue_full_total").value, 3.0);
+        assert_eq!(find("algas_rerank_candidates_total").value, 760.0);
+        assert_eq!(find("algas_rerank_promotions_total").value, 12.0);
         assert_eq!(find("algas_slots_occupied").value, 1.0);
+        assert_eq!(find("algas_base_store_bytes").value, 48_000.0);
+        assert_eq!(find("algas_quant_store_bytes").value, 12_400.0);
         let w1 = samples
             .iter()
             .find(|x| x.name == "algas_worker_queries_total" && x.label("worker") == Some("1"))

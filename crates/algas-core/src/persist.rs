@@ -11,15 +11,21 @@ use std::path::Path;
 
 const INDEX_MAGIC: u32 = 0x414C_4958; // "ALIX"
 /// Format 2 appends a node-permutation section (the relayout id-map)
-/// after the graph; format-1 files (no such section) are still read.
-const FORMAT_VERSION: u32 = 2;
+/// after the graph; format 3 appends an SQ8 code section (scales,
+/// offsets, code rows) after that. Both optional sections use a
+/// zero length to mean "absent", so format-1 and format-2 files are
+/// still read.
+const FORMAT_VERSION: u32 = 3;
+/// Oldest format this build still reads.
+const OLDEST_READABLE_VERSION: u32 = 1;
 
 /// Serializes an index into a writer.
 pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
     let store_blob = algas_vector::binary::encode_store(&index.base);
     let graph_blob = algas_graph::binary::encode_graph(&index.graph);
     let perm_blob = index.id_map.as_ref().map(algas_graph::binary::encode_permutation);
-    let mut header = BytesMut::with_capacity(40);
+    let quant_blob = index.quant.as_ref().map(algas_vector::binary::encode_quantized);
+    let mut header = BytesMut::with_capacity(48);
     header.put_u32_le(INDEX_MAGIC);
     header.put_u32_le(FORMAT_VERSION);
     header.put_u8(match index.metric {
@@ -35,16 +41,21 @@ pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
     header.put_u64_le(graph_blob.len() as u64);
     // Zero-length section = index was never relayouted.
     header.put_u64_le(perm_blob.as_ref().map_or(0, |b| b.len() as u64));
+    // Zero-length section = index was never quantized.
+    header.put_u64_le(quant_blob.as_ref().map_or(0, |b| b.len() as u64));
     w.write_all(&header)?;
     w.write_all(&store_blob)?;
     w.write_all(&graph_blob)?;
     if let Some(blob) = perm_blob {
         w.write_all(&blob)?;
     }
+    if let Some(blob) = quant_blob {
+        w.write_all(&blob)?;
+    }
     Ok(())
 }
 
-/// Deserializes an index from a reader (accepts format 1 and 2).
+/// Deserializes an index from a reader (accepts formats 1 through 3).
 pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     let mut header = [0u8; 30];
     r.read_exact(&mut header)?;
@@ -53,8 +64,11 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
         return Err(invalid("not an ALGAS index file"));
     }
     let version = h.get_u32_le();
-    if version != 1 && version != FORMAT_VERSION {
-        return Err(invalid(&format!("unsupported index format version {version}")));
+    if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(invalid(&format!(
+            "unsupported index format version {version} (this build reads versions \
+             {OLDEST_READABLE_VERSION} through {FORMAT_VERSION})"
+        )));
     }
     let metric = match h.get_u8() {
         0 => Metric::L2,
@@ -72,6 +86,13 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     let perm_len = if version >= 2 {
         let mut ext = [0u8; 8];
         r.read_exact(&mut ext).map_err(|_| invalid("truncated v2 header"))?;
+        u64::from_le_bytes(ext) as usize
+    } else {
+        0
+    };
+    let quant_len = if version >= 3 {
+        let mut ext = [0u8; 8];
+        r.read_exact(&mut ext).map_err(|_| invalid("truncated v3 header"))?;
         u64::from_le_bytes(ext) as usize
     } else {
         0
@@ -101,7 +122,18 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     } else {
         None
     };
-    Ok(AlgasIndex { base, graph, metric, medoid, kind, id_map })
+    let quant = if quant_len > 0 {
+        let mut quant_blob = vec![0u8; quant_len];
+        r.read_exact(&mut quant_blob).map_err(|_| invalid("truncated quantization section"))?;
+        let quant = algas_vector::binary::decode_quantized(&quant_blob)?;
+        if quant.len() != base.len() || quant.dim() != base.dim() {
+            return Err(invalid("quantized/corpus shape mismatch"));
+        }
+        Some(quant)
+    } else {
+        None
+    };
+    Ok(AlgasIndex { base, quant, graph, metric, medoid, kind, id_map })
 }
 
 impl AlgasIndex {
@@ -203,6 +235,50 @@ mod tests {
     }
 
     #[test]
+    fn quantized_index_roundtrips_with_codes() {
+        let mut index = sample_index();
+        index.quantize();
+        index.relayout();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let back = read_index(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.base, index.base);
+        assert_eq!(back.quant, index.quant);
+        assert_eq!(back.id_map, index.id_map);
+        // The reloaded codes carry identical search-time state.
+        let (q, bq) = (index.quant.as_ref().unwrap(), back.quant.as_ref().unwrap());
+        for i in 0..q.len() {
+            assert_eq!(bq.row_norm(i), q.row_norm(i));
+        }
+    }
+
+    #[test]
+    fn reads_format_v2_files_without_quant_section() {
+        // Hand-build a v2 file: v3 layout minus the quant-length field.
+        let mut index = sample_index();
+        index.relayout();
+        let store_blob = algas_vector::binary::encode_store(&index.base);
+        let graph_blob = algas_graph::binary::encode_graph(&index.graph);
+        let perm_blob = algas_graph::binary::encode_permutation(index.id_map.as_ref().unwrap());
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(INDEX_MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u8(1); // cosine
+        buf.put_u8(1); // cagra
+        buf.put_u32_le(index.medoid);
+        buf.put_u64_le(store_blob.len() as u64);
+        buf.put_u64_le(graph_blob.len() as u64);
+        buf.put_u64_le(perm_blob.len() as u64);
+        buf.extend_from_slice(&store_blob);
+        buf.extend_from_slice(&graph_blob);
+        buf.extend_from_slice(&perm_blob);
+        let back = read_index(std::io::Cursor::new(buf.to_vec())).unwrap();
+        assert!(back.quant.is_none());
+        assert_eq!(back.id_map, index.id_map);
+        assert_eq!(back.graph, index.graph);
+    }
+
+    #[test]
     fn rejects_corruption() {
         let index = sample_index();
         let mut buf = Vec::new();
@@ -215,9 +291,21 @@ mod tests {
         let mut short = buf.clone();
         short.truncate(buf.len() - 10);
         assert!(read_index(std::io::Cursor::new(short)).is_err());
-        // Future version.
+        // Future version: the error names the readable range.
         let mut vers = buf.clone();
         vers[4] = 99;
-        assert!(read_index(std::io::Cursor::new(vers)).is_err());
+        let err = read_index(std::io::Cursor::new(vers)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("version 99") && msg.contains("1 through 3"),
+            "version error should name the readable range, got: {msg}"
+        );
+        // Truncated quantization section.
+        let mut q_index = sample_index();
+        q_index.quantize();
+        let mut qbuf = Vec::new();
+        write_index(&mut qbuf, &q_index).unwrap();
+        qbuf.truncate(qbuf.len() - 3);
+        assert!(read_index(std::io::Cursor::new(qbuf)).is_err());
     }
 }

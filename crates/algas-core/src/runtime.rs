@@ -277,6 +277,9 @@ impl AlgasServer {
         out.completed = self.shared.stats.completed.load(Ordering::Relaxed);
         out.rejected_queue_full = self.shared.stats.rejected_queue_full.load(Ordering::Relaxed);
         out.queue_depth = self.shared.submissions.len() as u64;
+        let index = self.shared.engine.index();
+        out.base_bytes = index.base.nbytes() as u64;
+        out.quant_bytes = index.quant.as_ref().map_or(0, |q| q.nbytes() as u64);
         out.slots_occupied = self
             .shared
             .slots
@@ -411,21 +414,36 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                         query_buf.extend_from_slice(&job.query);
                         job.tag
                     };
-                    shared.engine.search_into(&query_buf, tag, &mut scratch);
+                    let rerank_before = scratch.rerank;
+                    // Physical-id search: the host poller translates to
+                    // original ids exactly once, at delivery.
+                    shared.engine.search_physical_into(&query_buf, tag, &mut scratch);
                     {
-                        // Copy the per-CTA lists into the slot's own
+                        // Copy the result lists into the slot's own
                         // buffers element-wise so both the scratch and
                         // the slot keep their allocations across jobs.
+                        // A quantized engine already merged and exactly
+                        // re-ranked into `scratch.topk`, so it publishes
+                        // that single list (the host merge over one list
+                        // is the identity); the fp32 path publishes the
+                        // raw per-CTA lists for the host to merge.
                         let mut payload = slot.payload.lock();
-                        let src = scratch.multi.per_cta();
-                        payload.per_cta.resize_with(src.len(), Vec::new);
-                        for (dst, s) in payload.per_cta.iter_mut().zip(src) {
-                            dst.clear();
-                            dst.extend_from_slice(s);
+                        if shared.engine.quantized() {
+                            payload.per_cta.resize_with(1, Vec::new);
+                            payload.per_cta[0].clear();
+                            payload.per_cta[0].extend_from_slice(&scratch.topk);
+                        } else {
+                            let src = scratch.multi.per_cta();
+                            payload.per_cta.resize_with(src.len(), Vec::new);
+                            for (dst, s) in payload.per_cta.iter_mut().zip(src) {
+                                dst.clear();
+                                dst.extend_from_slice(s);
+                            }
                         }
                         payload.job.as_mut().expect("Work implies a job").stamps.mark_finish();
                     }
                     shared.obs.record_search(first, s, &scratch.multi);
+                    shared.obs.record_rerank(first, &scratch.rerank.since(&rerank_before));
                     let flipped = slot.state.transition(SlotState::Work, SlotState::Finish);
                     debug_assert!(flipped, "only this worker moves Work -> Finish");
                     did_work = true;
@@ -609,6 +627,45 @@ mod tests {
             let q = ds.queries.get(i).to_vec();
             let reply = server.search_blocking(q.clone()).unwrap();
             assert_eq!(reply.ids, oracle.search(&q, reply.tag), "query {i}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn quantized_server_replies_match_its_oracle() {
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg = EngineConfig {
+            k: 8,
+            l: 32,
+            slots: 4,
+            beam: BeamMode::Auto,
+            quantize: true,
+            ..Default::default()
+        };
+        let oracle = AlgasEngine::new(index.clone(), cfg).unwrap();
+        assert!(oracle.quantized());
+        let server = AlgasServer::start(
+            AlgasEngine::new(index, cfg).unwrap(),
+            RuntimeConfig { n_slots: 4, n_workers: 2, n_host_threads: 1, queue_capacity: 64 },
+        );
+        for i in 0..5 {
+            let q = ds.queries.get(i).to_vec();
+            let reply = server.search_blocking(q.clone()).unwrap();
+            assert_eq!(reply.ids, oracle.search(&q, reply.tag), "query {i}");
+            // Reranked distances are exact f32 distances (modulo the
+            // batched kernel's summation order, a last-ulp effect).
+            for (&d, &id) in reply.distances.iter().zip(&reply.ids) {
+                let exact = Metric::L2.distance(&q, ds.base.get(id as usize));
+                assert!((d - exact).abs() <= 1e-5 * exact.max(1.0), "{d} vs exact {exact}");
+            }
+        }
+        #[cfg(feature = "obs")]
+        {
+            let s = server.runtime_stats();
+            assert_eq!(s.rerank.reranks, 5, "every quantized query runs one rerank pass");
+            assert!(s.rerank.candidates >= 5 * 8);
+            assert!(s.quant_bytes > 0 && s.base_bytes > s.quant_bytes, "both stores reported");
         }
         server.shutdown();
     }

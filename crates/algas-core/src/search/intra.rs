@@ -26,6 +26,7 @@ use crate::lists::{CandidateList, VisitedBitmap};
 use crate::search::{BeamParams, SearchContext};
 use crate::tracer::{CtaTrace, StepStats};
 use algas_vector::metric::DistValue;
+use algas_vector::quant::QuantizedQuery;
 
 /// Parameters of a single-CTA search.
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +72,10 @@ pub struct CtaScratch {
     scored: Vec<(DistValue, u32)>,
     selected: Vec<usize>,
     dists: Vec<f32>,
+    /// Asymmetric SQ8 query encoding, refreshed per search when the
+    /// context carries a quantized store (reused buffer — no
+    /// steady-state allocation).
+    qquery: QuantizedQuery,
 }
 
 impl CtaScratch {
@@ -157,7 +162,15 @@ impl<'a> CtaSearch<'a> {
         // already owns the entry, this CTA still starts from it (the
         // list is empty, so no collision is possible).
         let _ = visited.test_and_set(entry);
-        let d = DistValue(ctx.metric.distance(query, ctx.base.get(entry as usize)));
+        let d = DistValue(match ctx.quant {
+            Some(q) => {
+                // Asymmetric SQ8: fold the affine map into the query
+                // once, then every candidate costs one integer dot.
+                scratch.qquery.encode(ctx.metric, query, q);
+                scratch.qquery.score(q, entry)
+            }
+            None => ctx.metric.distance(query, ctx.base.get(entry as usize)),
+        });
         scratch.scored.clear();
         scratch.scored.push((d, entry));
         let list = scratch.list.as_mut().expect("list created by reset");
@@ -243,17 +256,30 @@ impl<'a> CtaSearch<'a> {
             for u in self.ctx.graph.neighbors(v) {
                 filter_checked += 1;
                 if visited.test_and_set(u) {
-                    self.ctx.base.prefetch(u as usize);
+                    match self.ctx.quant {
+                        Some(q) => q.prefetch(u as usize),
+                        None => self.ctx.base.prefetch(u as usize),
+                    }
                     s.expand_ids.push(u);
                 }
             }
         }
 
         // ③ Distance computation: one batched SIMD call over the whole
-        // expand list (warp-parallel per §IV-B step ③). The charged
-        // cost is per evaluation and unchanged by how the host computes.
+        // expand list (warp-parallel per §IV-B step ③) — integer dots
+        // on the SQ8 codes when the context is quantized, f32 kernels
+        // otherwise. The charged cost is per evaluation and unchanged
+        // by how the host computes.
         let dim = self.ctx.base.dim();
-        self.ctx.metric.distance_batch(self.query, self.ctx.base, &s.expand_ids, &mut s.dists);
+        match self.ctx.quant {
+            Some(q) => s.qquery.score_batch(q, &s.expand_ids, &mut s.dists),
+            None => self.ctx.metric.distance_batch(
+                self.query,
+                self.ctx.base,
+                &s.expand_ids,
+                &mut s.dists,
+            ),
+        }
         s.scored.clear();
         s.scored.extend(s.expand_ids.iter().zip(&s.dists).map(|(&u, &d)| (DistValue(d), u)));
         let calc_cycles = s.scored.len() as u64 * self.ctx.cost.distance_cycles(dim);

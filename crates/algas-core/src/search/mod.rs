@@ -13,7 +13,7 @@ pub mod multi;
 
 use algas_gpu_sim::CostModel;
 use algas_graph::FixedDegreeGraph;
-use algas_vector::{Metric, VectorStore};
+use algas_vector::{Metric, QuantizedStore, VectorStore};
 
 /// Everything a searcher needs to run: the index, the corpus, and the
 /// cost model it charges its operations against.
@@ -23,6 +23,11 @@ pub struct SearchContext<'a> {
     pub graph: &'a FixedDegreeGraph,
     /// The indexed vectors.
     pub base: &'a VectorStore,
+    /// Optional SQ8 codes mirroring `base` row-for-row. When present,
+    /// traversal scores candidates on quantized distances (4× fewer
+    /// bytes per row); callers are expected to re-rank the pooled
+    /// results with exact f32 distances before returning them.
+    pub quant: Option<&'a QuantizedStore>,
     /// Distance metric.
     pub metric: Metric,
     /// Cycle cost model for the simulated GPU.
@@ -47,7 +52,31 @@ impl<'a> SearchContext<'a> {
             graph.len(),
             base.len()
         );
-        Self { graph, base, metric, cost }
+        Self { graph, base, quant: None, metric, cost }
+    }
+
+    /// Creates a context that traverses on SQ8 quantized distances.
+    ///
+    /// # Panics
+    /// Panics if graph, corpus, and codes disagree on size or dimension.
+    pub fn with_quantized(
+        graph: &'a FixedDegreeGraph,
+        base: &'a VectorStore,
+        quant: &'a QuantizedStore,
+        metric: Metric,
+        cost: &'a CostModel,
+    ) -> Self {
+        let mut ctx = Self::new(graph, base, metric, cost);
+        assert_eq!(
+            quant.len(),
+            base.len(),
+            "quantized rows ({}) must match corpus size ({})",
+            quant.len(),
+            base.len()
+        );
+        assert_eq!(quant.dim(), base.dim(), "quantized dimension mismatch");
+        ctx.quant = Some(quant);
+        ctx
     }
 }
 

@@ -1,11 +1,14 @@
-//! Canonical binary serialization of [`VectorStore`] (length-prefixed
-//! little-endian; used by index persistence and the benchmark cache).
+//! Canonical binary serialization of [`VectorStore`] and
+//! [`QuantizedStore`] (length-prefixed little-endian; used by index
+//! persistence and the benchmark cache).
 
+use crate::quant::QuantizedStore;
 use crate::store::VectorStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io;
 
 const STORE_MAGIC: u32 = 0x414C_5653; // "ALVS"
+const QUANT_MAGIC: u32 = 0x414C_5153; // "ALQS"
 
 /// Serializes a store.
 pub fn encode_store(store: &VectorStore) -> Bytes {
@@ -40,6 +43,48 @@ pub fn decode_store(mut data: &[u8]) -> io::Result<VectorStore> {
     Ok(VectorStore::from_flat(dim, flat))
 }
 
+/// Serializes a quantized store: the affine tables followed by the
+/// unpadded code rows. Row norms are derived data and are recomputed on
+/// decode rather than stored.
+pub fn encode_quantized(store: &QuantizedStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + store.nbytes());
+    buf.put_u32_le(QUANT_MAGIC);
+    buf.put_u64_le(store.len() as u64);
+    buf.put_u32_le(store.dim() as u32);
+    for &s in store.scales() {
+        buf.put_f32_le(s);
+    }
+    for &o in store.offsets() {
+        buf.put_f32_le(o);
+    }
+    for i in 0..store.len() {
+        buf.put_slice(store.codes(i));
+    }
+    buf.freeze()
+}
+
+/// Deserializes a quantized store; rejects wrong magic, zero dims and
+/// truncation.
+pub fn decode_quantized(mut data: &[u8]) -> io::Result<QuantizedStore> {
+    if data.remaining() < 16 || data.get_u32_le() != QUANT_MAGIC {
+        return Err(invalid("not a quantized store blob"));
+    }
+    let n = data.get_u64_le() as usize;
+    let dim = data.get_u32_le() as usize;
+    if dim == 0 || data.remaining() != 2 * dim * 4 + n * dim {
+        return Err(invalid("quantized store blob truncated"));
+    }
+    let mut scales = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        scales.push(data.get_f32_le());
+    }
+    let mut offsets = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        offsets.push(data.get_f32_le());
+    }
+    Ok(QuantizedStore::from_parts(dim, data, scales, offsets))
+}
+
 fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
@@ -62,5 +107,28 @@ mod tests {
         assert!(decode_store(&blob).is_err());
         blob[0] ^= 0xFF;
         assert!(decode_store(&blob).is_err());
+    }
+
+    #[test]
+    fn quantized_roundtrip() {
+        let base = VectorStore::from_flat(3, vec![1.0, -2.0, 3.5, 0.0, 9.0, -4.25, 0.5, 3.0, 0.0]);
+        let q = QuantizedStore::from_store(&base);
+        let decoded = decode_quantized(&encode_quantized(&q)).unwrap();
+        assert_eq!(decoded, q);
+        // Recomputed norms survive the trip too.
+        for i in 0..q.len() {
+            assert_eq!(decoded.row_norm(i), q.row_norm(i));
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_garbage_and_truncation() {
+        assert!(decode_quantized(&[0, 1, 2]).is_err());
+        let base = VectorStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut blob = encode_quantized(&QuantizedStore::from_store(&base)).to_vec();
+        blob.pop();
+        assert!(decode_quantized(&blob).is_err());
+        blob[0] ^= 0xFF;
+        assert!(decode_quantized(&blob).is_err());
     }
 }

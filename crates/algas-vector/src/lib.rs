@@ -15,6 +15,11 @@
 //! * [`simd`] — runtime-dispatched vector kernels (AVX2+FMA / NEON with
 //!   a scalar fallback) behind the [`Metric`] entry points, including the
 //!   batched, prefetching scoring path used by every search loop.
+//! * [`quant`] — SQ8 scalar quantization: [`QuantizedStore`] keeps
+//!   per-dimension affine u8 codes in the same aligned padded layout,
+//!   and [`quant::QuantizedQuery`] folds the affine map into the query
+//!   once per search so traversal runs on integer dot products at a
+//!   quarter of the fp32 bandwidth.
 //! * [`datasets`] — clustered Gaussian-mixture generators standing in for
 //!   the paper's SIFT1M / GIST1M / GloVe200 / NYTimes corpora (see
 //!   DESIGN.md §2 for the substitution argument), plus the
@@ -29,10 +34,12 @@ pub mod datasets;
 pub mod ground_truth;
 pub mod io;
 pub mod metric;
+pub mod quant;
 pub mod simd;
 pub mod store;
 
 pub use datasets::{DatasetSpec, GeneratedDataset};
 pub use ground_truth::{brute_force_knn, recall, GroundTruth};
 pub use metric::{DistValue, Metric};
+pub use quant::{QuantizedQuery, QuantizedStore};
 pub use store::VectorStore;

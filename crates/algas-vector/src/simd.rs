@@ -32,15 +32,23 @@ use std::sync::OnceLock;
 /// software-prefetched while the current one is being scored.
 pub const PREFETCH_AHEAD: usize = 4;
 
-/// One resolved kernel pair.
+/// One resolved kernel set.
 #[derive(Clone, Copy)]
 struct Kernels {
     l2: fn(&[f32], &[f32]) -> f32,
     ip: fn(&[f32], &[f32]) -> f32,
+    dot_u8i8: fn(&[u8], &[i8]) -> i32,
+    dot_u8i8_x4: fn(&[i8], [&[u8]; 4]) -> [i32; 4],
     name: &'static str,
 }
 
-const SCALAR: Kernels = Kernels { l2: l2_squared_scalar, ip: inner_product_scalar, name: "scalar" };
+const SCALAR: Kernels = Kernels {
+    l2: l2_squared_scalar,
+    ip: inner_product_scalar,
+    dot_u8i8: dot_u8i8_scalar,
+    dot_u8i8_x4: dot_u8i8_x4_scalar,
+    name: "scalar",
+};
 
 static DETECTED: OnceLock<Kernels> = OnceLock::new();
 static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
@@ -52,13 +60,25 @@ fn detected() -> Kernels {
             if std::arch::is_x86_feature_detected!("avx2")
                 && std::arch::is_x86_feature_detected!("fma")
             {
-                return Kernels { l2: l2_squared_avx2, ip: inner_product_avx2, name: "avx2+fma" };
+                return Kernels {
+                    l2: l2_squared_avx2,
+                    ip: inner_product_avx2,
+                    dot_u8i8: dot_u8i8_avx2,
+                    dot_u8i8_x4: dot_u8i8_x4_avx2,
+                    name: "avx2+fma",
+                };
             }
         }
         #[cfg(target_arch = "aarch64")]
         {
             if std::arch::is_aarch64_feature_detected!("neon") {
-                return Kernels { l2: l2_squared_neon, ip: inner_product_neon, name: "neon" };
+                return Kernels {
+                    l2: l2_squared_neon,
+                    ip: inner_product_neon,
+                    dot_u8i8: dot_u8i8_neon,
+                    dot_u8i8_x4: dot_u8i8_x4_neon,
+                    name: "neon",
+                };
             }
         }
         SCALAR
@@ -108,6 +128,59 @@ pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
 pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     (active().ip)(a, b)
+}
+
+/// Mixed-sign integer dot product `Σ codes[d] · q[d]` via the
+/// dispatched kernel — the inner loop of the SQ8 asymmetric distance
+/// (`crate::quant`): unsigned store codes against the signed quantized
+/// query weights. Exact i32 arithmetic on every path (the AVX2 kernel
+/// widens to i16 before `madd`, so the `maddubs` i16 saturation trap is
+/// structurally avoided).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_u8i8(codes: &[u8], q: &[i8]) -> i32 {
+    assert_eq!(codes.len(), q.len(), "dimension mismatch");
+    (active().dot_u8i8)(codes, q)
+}
+
+/// Four mixed-sign integer dot products of one query against four code
+/// rows via the dispatched kernel — the quantized traversal's batched
+/// inner loop. Amortizes the query widening (and the call itself)
+/// across the rows, which is where the single-row kernel loses its
+/// bandwidth advantage at small dimensions.
+///
+/// # Panics
+/// Panics if any row's length differs from the query's.
+#[inline]
+pub fn dot_u8i8_x4(q: &[i8], rows: [&[u8]; 4]) -> [i32; 4] {
+    for r in rows {
+        assert_eq!(r.len(), q.len(), "dimension mismatch");
+    }
+    (active().dot_u8i8_x4)(q, rows)
+}
+
+/// Portable scalar u8×i8 dot-product reference; ground truth for the
+/// vectorized integer kernels and the fallback dispatch target.
+pub fn dot_u8i8_scalar(codes: &[u8], q: &[i8]) -> i32 {
+    debug_assert_eq!(codes.len(), q.len());
+    let mut acc = 0i32;
+    for (&c, &w) in codes.iter().zip(q.iter()) {
+        acc += i32::from(c) * i32::from(w);
+    }
+    acc
+}
+
+/// Portable scalar 4-row u8×i8 dot product; ground truth for the
+/// vectorized batched kernels and the fallback dispatch target.
+pub fn dot_u8i8_x4_scalar(q: &[i8], rows: [&[u8]; 4]) -> [i32; 4] {
+    [
+        dot_u8i8_scalar(rows[0], q),
+        dot_u8i8_scalar(rows[1], q),
+        dot_u8i8_scalar(rows[2], q),
+        dot_u8i8_scalar(rows[3], q),
+    ]
 }
 
 /// Portable scalar squared-L2 reference; the ground truth the SIMD
@@ -274,6 +347,109 @@ unsafe fn inner_product_avx2_inner(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+#[cfg(target_arch = "x86_64")]
+fn dot_u8i8_avx2(codes: &[u8], q: &[i8]) -> i32 {
+    // SAFETY: installed only after runtime detection of avx2.
+    unsafe { dot_u8i8_avx2_inner(codes, q) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u8i8_avx2_inner(codes: &[u8], q: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let n = codes.len();
+    let pc = codes.as_ptr();
+    let pq = q.as_ptr();
+    // Widen each 16-byte half to i16 lanes before multiplying:
+    // `maddubs` would accumulate u8·i8 pairs in saturating i16
+    // (255·127·2 > i16::MAX), so we pay one extra shuffle for exact
+    // i32 math instead. Two independent accumulators hide the
+    // madd+add latency chain.
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 32 <= n {
+        let c0 = _mm256_cvtepu8_epi16(_mm_loadu_si128(pc.add(i).cast()));
+        let w0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(pq.add(i).cast()));
+        let c1 = _mm256_cvtepu8_epi16(_mm_loadu_si128(pc.add(i + 16).cast()));
+        let w1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(pq.add(i + 16).cast()));
+        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(c0, w0));
+        acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(c1, w1));
+        i += 32;
+    }
+    while i + 16 <= n {
+        let c = _mm256_cvtepu8_epi16(_mm_loadu_si128(pc.add(i).cast()));
+        let w = _mm256_cvtepi8_epi16(_mm_loadu_si128(pq.add(i).cast()));
+        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(c, w));
+        i += 16;
+    }
+    let mut acc = hsum256_epi32(_mm256_add_epi32(acc0, acc1));
+    while i < n {
+        acc += i32::from(*codes.get_unchecked(i)) * i32::from(*q.get_unchecked(i));
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+fn dot_u8i8_x4_avx2(q: &[i8], rows: [&[u8]; 4]) -> [i32; 4] {
+    // SAFETY: installed only after runtime detection of avx2.
+    unsafe { dot_u8i8_x4_avx2_inner(q, rows) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u8i8_x4_avx2_inner(q: &[i8], rows: [&[u8]; 4]) -> [i32; 4] {
+    use std::arch::x86_64::*;
+    let n = q.len();
+    let pq = q.as_ptr();
+    let [r0, r1, r2, r3] = rows;
+    let (p0, p1, p2, p3) = (r0.as_ptr(), r1.as_ptr(), r2.as_ptr(), r3.as_ptr());
+    // One query widening per 16-code chunk, shared by all four rows —
+    // the single-row kernel pays that shuffle per row. Same exact-i32
+    // widen-then-madd scheme as `dot_u8i8_avx2_inner`.
+    let mut a0 = _mm256_setzero_si256();
+    let mut a1 = _mm256_setzero_si256();
+    let mut a2 = _mm256_setzero_si256();
+    let mut a3 = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 16 <= n {
+        let w = _mm256_cvtepi8_epi16(_mm_loadu_si128(pq.add(i).cast()));
+        let c0 = _mm256_cvtepu8_epi16(_mm_loadu_si128(p0.add(i).cast()));
+        let c1 = _mm256_cvtepu8_epi16(_mm_loadu_si128(p1.add(i).cast()));
+        let c2 = _mm256_cvtepu8_epi16(_mm_loadu_si128(p2.add(i).cast()));
+        let c3 = _mm256_cvtepu8_epi16(_mm_loadu_si128(p3.add(i).cast()));
+        a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(c0, w));
+        a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(c1, w));
+        a2 = _mm256_add_epi32(a2, _mm256_madd_epi16(c2, w));
+        a3 = _mm256_add_epi32(a3, _mm256_madd_epi16(c3, w));
+        i += 16;
+    }
+    let mut out = [hsum256_epi32(a0), hsum256_epi32(a1), hsum256_epi32(a2), hsum256_epi32(a3)];
+    while i < n {
+        let w = i32::from(*q.get_unchecked(i));
+        out[0] += i32::from(*r0.get_unchecked(i)) * w;
+        out[1] += i32::from(*r1.get_unchecked(i)) * w;
+        out[2] += i32::from(*r2.get_unchecked(i)) * w;
+        out[3] += i32::from(*r3.get_unchecked(i)) * w;
+        i += 1;
+    }
+    out
+}
+
+/// Horizontal sum of the 8 i32 lanes of a `__m256i`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256_epi32(v: std::arch::x86_64::__m256i) -> i32 {
+    use std::arch::x86_64::*;
+    let hi = _mm256_extracti128_si256::<1>(v);
+    let lo = _mm256_castsi256_si128(v);
+    let sum4 = _mm_add_epi32(lo, hi);
+    let sum2 = _mm_add_epi32(sum4, _mm_shuffle_epi32::<0b0100_1110>(sum4));
+    let sum1 = _mm_add_epi32(sum2, _mm_shuffle_epi32::<0b1011_0001>(sum2));
+    _mm_cvtsi128_si32(sum1)
+}
+
 /// Horizontal sum of the 8 lanes of a `__m256`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
@@ -356,6 +532,94 @@ unsafe fn inner_product_neon_inner(a: &[f32], b: &[f32]) -> f32 {
         i += 1;
     }
     acc
+}
+
+#[cfg(target_arch = "aarch64")]
+fn dot_u8i8_neon(codes: &[u8], q: &[i8]) -> i32 {
+    // SAFETY: installed only after runtime detection of neon.
+    unsafe { dot_u8i8_neon_inner(codes, q) }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_u8i8_neon_inner(codes: &[u8], q: &[i8]) -> i32 {
+    use std::arch::aarch64::*;
+    let n = codes.len();
+    let pc = codes.as_ptr();
+    let pq = q.as_ptr();
+    let mut acc0 = vdupq_n_s32(0);
+    let mut acc1 = vdupq_n_s32(0);
+    let mut i = 0;
+    while i + 16 <= n {
+        let c = vld1q_u8(pc.add(i));
+        let w = vld1q_s8(pq.add(i));
+        // u8 widened to u16 fits in s16 (≤ 255), so the reinterpret is
+        // value-preserving and `vmlal_s16` accumulates exactly in i32.
+        let c_lo = vreinterpretq_s16_u16(vmovl_u8(vget_low_u8(c)));
+        let c_hi = vreinterpretq_s16_u16(vmovl_u8(vget_high_u8(c)));
+        let w_lo = vmovl_s8(vget_low_s8(w));
+        let w_hi = vmovl_s8(vget_high_s8(w));
+        acc0 = vmlal_s16(acc0, vget_low_s16(c_lo), vget_low_s16(w_lo));
+        acc0 = vmlal_s16(acc0, vget_high_s16(c_lo), vget_high_s16(w_lo));
+        acc1 = vmlal_s16(acc1, vget_low_s16(c_hi), vget_low_s16(w_hi));
+        acc1 = vmlal_s16(acc1, vget_high_s16(c_hi), vget_high_s16(w_hi));
+        i += 16;
+    }
+    let mut acc = vaddvq_s32(vaddq_s32(acc0, acc1));
+    while i < n {
+        acc += i32::from(*codes.get_unchecked(i)) * i32::from(*q.get_unchecked(i));
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(target_arch = "aarch64")]
+fn dot_u8i8_x4_neon(q: &[i8], rows: [&[u8]; 4]) -> [i32; 4] {
+    // SAFETY: installed only after runtime detection of neon.
+    unsafe { dot_u8i8_x4_neon_inner(q, rows) }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_u8i8_x4_neon_inner(q: &[i8], rows: [&[u8]; 4]) -> [i32; 4] {
+    use std::arch::aarch64::*;
+    let n = q.len();
+    let pq = q.as_ptr();
+    let [r0, r1, r2, r3] = rows;
+    let ptrs = [r0.as_ptr(), r1.as_ptr(), r2.as_ptr(), r3.as_ptr()];
+    // One query widening per 16-code chunk, shared by all four rows
+    // (same value-preserving reinterpret argument as the single-row
+    // kernel).
+    let mut accs = [vdupq_n_s32(0); 4];
+    let mut i = 0;
+    while i + 16 <= n {
+        let w = vld1q_s8(pq.add(i));
+        let w_lo = vmovl_s8(vget_low_s8(w));
+        let w_hi = vmovl_s8(vget_high_s8(w));
+        for (acc, p) in accs.iter_mut().zip(ptrs) {
+            let c = vld1q_u8(p.add(i));
+            let c_lo = vreinterpretq_s16_u16(vmovl_u8(vget_low_u8(c)));
+            let c_hi = vreinterpretq_s16_u16(vmovl_u8(vget_high_u8(c)));
+            let mut a = *acc;
+            a = vmlal_s16(a, vget_low_s16(c_lo), vget_low_s16(w_lo));
+            a = vmlal_s16(a, vget_high_s16(c_lo), vget_high_s16(w_lo));
+            a = vmlal_s16(a, vget_low_s16(c_hi), vget_low_s16(w_hi));
+            a = vmlal_s16(a, vget_high_s16(c_hi), vget_high_s16(w_hi));
+            *acc = a;
+        }
+        i += 16;
+    }
+    let mut out =
+        [vaddvq_s32(accs[0]), vaddvq_s32(accs[1]), vaddvq_s32(accs[2]), vaddvq_s32(accs[3])];
+    while i < n {
+        let w = i32::from(*q.get_unchecked(i));
+        out[0] += i32::from(*r0.get_unchecked(i)) * w;
+        out[1] += i32::from(*r1.get_unchecked(i)) * w;
+        out[2] += i32::from(*r2.get_unchecked(i)) * w;
+        out[3] += i32::from(*r3.get_unchecked(i)) * w;
+        i += 1;
+    }
+    out
 }
 
 thread_local! {
@@ -446,6 +710,68 @@ mod tests {
         with_padded_query(&full, 16, |padded| {
             assert_eq!(padded.as_ptr(), full.as_ptr());
         });
+    }
+
+    #[test]
+    fn dot_u8i8_matches_scalar_across_dims_and_tails() {
+        for dim in [1, 2, 7, 15, 16, 17, 31, 32, 33, 63, 64, 100, 128, 200, 256, 960] {
+            let mut state = dim as u32;
+            let mut next = || {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                state >> 16
+            };
+            let codes: Vec<u8> = (0..dim).map(|_| (next() & 0xFF) as u8).collect();
+            let q: Vec<i8> = (0..dim).map(|_| ((next() % 255) as i32 - 127) as i8).collect();
+            assert_eq!(dot_u8i8(&codes, &q), dot_u8i8_scalar(&codes, &q), "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn dot_u8i8_x4_matches_four_single_rows() {
+        for dim in [1, 2, 7, 15, 16, 17, 31, 32, 33, 63, 64, 100, 128, 200, 256, 960] {
+            let mut state = dim as u32 ^ 0xBEEF;
+            let mut next = || {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                state >> 16
+            };
+            let rows: Vec<Vec<u8>> =
+                (0..4).map(|_| (0..dim).map(|_| (next() & 0xFF) as u8).collect()).collect();
+            let q: Vec<i8> = (0..dim).map(|_| ((next() % 255) as i32 - 127) as i8).collect();
+            let quad = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+            let expect: Vec<i32> = rows.iter().map(|r| dot_u8i8_scalar(r, &q)).collect();
+            assert_eq!(dot_u8i8_x4(&q, quad).to_vec(), expect, "dim={dim}");
+            // Saturation extremes must stay exact in the batched kernel
+            // too (same maddubs trap as the single-row case).
+            let hot = vec![255u8; dim];
+            let ones = vec![127i8; dim];
+            let full = dot_u8i8_x4(&ones, [&hot, &hot, &hot, &hot]);
+            assert_eq!(full, [255 * 127 * dim as i32; 4], "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn dot_u8i8_is_exact_at_saturation_extremes() {
+        // Every adjacent u8·i8 pair sums to 255·127·2 = 64770 > i16::MAX:
+        // the case a `maddubs`-based kernel silently saturates on. Our
+        // widening kernel must be exact.
+        for dim in [16, 32, 128, 960] {
+            let codes = vec![255u8; dim];
+            let q = vec![127i8; dim];
+            assert_eq!(dot_u8i8(&codes, &q), 255 * 127 * dim as i32, "dim={dim}");
+            let qn = vec![-127i8; dim];
+            assert_eq!(dot_u8i8(&codes, &qn), -255 * 127 * dim as i32, "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn dot_u8i8_zero_padding_is_inert() {
+        let codes: Vec<u8> = (0..100).map(|i| (i * 7 % 256) as u8).collect();
+        let q: Vec<i8> = (0..100).map(|i| (i * 13 % 255 - 127) as i8).collect();
+        let mut cp = codes.clone();
+        let mut qp = q.clone();
+        cp.resize(128, 0);
+        qp.resize(128, 0);
+        assert_eq!(dot_u8i8(&cp, &qp), dot_u8i8(&codes, &q));
     }
 
     #[test]

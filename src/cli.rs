@@ -3,12 +3,20 @@
 //! ```text
 //! algas gen    --out base.fvecs --queries q.fvecs --n 20000 --dim 64 --metric l2
 //! algas gt     --base base.fvecs --queries q.fvecs --metric l2 --k 100 --out gt.ivecs
-//! algas build  --base base.fvecs --metric l2 --graph cagra --out index.algas
+//! algas build  --base base.fvecs --metric l2 --graph cagra [--quantize true] --out index.algas
 //! algas info   --index index.algas
-//! algas search --index index.algas --queries q.fvecs --k 10 --l 64 [--gt gt.ivecs] [--out r.ivecs]
-//! algas serve  --index index.algas --queries q.fvecs --slots 16 [--stats-json stats.json]
+//! algas search --index index.algas --queries q.fvecs --k 10 --l 64 [--quantize true]
+//!              [--rerank 32] [--gt gt.ivecs] [--out r.ivecs]
+//! algas serve  --index index.algas --queries q.fvecs --slots 16 [--quantize true]
+//!              [--rerank 32] [--stats-json stats.json]
 //! algas stats  --index index.algas --queries q.fvecs [--format json|prom]
 //! ```
+//!
+//! `--quantize true` switches graph traversal onto SQ8 codes (quarter
+//! memory traffic) with an exact fp32 re-rank of the top `--rerank`
+//! candidates (default 2k) before results are returned; `build
+//! --quantize` persists the codes in the index file so serving skips
+//! re-quantization.
 //!
 //! `serve` drives the threaded runtime and reports throughput and
 //! client-side latency percentiles; `--stats-json` additionally dumps
@@ -84,6 +92,15 @@ fn opt_parse<T: std::str::FromStr>(
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn parse_bool(flags: &HashMap<String, String>, name: &str) -> Result<bool, String> {
+    match flags.get(name).map(|s| s.as_str()) {
+        None => Ok(false),
+        Some("1") | Some("true") | Some("yes") => Ok(true),
+        Some("0") | Some("false") | Some("no") => Ok(false),
+        Some(other) => Err(format!("--{name} must be true|false, got `{other}`")),
     }
 }
 
@@ -177,14 +194,19 @@ fn cmd_build(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         }
         other => return Err(format!("--graph must be cagra|nsw, got `{other}`")),
     };
+    let mut index = index;
+    if parse_bool(flags, "quantize")? {
+        index.quantize();
+    }
     let path = req(flags, "out")?;
     index.save(path).map_err(io_err)?;
     writeln!(
         out,
-        "built {:?} graph over {} vectors in {:.1?}; saved to {path}",
+        "built {:?} graph over {} vectors in {:.1?}{}; saved to {path}",
         index.kind,
         index.len(),
-        t0.elapsed()
+        t0.elapsed(),
+        if index.quant.is_some() { " (with SQ8 codes)" } else { "" },
     )
     .map_err(io_err)
 }
@@ -195,7 +217,7 @@ fn cmd_info(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), 
     writeln!(
         out,
         "vectors: {} x dim {}\nmetric: {}\ngraph: {:?}, degree {} (mean valid {:.1}, min {})\n\
-         reachable from medoid-entry BFS: {:.1}%\nmedoid: {}",
+         reachable from medoid-entry BFS: {:.1}%\nmedoid: {}\nquantized: {}",
         index.base.len(),
         index.base.dim(),
         index.metric.name(),
@@ -205,6 +227,14 @@ fn cmd_info(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), 
         stats.min_valid_degree,
         stats.reachable_fraction * 100.0,
         index.medoid,
+        match &index.quant {
+            Some(q) => format!(
+                "SQ8 ({} KiB codes vs {} KiB fp32)",
+                q.nbytes() / 1024,
+                index.base.nbytes() / 1024
+            ),
+            None => "no".to_string(),
+        },
     )
     .map_err(io_err)
 }
@@ -213,11 +243,19 @@ fn engine_from_flags(
     index: AlgasIndex,
     flags: &HashMap<String, String>,
 ) -> Result<AlgasEngine, String> {
+    let defaults = EngineConfig::default();
     let cfg = EngineConfig {
         k: opt_parse(flags, "k", 10usize)?,
         l: opt_parse(flags, "l", 64usize)?,
         slots: opt_parse(flags, "slots", 16usize)?,
-        ..Default::default()
+        // An index persisted with codes serves quantized without the
+        // flag; `--quantize true` quantizes a plain index at load time.
+        quantize: defaults.quantize || parse_bool(flags, "quantize")? || index.quant.is_some(),
+        rerank_depth: match flags.get("rerank") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| format!("--rerank: cannot parse `{v}`"))?),
+        },
+        ..defaults
     };
     AlgasEngine::new(index, cfg).map_err(|e| format!("tuning failed: {e}"))
 }
@@ -239,9 +277,14 @@ fn cmd_search(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<()
     let mean_sim_us: f64 = wl.works.iter().map(|w| w.max_cta_ns() as f64).sum::<f64>()
         / wl.works.len().max(1) as f64
         / 1000.0;
+    let mode = if engine.quantized() {
+        format!(", SQ8 rerank@{}", engine.rerank_depth())
+    } else {
+        String::new()
+    };
     writeln!(
         out,
-        "searched {} queries (k={k}, L={}, N_parallel={}) in {wall:.2?} wall; \
+        "searched {} queries (k={k}, L={}, N_parallel={}{mode}) in {wall:.2?} wall; \
          mean simulated GPU time {mean_sim_us:.1} µs/query",
         queries.len(),
         engine.config().l,
@@ -491,7 +534,54 @@ mod tests {
         let completed = samples.iter().find(|s| s.name == "algas_queries_completed_total").unwrap();
         assert_eq!(completed.value, 40.0);
 
-        for p in [base, queries, gt, index, results, stats_json] {
+        // SQ8 leg: build with codes, confirm info reports them, and
+        // check quantized search recall holds up against fp32.
+        let qindex = tmp("index-q.algas");
+        let msg = run_ok(&[
+            "build",
+            "--base",
+            &base,
+            "--graph",
+            "cagra",
+            "--quantize",
+            "true",
+            "--out",
+            &qindex,
+        ]);
+        assert!(msg.contains("with SQ8 codes"), "{msg}");
+        let msg = run_ok(&["info", "--index", &qindex]);
+        assert!(msg.contains("quantized: SQ8"), "{msg}");
+        let msg = run_ok(&[
+            "search",
+            "--index",
+            &qindex,
+            "--queries",
+            &queries,
+            "--k",
+            "10",
+            "--l",
+            "64",
+            "--rerank",
+            "30",
+            "--gt",
+            &gt,
+        ]);
+        assert!(msg.contains("SQ8 rerank@30"), "{msg}");
+        let q_recall: f64 = msg
+            .lines()
+            .find(|l| l.starts_with("recall@10"))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("recall line");
+        assert!(q_recall > recall - 0.02, "SQ8 recall {q_recall} vs fp32 {recall}");
+        // The stats page reports both stores' memory.
+        let msg = run_ok(&["stats", "--index", &qindex, "--queries", &queries, "--format", "prom"]);
+        let samples = algas_core::obs::prom::parse_prometheus(&msg).unwrap();
+        let gauge = |name: &str| samples.iter().find(|s| s.name == name).unwrap().value;
+        assert!(gauge("algas_quant_store_bytes") > 0.0);
+        assert!(gauge("algas_base_store_bytes") > gauge("algas_quant_store_bytes"));
+
+        for p in [base, queries, gt, index, qindex, results, stats_json] {
             let _ = std::fs::remove_file(p);
         }
     }

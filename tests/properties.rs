@@ -262,17 +262,21 @@ proptest! {
         use algas::graph::nsw::NswParams;
         use algas::vector::datasets::DatasetSpec;
         let ds = DatasetSpec::tiny(n.max(8), dim, Metric::L2, seed).generate();
-        let index = AlgasIndex::build_nsw(
+        let mut index = AlgasIndex::build_nsw(
             ds.base,
             Metric::L2,
             NswParams { m: 2, ef_construction: 8 },
         );
+        if seed % 2 == 0 {
+            index.quantize();
+        }
         let mut buf = Vec::new();
         algas::core::persist::write_index(&mut buf, &index).unwrap();
         let back = algas::core::persist::read_index(std::io::Cursor::new(&buf)).unwrap();
         prop_assert_eq!(back.graph, index.graph);
         prop_assert_eq!(back.base, index.base);
         prop_assert_eq!(back.medoid, index.medoid);
+        prop_assert_eq!(back.quant, index.quant);
         // Any single-byte corruption of the header is rejected or at
         // minimum never panics.
         if !buf.is_empty() {
@@ -280,6 +284,50 @@ proptest! {
             bad[seed as usize % 8] ^= 0xA5;
             let _ = algas::core::persist::read_index(std::io::Cursor::new(&bad));
         }
+    }
+}
+
+fn check_sq8_dequantize_bound(dim: usize, flat: &[f32]) -> proptest::TestCaseResult {
+    use algas::vector::{QuantizedStore, VectorStore};
+    // Truncate to whole rows; `flat` always holds at least one.
+    let n = flat.len() / dim;
+    let store = VectorStore::from_flat(dim, flat[..n * dim].to_vec());
+    let q = QuantizedStore::from_store(&store);
+    let mut row = Vec::new();
+    for i in 0..store.len() {
+        q.dequantize_into(i, &mut row);
+        for (d, (&approx, &exact)) in row.iter().zip(store.get(i)).enumerate() {
+            // Rounding to the nearest of 256 affine levels loses at
+            // most half a step per dimension (plus f32 noise).
+            let bound = q.max_dequant_error(d) + exact.abs().max(1.0) * 1e-5;
+            prop_assert!(
+                (approx - exact).abs() <= bound,
+                "row {} dim {}: |{} - {}| > {}",
+                i,
+                d,
+                approx,
+                exact,
+                bound
+            );
+        }
+    }
+    // The advertised bound is itself half the affine step, which the
+    // generated value range caps at (200 / 255) / 2.
+    for d in 0..dim {
+        prop_assert!(q.max_dequant_error(d) <= 0.5 * 200.0 / 255.0 + 1e-4);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sq8_dequantize_error_stays_within_half_step(
+        dim in 1usize..16,
+        flat in prop::collection::vec(-100.0f32..100.0, 16..480),
+    ) {
+        check_sq8_dequantize_bound(dim, &flat)?;
     }
 }
 

@@ -98,4 +98,32 @@ fn hot_path_allocates_nothing_after_warmup() {
         "relayouted hot path allocated {} times after warmup",
         after - before
     );
+
+    // Same invariant on a quantized engine: SQ8 query encoding, the
+    // integer-dot traversal, the deeper candidate pooling, and the
+    // exact fp32 rerank all run inside `search_into` per query and
+    // must reuse their scratch buffers too.
+    let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    let qcfg = EngineConfig { quantize: true, rerank_depth: Some(24), ..cfg };
+    let engine = AlgasEngine::new(index, qcfg).unwrap();
+    assert!(engine.quantized(), "engine must be on the SQ8 path");
+    let mut scratch = engine.make_scratch();
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(checksum, 6 * (n_queries as u64) * 10, "searches returned short TopK");
+    assert_eq!(scratch.rerank.reranks, 2 * n_queries as u64, "every search must rerank");
+    assert_eq!(
+        after - before,
+        0,
+        "quantized hot path (traversal + rerank) allocated {} times after warmup",
+        after - before
+    );
 }
