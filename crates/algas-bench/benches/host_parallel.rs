@@ -62,6 +62,7 @@ fn bench_native_runtime(c: &mut Criterion) {
                         n_workers: 2,
                         n_host_threads: hosts,
                         queue_capacity: 256,
+                        ..Default::default()
                     },
                 );
                 let rxs: Vec<_> = (0..64)

@@ -8,6 +8,7 @@
 //! figures bench_build [--scale S] [--out PATH]  # build speedup + relayout → BENCH_build.json
 //! figures bench_serve [--scale S] [--out PATH]  # serving telemetry → BENCH_serve.json
 //! figures bench_quant [--scale S] [--out PATH]  # fp32 vs SQ8 → BENCH_quant.json
+//! figures bench_trace [--scale S] [--baseline P1[,P2]] [--from PATH] [--out PATH]  # recorder overhead → BENCH_trace.json
 //! ```
 //!
 //! `--scale` scales the synthetic corpora (default 0.15 ≈ 9k vectors
@@ -23,10 +24,13 @@ struct Args {
     command: String,
     scale: f64,
     out: Option<String>,
+    baseline: Option<String>,
+    from: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { command: String::new(), scale: 0.15, out: None };
+    let mut args =
+        Args { command: String::new(), scale: 0.15, out: None, baseline: None, from: None };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -37,6 +41,13 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
             "--out" => args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--baseline" => {
+                args.baseline =
+                    Some(it.next().unwrap_or_else(|| die("--baseline needs path[,path...]")));
+            }
+            "--from" => {
+                args.from = Some(it.next().unwrap_or_else(|| die("--from needs a path")));
+            }
             flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
             cmd if args.command.is_empty() => args.command = cmd.to_string(),
             extra => die(&format!("unexpected argument {extra}")),
@@ -52,7 +63,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|list|bench_distance|bench_build|bench_serve|bench_quant|\
-         <experiment-id>] [--scale S] [--out PATH]"
+         bench_trace|<experiment-id>] [--scale S] [--out PATH] [--baseline P1[,P2]] [--from PATH]"
     );
     std::process::exit(2);
 }
@@ -160,6 +171,16 @@ fn main() {
         algas_bench::quant_bench::run(
             args.scale,
             args.out.as_deref().unwrap_or("BENCH_quant.json"),
+        );
+        return;
+    }
+    if args.command == "bench_trace" {
+        // Flight-recorder overhead benchmark: self-contained prep.
+        algas_bench::trace_bench::run(
+            args.scale,
+            args.out.as_deref().unwrap_or("BENCH_trace.json"),
+            args.baseline.as_deref(),
+            args.from.as_deref(),
         );
         return;
     }

@@ -23,6 +23,7 @@ pub mod prep;
 pub mod quant_bench;
 pub mod report;
 pub mod serve_bench;
+pub mod trace_bench;
 
 use crate::prep::Prepared;
 use crate::report::ExperimentReport;

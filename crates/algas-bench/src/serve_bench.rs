@@ -57,8 +57,13 @@ pub fn run(scale: f64, out_path: &str) {
 
     let cfg = EngineConfig { k: K, l: L, slots: 16, ..Default::default() };
     let engine = AlgasEngine::new(index, cfg).expect("tuning");
-    let runtime_cfg =
-        RuntimeConfig { n_slots: 16, n_workers: 2, n_host_threads: 2, queue_capacity: 4096 };
+    let runtime_cfg = RuntimeConfig {
+        n_slots: 16,
+        n_workers: 2,
+        n_host_threads: 2,
+        queue_capacity: 4096,
+        ..Default::default()
+    };
     let server = AlgasServer::start(engine, runtime_cfg);
 
     // Closed-loop waves: submit the whole query set, drain, repeat —

@@ -197,9 +197,7 @@ impl Default for EngineConfig {
             n_parallel: None,
             beam: BeamMode::Auto,
             entry: EntryPolicy::Hashed { seed: 0xA16A5 },
-            quantize: std::env::var("ALGAS_QUANTIZE")
-                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-                .unwrap_or(false),
+            quantize: algas_vector::env::bool_flag("ALGAS_QUANTIZE"),
             rerank_depth: None,
         }
     }

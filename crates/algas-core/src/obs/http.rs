@@ -1,0 +1,226 @@
+//! A dependency-free HTTP/1.1 stats server over `std::net`.
+//!
+//! [`StatsServer`] binds a `TcpListener` and serves three read-only
+//! endpoints from a [`StatsSource`]:
+//!
+//! * `GET /metrics` — Prometheus text exposition (v0.0.4),
+//! * `GET /stats.json` — the [`super::RuntimeStats`] JSON snapshot,
+//! * `GET /traces` — retained flight-recorder traces as JSON.
+//!
+//! One accept-loop thread handles connections serially with
+//! `Connection: close` semantics — this is an operator scrape surface
+//! (one curl or one Prometheus scrape at a time), not a serving path,
+//! so throughput is deliberately traded for zero dependencies and zero
+//! interaction with the query hot path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the endpoints serve. Implemented by the CLI over a running
+/// [`crate::runtime::AlgasServer`]; snapshots are taken per request.
+pub trait StatsSource: Send + Sync {
+    /// The `/metrics` body (Prometheus text exposition format).
+    fn metrics_text(&self) -> String;
+    /// The `/stats.json` body.
+    fn stats_json(&self) -> String;
+    /// The `/traces` body.
+    fn traces_json(&self) -> String;
+}
+
+/// A running stats server; [`StatsServer::stop`] (or drop) shuts it
+/// down.
+pub struct StatsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`, port 0 for ephemeral) and
+    /// starts the accept loop.
+    ///
+    /// # Errors
+    /// Propagates bind failures (port in use, bad address).
+    pub fn start(addr: impl ToSocketAddrs, source: Arc<dyn StatsSource>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("algas-stats-http".into())
+            .spawn(move || accept_loop(&listener, &stop_flag, source.as_ref()))?;
+        Ok(Self { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::Release);
+            // The accept loop blocks in `accept`; a throwaway
+            // connection unblocks it so it can observe the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for StatsServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, source: &dyn StatsSource) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // A stalled client must not wedge the scrape surface.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle(stream, source);
+    }
+}
+
+fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()> {
+    // Read until the end of the request head (no bodies on GETs; a
+    // small fixed cap bounds a misbehaving client).
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", source.metrics_text())
+            }
+            "/stats.json" => ("200 OK", "application/json", source.stats_json()),
+            "/traces" => ("200 OK", "application/json", source.traces_json()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics, /stats.json, /traces\n".to_string(),
+            ),
+        }
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedSource;
+
+    impl StatsSource for FixedSource {
+        fn metrics_text(&self) -> String {
+            "# TYPE algas_up gauge\nalgas_up 1\n".to_string()
+        }
+
+        fn stats_json(&self) -> String {
+            "{\"ok\":true}".to_string()
+        }
+
+        fn traces_json(&self) -> String {
+            "{\"traces\":[]}".to_string()
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_three_endpoints() {
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(FixedSource)).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("algas_up 1"));
+
+        let (head, body) = get(addr, "/stats.json");
+        assert!(head.contains("application/json"));
+        assert_eq!(body, "{\"ok\":true}");
+
+        let (_, body) = get(addr, "/traces");
+        assert_eq!(body, "{\"traces\":[]}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn rejects_non_get_and_strips_query_strings() {
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(FixedSource)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+        let (head, _) = get(addr, "/metrics?foo=bar");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn stop_joins_cleanly_and_drop_is_idempotent() {
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(FixedSource)).unwrap();
+        let addr = server.local_addr();
+        server.stop();
+        // The port is released: a fresh server can bind it (racy on a
+        // busy machine, so only assert the old one stopped serving).
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

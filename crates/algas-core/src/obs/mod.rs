@@ -15,17 +15,34 @@
 //!   feature: compiled out, both become zero-sized no-ops and no clock
 //!   is read, so the serving loops carry zero instrumentation cost
 //!   while every call site stays `#[cfg]`-free.
+//! * [`flight`] — the per-query layer: an always-on, lock-free
+//!   per-slot ring of timestamped trace events with tail-sampled
+//!   slow-query retention ([`FlightRecorder`], [`QueryTrace`]).
+//! * [`chrome`] — Chrome trace-event JSON export of retained traces
+//!   (viewable in Perfetto) plus the validator CI runs on emitted
+//!   files.
+//! * [`http`] — a dependency-free `std::net` stats server exposing
+//!   `/metrics`, `/stats.json`, and `/traces` from a live server.
 //! * [`json`] / [`prom`] — the self-contained wire formats (the
 //!   hermetic workspace has no `serde_json`).
 
+pub mod chrome;
 pub mod counters;
+pub mod flight;
 pub mod hist;
+pub mod http;
 pub mod json;
 pub mod prom;
 pub mod recorder;
 pub mod snapshot;
 
+pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use counters::{CachePadded, Counter};
+pub use flight::{
+    traces_json, EventKind, FlightConfig, FlightRecorder, FlightTotals, LifecycleNs, QueryTrace,
+    TraceEvent,
+};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use http::{StatsServer, StatsSource};
 pub use recorder::{stamp, JobStamps, RuntimeObs, Stamp};
 pub use snapshot::{HostStats, PhaseStats, RuntimeStats, SlotStats, WorkerStats};

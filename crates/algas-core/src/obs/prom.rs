@@ -30,6 +30,29 @@ impl PromWriter {
         self
     }
 
+    /// Emits a `# HELP` header. Newlines and backslashes in the
+    /// docstring are escaped per the text format.
+    pub fn help_header(&mut self, name: &str, help: &str) -> &mut Self {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        for c in help.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// Opens a metric family: `# HELP` then `# TYPE`, the pairing
+    /// [`check_exposition`] requires.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        self.help_header(name, help).type_header(name, kind)
+    }
+
     /// Emits one sample; `labels` are `(key, value)` pairs.
     pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
         self.out.push_str(name);
@@ -169,6 +192,101 @@ fn parse_sample(line: &str) -> Result<PromSample, String> {
     Ok(PromSample { name, labels, value })
 }
 
+/// Validates a whole exposition page beyond the per-line grammar of
+/// [`parse_prometheus`]: metric-name charset on header lines, `# HELP`
+/// present and paired immediately before each `# TYPE`, no duplicate
+/// headers, every sample covered by a `# TYPE` family (directly or via
+/// a summary/histogram `_sum`/`_count`/`_bucket` suffix), and no
+/// duplicate series (same name and label set twice).
+///
+/// Returns the number of samples on the page.
+///
+/// # Errors
+/// The first violation, with its 1-based line number.
+pub fn check_exposition(text: &str) -> Result<usize, String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut helped: Vec<String> = Vec::new();
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut last_help: Option<String> = None;
+    let mut series: Vec<String> = Vec::new();
+    let mut n_samples = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) =
+                rest.split_once(' ').ok_or(format!("line {lineno}: HELP without docstring"))?;
+            if !valid_name(name) {
+                return Err(format!("line {lineno}: bad metric name `{name}` in HELP"));
+            }
+            if help.trim().is_empty() {
+                return Err(format!("line {lineno}: empty HELP docstring for `{name}`"));
+            }
+            if helped.iter().any(|h| h == name) {
+                return Err(format!("line {lineno}: duplicate HELP for `{name}`"));
+            }
+            helped.push(name.to_string());
+            last_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) =
+                rest.split_once(' ').ok_or(format!("line {lineno}: TYPE without kind"))?;
+            if !valid_name(name) {
+                return Err(format!("line {lineno}: bad metric name `{name}` in TYPE"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                return Err(format!("line {lineno}: unknown metric kind `{kind}`"));
+            }
+            if typed.iter().any(|(n, _)| n == name) {
+                return Err(format!("line {lineno}: duplicate TYPE for `{name}`"));
+            }
+            if last_help.as_deref() != Some(name) {
+                return Err(format!("line {lineno}: TYPE for `{name}` not preceded by its HELP"));
+            }
+            typed.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {lineno}: {e}: `{line}`"))?;
+        let family_kind = typed
+            .iter()
+            .find(|(n, _)| *n == sample.name)
+            .or_else(|| {
+                // Summary/histogram child series attach to the base
+                // family's TYPE header.
+                ["_sum", "_count", "_bucket"].iter().find_map(|suffix| {
+                    let base = sample.name.strip_suffix(suffix)?;
+                    typed
+                        .iter()
+                        .find(|(n, k)| n == base && matches!(k.as_str(), "summary" | "histogram"))
+                })
+            })
+            .map(|(_, k)| k.as_str());
+        if family_kind.is_none() {
+            return Err(format!("line {lineno}: sample `{}` has no TYPE header", sample.name));
+        }
+        let mut labels = sample.labels.clone();
+        labels.sort();
+        let key = format!("{}{:?}", sample.name, labels);
+        if series.contains(&key) {
+            return Err(format!("line {lineno}: duplicate series `{line}`"));
+        }
+        series.push(key);
+        n_samples += 1;
+    }
+    Ok(n_samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +324,40 @@ mod tests {
         w.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
         let samples = parse_prometheus(&w.finish()).unwrap();
         assert_eq!(samples[0].label("k"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn check_exposition_accepts_a_well_formed_page() {
+        let mut w = PromWriter::new();
+        w.family("algas_q_total", "counter", "Queries.")
+            .scalar("algas_q_total", 3)
+            .family("algas_lat_ns", "summary", "Latency summary.")
+            .sample("algas_lat_ns", &[("quantile", "0.5")], 10.0)
+            .sample("algas_lat_ns", &[("quantile", "0.99")], 90.0)
+            .sample("algas_lat_ns_sum", &[], 100.0)
+            .sample("algas_lat_ns_count", &[], 3.0);
+        assert_eq!(check_exposition(&w.finish()).unwrap(), 5);
+    }
+
+    #[test]
+    fn check_exposition_rejects_violations() {
+        // TYPE without HELP.
+        let no_help = "# TYPE x counter\nx 1\n";
+        assert!(check_exposition(no_help).unwrap_err().contains("not preceded by its HELP"));
+        // Sample without any TYPE.
+        assert!(check_exposition("x 1\n").unwrap_err().contains("no TYPE header"));
+        // Duplicate series.
+        let dup = "# HELP x d\n# TYPE x counter\nx 1\nx 2\n";
+        assert!(check_exposition(dup).unwrap_err().contains("duplicate series"));
+        // Duplicate TYPE.
+        let dup_type = "# HELP x d\n# TYPE x counter\n# HELP x d\n";
+        assert!(check_exposition(dup_type).unwrap_err().contains("duplicate HELP"));
+        // Bad name in a header.
+        assert!(check_exposition("# HELP 1bad d\n").unwrap_err().contains("bad metric name"));
+        // Unknown kind.
+        assert!(check_exposition("# HELP x d\n# TYPE x enum\n").unwrap_err().contains("unknown"));
+        // Same name, different labels: fine.
+        let ok = "# HELP x d\n# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"2\"} 2\n";
+        assert_eq!(check_exposition(ok).unwrap(), 2);
     }
 }

@@ -23,6 +23,9 @@ mod enabled {
     use crate::engine::RerankStats;
     use crate::merge::MergeStats;
     use crate::obs::counters::{CachePadded, Counter};
+    use crate::obs::flight::{
+        EventKind, FlightConfig, FlightRecorder, FlightTotals, LifecycleNs, QueryTrace,
+    };
     use crate::obs::hist::Histogram;
     use crate::obs::snapshot::{HostStats, RuntimeStats, SlotStats, WorkerStats};
     use crate::tracer::StepTotals;
@@ -57,19 +60,27 @@ mod enabled {
             Self { submitted: stamp(), slot: None, work_start: None, finish: None }
         }
 
-        /// Stamps slot assignment (host refill).
-        pub fn mark_slot(&mut self) {
-            self.slot = Some(stamp());
+        /// Stamps slot assignment (host refill), returning the stamp.
+        pub fn mark_slot(&mut self) -> Stamp {
+            let t = stamp();
+            self.slot = Some(t);
+            t
         }
 
-        /// Stamps search start (worker picked the slot up).
-        pub fn mark_work_start(&mut self) {
-            self.work_start = Some(stamp());
+        /// Stamps search start (worker picked the slot up), returning
+        /// the stamp.
+        pub fn mark_work_start(&mut self) -> Stamp {
+            let t = stamp();
+            self.work_start = Some(t);
+            t
         }
 
-        /// Stamps search completion (`Work → Finish` flip).
-        pub fn mark_finish(&mut self) {
-            self.finish = Some(stamp());
+        /// Stamps search completion (`Work → Finish` flip), returning
+        /// the stamp.
+        pub fn mark_finish(&mut self) -> Stamp {
+            let t = stamp();
+            self.finish = Some(t);
+            t
         }
     }
 
@@ -128,12 +139,25 @@ mod enabled {
         finish_to_merged: Histogram,
         merged_to_delivered: Histogram,
         end_to_end: Histogram,
+        flight: FlightRecorder,
     }
 
     impl RuntimeObs {
         /// Allocates the cells for the given runtime shape (startup
-        /// only; recording never allocates).
+        /// only; recording never allocates) with the default flight-
+        /// recorder policy.
         pub fn new(n_slots: usize, n_workers: usize, n_host_threads: usize) -> Self {
+            Self::with_flight(n_slots, n_workers, n_host_threads, FlightConfig::default())
+        }
+
+        /// [`RuntimeObs::new`] with an explicit flight-recorder
+        /// configuration.
+        pub fn with_flight(
+            n_slots: usize,
+            n_workers: usize,
+            n_host_threads: usize,
+            flight_cfg: FlightConfig,
+        ) -> Self {
             Self {
                 workers: (0..n_workers).map(|_| CachePadded::default()).collect(),
                 hosts: (0..n_host_threads).map(|_| CachePadded::default()).collect(),
@@ -144,7 +168,32 @@ mod enabled {
                 finish_to_merged: Histogram::new(),
                 merged_to_delivered: Histogram::new(),
                 end_to_end: Histogram::new(),
+                flight: FlightRecorder::new(n_slots, flight_cfg),
             }
+        }
+
+        /// The retained (tail-sampled) flight-recorder traces,
+        /// slowest-first.
+        pub fn flight_retained(&self) -> Vec<QueryTrace> {
+            self.flight.retained()
+        }
+
+        /// Flight-recorder totals.
+        pub fn flight_totals(&self) -> FlightTotals {
+            self.flight.totals()
+        }
+
+        /// The active flight-recorder configuration.
+        pub fn flight_config(&self) -> FlightConfig {
+            self.flight.config()
+        }
+
+        /// Writes one raw flight-recorder event, stamped now (test and
+        /// diagnostic hook; the serving path uses the typed methods
+        /// below). Allocation-free.
+        #[inline]
+        pub fn flight_record(&self, s: usize, kind: EventKind, lane: u32, a: u32, b: u32) {
+            self.flight.record(s, kind, lane, a, b, self.flight.now_ns());
         }
 
         /// Accounts one worker poll pass.
@@ -207,21 +256,92 @@ mod enabled {
             cells.rerank_promotions.add(delta.promotions);
         }
 
-        /// Accounts a slot refill by host poller `h`.
+        /// Accounts a slot refill by host poller `h`: bumps the refill
+        /// counters, opens the slot's flight-recorder window, and
+        /// writes the `enqueued`/`assigned` trace events.
         #[inline]
-        pub fn slot_assigned(&self, h: usize, s: usize) {
+        pub fn slot_assigned(&self, h: usize, s: usize, stamps: &JobStamps) {
             self.hosts[h].refills.incr();
             self.slots[s].assigned.incr();
+            self.flight.begin_query(s);
+            self.flight.record(
+                s,
+                EventKind::Enqueued,
+                h as u32,
+                0,
+                0,
+                self.flight.ns_of(stamps.submitted),
+            );
+            let slot_ns = match stamps.slot {
+                Some(t) => self.flight.ns_of(t),
+                None => self.flight.now_ns(),
+            };
+            self.flight.record(s, EventKind::Assigned, h as u32, 0, 0, slot_ns);
+        }
+
+        /// Writes the flight-recorder events of one completed search:
+        /// `work_start`, per-CTA `cta_step` spans (simulated step costs
+        /// scaled onto the measured `work_start → finish` span),
+        /// `beam_switch` markers, an optional `rerank_pass`, and
+        /// `finish`. Allocation-free.
+        pub fn flight_search(
+            &self,
+            w: usize,
+            s: usize,
+            multi: &crate::search::multi::MultiScratch,
+            rerank_delta: &RerankStats,
+            stamps: &JobStamps,
+        ) {
+            let (Some(ws), Some(fin)) = (stamps.work_start, stamps.finish) else {
+                return;
+            };
+            let start_ns = self.flight.ns_of(ws);
+            let span_ns = ns_between(ws, fin);
+            self.flight.record(s, EventKind::WorkStart, w as u32, 0, 0, start_ns);
+            for c in 0..multi.n_active() {
+                let switch = multi.diffusing_switch_step(c);
+                for (i, (off, dur, step)) in multi.trace(c).scaled_spans(span_ns).enumerate() {
+                    let ts = start_ns + off;
+                    if switch == Some(i as u32) {
+                        self.flight.record(s, EventKind::BeamSwitch, c as u32, i as u32, 0, ts);
+                    }
+                    self.flight.record(
+                        s,
+                        EventKind::CtaStep,
+                        c as u32,
+                        step.dist_evals,
+                        dur.min(u64::from(u32::MAX)) as u32,
+                        ts,
+                    );
+                }
+            }
+            let end_ns = self.flight.ns_of(fin);
+            if rerank_delta.reranks > 0 {
+                self.flight.record(
+                    s,
+                    EventKind::RerankPass,
+                    w as u32,
+                    rerank_delta.candidates.min(u64::from(u32::MAX)) as u32,
+                    rerank_delta.promotions.min(u64::from(u32::MAX)) as u32,
+                    end_ns,
+                );
+            }
+            self.flight.record(s, EventKind::Finish, w as u32, 0, 0, end_ns);
         }
 
         /// Accounts one delivered result: bumps host/slot counters,
-        /// folds the merge delta in, and records all six phase spans.
+        /// folds the merge delta in, records all six phase spans,
+        /// writes the merge/delivery trace events, and hands the
+        /// completed query to the flight recorder's tail sampler.
         #[inline]
+        #[allow(clippy::too_many_arguments)]
         pub fn record_delivery(
             &self,
             h: usize,
             s: usize,
+            tag: u64,
             stamps: &JobStamps,
+            picked_up: Stamp,
             merged_at: Stamp,
             delivered_at: Stamp,
             merge_delta: &MergeStats,
@@ -246,6 +366,20 @@ mod enabled {
             }
             self.merged_to_delivered.record(ns_between(merged_at, delivered_at));
             self.end_to_end.record(ns_between(stamps.submitted, delivered_at));
+
+            let lifecycle = LifecycleNs {
+                submitted_ns: self.flight.ns_of(stamps.submitted),
+                slot_ns: stamps.slot.map_or(0, |t| self.flight.ns_of(t)),
+                work_start_ns: stamps.work_start.map_or(0, |t| self.flight.ns_of(t)),
+                finish_ns: stamps.finish.map_or(0, |t| self.flight.ns_of(t)),
+                merge_begin_ns: self.flight.ns_of(picked_up),
+                merged_ns: self.flight.ns_of(merged_at),
+                delivered_ns: self.flight.ns_of(delivered_at),
+            };
+            self.flight.record(s, EventKind::MergeBegin, h as u32, 0, 0, lifecycle.merge_begin_ns);
+            self.flight.record(s, EventKind::MergeEnd, h as u32, 0, 0, lifecycle.merged_ns);
+            self.flight.record(s, EventKind::Delivered, h as u32, 0, 0, lifecycle.delivered_ns);
+            self.flight.on_complete(s, tag, h as u32, &lifecycle);
         }
 
         /// Copies every cell into `out` (per-thread blocks, phase
@@ -315,6 +449,7 @@ mod enabled {
             out.phases.finish_to_merged = self.finish_to_merged.snapshot();
             out.phases.merged_to_delivered = self.merged_to_delivered.snapshot();
             out.phases.end_to_end = self.end_to_end.snapshot();
+            out.flight = self.flight.totals();
         }
     }
 }
@@ -322,6 +457,7 @@ mod enabled {
 #[cfg(not(feature = "obs"))]
 mod disabled {
     use crate::merge::MergeStats;
+    use crate::obs::flight::{EventKind, FlightConfig, FlightTotals, QueryTrace};
     use crate::obs::snapshot::RuntimeStats;
 
     /// Zero-sized stand-in for `Instant` when `obs` is compiled out.
@@ -342,13 +478,13 @@ mod disabled {
         }
 
         /// No-op.
-        pub fn mark_slot(&mut self) {}
+        pub fn mark_slot(&mut self) -> Stamp {}
 
         /// No-op.
-        pub fn mark_work_start(&mut self) {}
+        pub fn mark_work_start(&mut self) -> Stamp {}
 
         /// No-op.
-        pub fn mark_finish(&mut self) {}
+        pub fn mark_finish(&mut self) -> Stamp {}
     }
 
     /// Zero-sized no-op stand-in for the live metric cells.
@@ -359,6 +495,35 @@ mod disabled {
         pub fn new(_n_slots: usize, _n_workers: usize, _n_host_threads: usize) -> Self {
             Self
         }
+
+        /// No-op.
+        pub fn with_flight(
+            _n_slots: usize,
+            _n_workers: usize,
+            _n_host_threads: usize,
+            _flight_cfg: FlightConfig,
+        ) -> Self {
+            Self
+        }
+
+        /// No-op: nothing is ever retained.
+        pub fn flight_retained(&self) -> Vec<QueryTrace> {
+            Vec::new()
+        }
+
+        /// No-op: all-zero totals.
+        pub fn flight_totals(&self) -> FlightTotals {
+            FlightTotals::default()
+        }
+
+        /// No-op: the default configuration.
+        pub fn flight_config(&self) -> FlightConfig {
+            FlightConfig::default()
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn flight_record(&self, _s: usize, _kind: EventKind, _lane: u32, _a: u32, _b: u32) {}
 
         /// No-op.
         #[inline]
@@ -384,15 +549,30 @@ mod disabled {
 
         /// No-op.
         #[inline]
-        pub fn slot_assigned(&self, _h: usize, _s: usize) {}
+        pub fn slot_assigned(&self, _h: usize, _s: usize, _stamps: &JobStamps) {}
 
         /// No-op.
         #[inline]
+        pub fn flight_search(
+            &self,
+            _w: usize,
+            _s: usize,
+            _multi: &crate::search::multi::MultiScratch,
+            _rerank_delta: &crate::engine::RerankStats,
+            _stamps: &JobStamps,
+        ) {
+        }
+
+        /// No-op.
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
         pub fn record_delivery(
             &self,
             _h: usize,
             _s: usize,
+            _tag: u64,
             _stamps: &JobStamps,
+            _picked_up: Stamp,
             _merged_at: Stamp,
             _delivered_at: Stamp,
             _merge_delta: &MergeStats,
@@ -417,7 +597,7 @@ mod tests {
         let mut stamps = JobStamps::new();
         stamps.mark_slot();
         stamps.mark_work_start();
-        obs.slot_assigned(0, 1);
+        obs.slot_assigned(0, 1, &stamps);
         obs.worker_pass(0, true);
         obs.worker_pass(1, false);
         obs.host_pass(0, true);
@@ -434,10 +614,11 @@ mod tests {
         let rerank = crate::engine::RerankStats { reranks: 1, candidates: 20, promotions: 3 };
         obs.record_rerank(0, &rerank);
         stamps.mark_finish();
+        let picked_up = stamp();
         let merged_at = stamp();
         let delivered_at = stamp();
         let delta = MergeStats { merges: 1, elements: 16, dupes_dropped: 2 };
-        obs.record_delivery(0, 1, &stamps, merged_at, delivered_at, &delta);
+        obs.record_delivery(0, 1, 7, &stamps, picked_up, merged_at, delivered_at, &delta);
 
         let mut s = RuntimeStats::empty(2, 2, 1);
         obs.populate(&mut s);
@@ -455,5 +636,39 @@ mod tests {
             assert_eq!(h.count, 1, "phase {name} should hold one sample");
         }
         assert!(s.phases.end_to_end.sum >= s.phases.work_to_finish.sum);
+        assert_eq!(s.flight.completions, 1);
+        // enqueued/assigned + merge_begin/merge_end/delivered events.
+        assert_eq!(s.flight.events, 5);
+    }
+
+    #[test]
+    fn slow_query_is_retained_through_the_recorder() {
+        use crate::obs::flight::{EventKind, FlightConfig};
+        let cfg = FlightConfig { slow_threshold_ns: 0, ..FlightConfig::default() };
+        let obs = RuntimeObs::with_flight(2, 1, 1, cfg);
+        let mut stamps = JobStamps::new();
+        stamps.mark_slot();
+        obs.slot_assigned(0, 0, &stamps);
+        stamps.mark_work_start();
+        obs.flight_record(0, EventKind::WorkStart, 3, 0, 0);
+        stamps.mark_finish();
+        obs.flight_record(0, EventKind::Finish, 3, 0, 0);
+        let picked_up = stamp();
+        let merged_at = stamp();
+        let delivered_at = stamp();
+        let delta = MergeStats { merges: 1, elements: 8, dupes_dropped: 0 };
+        obs.record_delivery(0, 0, 42, &stamps, picked_up, merged_at, delivered_at, &delta);
+
+        let traces = obs.flight_retained();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.tag, 42);
+        assert_eq!(t.slot, 0);
+        assert_eq!(t.worker, 3, "worker id comes from the work_start event lane");
+        assert_eq!(t.host, 0);
+        assert_eq!(t.events.len(), 7);
+        assert_eq!(t.events[0].kind, EventKind::Enqueued);
+        assert_eq!(t.events.last().unwrap().kind, EventKind::Delivered);
+        assert!(t.lifecycle.delivered_ns >= t.lifecycle.submitted_ns);
     }
 }

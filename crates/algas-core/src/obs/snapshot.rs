@@ -14,6 +14,7 @@
 //! `to_json` / `from_json` round-trip exactly, and `to_prometheus`
 //! emits text exposition format v0.0.4.
 
+use super::flight::FlightTotals;
 use super::hist::HistogramSnapshot;
 use super::json::{obj, Value};
 use super::prom::PromWriter;
@@ -144,6 +145,9 @@ pub struct RuntimeStats {
     pub rerank: RerankStats,
     /// Host-side merge totals.
     pub merge: MergeStats,
+    /// Flight-recorder totals (completions examined, events written,
+    /// traces retained).
+    pub flight: FlightTotals,
 }
 
 impl RuntimeStats {
@@ -298,6 +302,14 @@ impl RuntimeStats {
                     ("dupes_dropped", Value::Uint(self.merge.dupes_dropped)),
                 ]),
             ),
+            (
+                "flight",
+                obj(vec![
+                    ("completions", Value::Uint(self.flight.completions)),
+                    ("events", Value::Uint(self.flight.events)),
+                    ("retained", Value::Uint(self.flight.retained)),
+                ]),
+            ),
         ]);
         doc.render()
     }
@@ -403,15 +415,26 @@ impl RuntimeStats {
             elements: u(merge, "elements")?,
             dupes_dropped: u(merge, "dupes_dropped")?,
         };
+        // Absent in snapshots written before the flight recorder
+        // existed; those parse with zeroed totals.
+        if let Some(flight) = doc.get("flight") {
+            out.flight = FlightTotals {
+                completions: u(flight, "completions")?,
+                events: u(flight, "events")?,
+                retained: u(flight, "retained")?,
+            };
+        }
         Ok(out)
     }
 
     /// Renders the snapshot in Prometheus text exposition format
-    /// (v0.0.4). Phase histograms become summaries (quantiles +
-    /// `_sum`/`_count`) under one `algas_phase_latency_ns` family.
+    /// (v0.0.4), each family opened by a `# HELP`/`# TYPE` pair. Phase
+    /// histograms become summaries (quantiles + `_sum`/`_count`) under
+    /// one `algas_phase_latency_ns` family. The page passes
+    /// [`super::prom::check_exposition`].
     pub fn to_prometheus(&self) -> String {
         let mut w = PromWriter::new();
-        w.type_header("algas_runtime_info", "gauge").sample(
+        w.family("algas_runtime_info", "gauge", "Configured runtime shape, as labels.").sample(
             "algas_runtime_info",
             &[
                 ("n_slots", &self.n_slots.to_string()),
@@ -420,89 +443,114 @@ impl RuntimeStats {
             ],
             1.0,
         );
-        for (name, v) in [
-            ("algas_queries_submitted_total", self.submitted),
-            ("algas_queries_completed_total", self.completed),
-            ("algas_queries_rejected_queue_full_total", self.rejected_queue_full),
+        for (name, help, v) in [
+            ("algas_queries_submitted_total", "Queries accepted into the queue.", self.submitted),
+            ("algas_queries_completed_total", "Queries fully served.", self.completed),
+            (
+                "algas_queries_rejected_queue_full_total",
+                "Queries rejected by backpressure.",
+                self.rejected_queue_full,
+            ),
         ] {
-            w.type_header(name, "counter").scalar(name, v);
+            w.family(name, "counter", help).scalar(name, v);
         }
-        for (name, v) in [
-            ("algas_queue_depth", self.queue_depth),
-            ("algas_slots_occupied", self.slots_occupied),
-            ("algas_base_store_bytes", self.base_bytes),
-            ("algas_quant_store_bytes", self.quant_bytes),
+        for (name, help, v) in [
+            ("algas_queue_depth", "Submissions queued right now.", self.queue_depth),
+            ("algas_slots_occupied", "Slots holding an in-flight query.", self.slots_occupied),
+            ("algas_base_store_bytes", "Bytes of the fp32 corpus.", self.base_bytes),
+            (
+                "algas_quant_store_bytes",
+                "Bytes of the SQ8 mirror (0 if fp32-only).",
+                self.quant_bytes,
+            ),
         ] {
-            w.type_header(name, "gauge").scalar(name, v);
+            w.family(name, "gauge", help).scalar(name, v);
         }
-        let series =
-            |w: &mut PromWriter, name: &str, label: &str, vals: &mut dyn Iterator<Item = u64>| {
-                w.type_header(name, "counter");
-                for (i, v) in vals.enumerate() {
-                    w.sample(name, &[(label, &i.to_string())], v as f64);
-                }
-            };
+        let series = |w: &mut PromWriter,
+                      name: &str,
+                      help: &str,
+                      label: &str,
+                      vals: &mut dyn Iterator<Item = u64>| {
+            w.family(name, "counter", help);
+            for (i, v) in vals.enumerate() {
+                w.sample(name, &[(label, &i.to_string())], v as f64);
+            }
+        };
         series(
             &mut w,
             "algas_worker_queries_total",
+            "Queries searched, per worker.",
             "worker",
             &mut self.per_worker.iter().map(|x| x.queries),
         );
         series(
             &mut w,
             "algas_worker_busy_passes_total",
+            "Worker poll passes that did work.",
             "worker",
             &mut self.per_worker.iter().map(|x| x.busy_passes),
         );
         series(
             &mut w,
             "algas_worker_idle_passes_total",
+            "Worker poll passes that found nothing.",
             "worker",
             &mut self.per_worker.iter().map(|x| x.idle_passes),
         );
         series(
             &mut w,
             "algas_host_delivered_total",
+            "Results merged and delivered, per host poller.",
             "host",
             &mut self.per_host.iter().map(|x| x.delivered),
         );
         series(
             &mut w,
             "algas_host_refills_total",
+            "Slots refilled from the queue, per host poller.",
             "host",
             &mut self.per_host.iter().map(|x| x.refills),
         );
         series(
             &mut w,
             "algas_host_busy_passes_total",
+            "Host poll passes that did work.",
             "host",
             &mut self.per_host.iter().map(|x| x.busy_passes),
         );
         series(
             &mut w,
             "algas_host_idle_passes_total",
+            "Host poll passes that found nothing.",
             "host",
             &mut self.per_host.iter().map(|x| x.idle_passes),
         );
         series(
             &mut w,
             "algas_slot_assigned_total",
+            "None/Done to Work transitions, per slot.",
             "slot",
             &mut self.per_slot.iter().map(|x| x.assigned),
         );
         series(
             &mut w,
             "algas_slot_finished_total",
+            "Work to Finish transitions, per slot.",
             "slot",
             &mut self.per_slot.iter().map(|x| x.finished),
         );
         series(
             &mut w,
             "algas_slot_delivered_total",
+            "Finish to Done transitions, per slot.",
             "slot",
             &mut self.per_slot.iter().map(|x| x.delivered),
         );
-        w.type_header("algas_phase_latency_ns", "summary");
+        w.family(
+            "algas_phase_latency_ns",
+            "summary",
+            "Query lifecycle phase latency, nanoseconds.",
+        );
         for (phase, h) in self.phases.named() {
             for (q, v) in [
                 ("0.5", h.quantile(0.5)),
@@ -515,32 +563,61 @@ impl RuntimeStats {
             w.sample("algas_phase_latency_ns_sum", &[("phase", phase)], h.sum as f64);
             w.sample("algas_phase_latency_ns_count", &[("phase", phase)], h.count as f64);
         }
-        for (name, v) in [
-            ("algas_search_steps_total", self.search.steps),
-            ("algas_search_expansions_total", self.search.expansions),
-            ("algas_search_dist_evals_total", self.search.dist_evals),
-            ("algas_search_sorts_total", self.search.sorts),
-            ("algas_search_calc_cycles_total", self.search.calc_cycles),
-            ("algas_search_sort_cycles_total", self.search.sort_cycles),
-            ("algas_search_other_cycles_total", self.search.other_cycles),
+        for (name, help, v) in [
+            ("algas_search_steps_total", "Search steps executed.", self.search.steps),
+            ("algas_search_expansions_total", "Candidates expanded.", self.search.expansions),
+            ("algas_search_dist_evals_total", "Distances computed.", self.search.dist_evals),
+            ("algas_search_sorts_total", "Sort/merge invocations.", self.search.sorts),
+            (
+                "algas_search_calc_cycles_total",
+                "Cycles in distance kernels.",
+                self.search.calc_cycles,
+            ),
+            (
+                "algas_search_sort_cycles_total",
+                "Cycles in sorting/merging.",
+                self.search.sort_cycles,
+            ),
+            (
+                "algas_search_other_cycles_total",
+                "Remaining search cycles.",
+                self.search.other_cycles,
+            ),
         ] {
-            w.type_header(name, "counter").scalar(name, v);
+            w.family(name, "counter", help).scalar(name, v);
         }
-        w.type_header("algas_search_sort_fraction", "gauge").sample(
-            "algas_search_sort_fraction",
-            &[],
-            self.search.sort_fraction(),
-        );
-        for (name, v) in [
-            ("algas_rerank_total", self.rerank.reranks),
-            ("algas_rerank_candidates_total", self.rerank.candidates),
-            ("algas_rerank_promotions_total", self.rerank.promotions),
-            ("algas_merge_total", self.merge.merges),
-            ("algas_merge_elements_total", self.merge.elements),
-            ("algas_merge_dupes_dropped_total", self.merge.dupes_dropped),
+        w.family("algas_search_sort_fraction", "gauge", "Fraction of cycles spent sorting.")
+            .sample("algas_search_sort_fraction", &[], self.search.sort_fraction());
+        for (name, help, v) in [
+            ("algas_rerank_total", "SQ8 exact-rerank passes.", self.rerank.reranks),
+            (
+                "algas_rerank_candidates_total",
+                "Candidates exactly re-ranked.",
+                self.rerank.candidates,
+            ),
+            ("algas_rerank_promotions_total", "Rerank-order promotions.", self.rerank.promotions),
+            ("algas_merge_total", "Host-side TopK merges.", self.merge.merges),
+            ("algas_merge_elements_total", "Elements merged.", self.merge.elements),
+            (
+                "algas_merge_dupes_dropped_total",
+                "Duplicate ids dropped in merges.",
+                self.merge.dupes_dropped,
+            ),
+            (
+                "algas_flight_completions_total",
+                "Completions examined by the flight recorder.",
+                self.flight.completions,
+            ),
+            (
+                "algas_flight_events_total",
+                "Trace events written across all slot rings.",
+                self.flight.events,
+            ),
         ] {
-            w.type_header(name, "counter").scalar(name, v);
+            w.family(name, "counter", help).scalar(name, v);
         }
+        w.family("algas_flight_retained", "gauge", "Query traces currently retained.")
+            .scalar("algas_flight_retained", self.flight.retained);
         w.finish()
     }
 
@@ -613,6 +690,7 @@ mod tests {
         };
         s.rerank = RerankStats { reranks: 38, candidates: 760, promotions: 12 };
         s.merge = MergeStats { merges: 38, elements: 300, dupes_dropped: 4 };
+        s.flight = FlightTotals { completions: 38, events: 410, retained: 5 };
         s
     }
 
@@ -638,6 +716,7 @@ mod tests {
     #[test]
     fn prometheus_page_parses_and_carries_values() {
         let s = sample_stats();
+        crate::obs::prom::check_exposition(&s.to_prometheus()).expect("well-formed exposition");
         let samples = parse_prometheus(&s.to_prometheus()).unwrap();
         let find = |name: &str| samples.iter().find(|x| x.name == name).unwrap();
         assert_eq!(find("algas_queries_submitted_total").value, 40.0);
@@ -647,6 +726,9 @@ mod tests {
         assert_eq!(find("algas_slots_occupied").value, 1.0);
         assert_eq!(find("algas_base_store_bytes").value, 48_000.0);
         assert_eq!(find("algas_quant_store_bytes").value, 12_400.0);
+        assert_eq!(find("algas_flight_completions_total").value, 38.0);
+        assert_eq!(find("algas_flight_events_total").value, 410.0);
+        assert_eq!(find("algas_flight_retained").value, 5.0);
         let w1 = samples
             .iter()
             .find(|x| x.name == "algas_worker_queries_total" && x.label("worker") == Some("1"))

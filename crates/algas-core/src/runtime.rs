@@ -17,7 +17,7 @@
 
 use crate::engine::{AlgasEngine, SearchScratch};
 use crate::merge::{merge_topk_into, MergeScratch};
-use crate::obs::{self, JobStamps, RuntimeObs, RuntimeStats};
+use crate::obs::{self, FlightConfig, JobStamps, QueryTrace, RuntimeObs, RuntimeStats};
 use crate::state::{AtomicSlotState, SlotState};
 use algas_vector::metric::DistValue;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
@@ -39,11 +39,21 @@ pub struct RuntimeConfig {
     /// Bound of the submission queue (backpressure for open-loop
     /// clients).
     pub queue_capacity: usize,
+    /// Flight-recorder policy: per-slot ring size and which completed
+    /// queries are retained for trace export (ignored when the `obs`
+    /// feature is compiled out).
+    pub flight: FlightConfig,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        Self { n_slots: 16, n_workers: 2, n_host_threads: 1, queue_capacity: 1024 }
+        Self {
+            n_slots: 16,
+            n_workers: 2,
+            n_host_threads: 1,
+            queue_capacity: 1024,
+            flight: FlightConfig::default(),
+        }
     }
 }
 
@@ -185,7 +195,12 @@ impl AlgasServer {
             submissions: submit_rx,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
-            obs: RuntimeObs::new(cfg.n_slots, cfg.n_workers, cfg.n_host_threads),
+            obs: RuntimeObs::with_flight(
+                cfg.n_slots,
+                cfg.n_workers,
+                cfg.n_host_threads,
+                cfg.flight,
+            ),
         });
 
         let workers = (0..cfg.n_workers)
@@ -290,6 +305,24 @@ impl AlgasServer {
         out
     }
 
+    /// The flight recorder's retained (tail-sampled) query traces,
+    /// slowest-first. Empty when the `obs` feature is compiled out or
+    /// no completed query met the retention policy yet.
+    pub fn flight_traces(&self) -> Vec<QueryTrace> {
+        self.shared.obs.flight_retained()
+    }
+
+    /// Retained flight traces as the `/traces` JSON document.
+    pub fn traces_json(&self) -> String {
+        obs::traces_json(&self.flight_traces())
+    }
+
+    /// Retained flight traces as Chrome trace-event JSON, loadable in
+    /// Perfetto / `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        obs::chrome_trace_json(&self.flight_traces())
+    }
+
     /// Convenience: submit and block for the reply.
     pub fn search_blocking(&self, query: Vec<f32>) -> Result<SearchReply, SubmitError> {
         let (_, rx) = self.submit(query)?;
@@ -344,6 +377,24 @@ impl RuntimeStats {
     /// `RuntimeStats::snapshot(&server)`.
     pub fn snapshot(server: &AlgasServer) -> RuntimeStats {
         server.runtime_stats()
+    }
+}
+
+/// A running server is directly servable by the
+/// [`obs::StatsServer`]: `/metrics` is the
+/// Prometheus page, `/stats.json` the snapshot, `/traces` the retained
+/// flight traces.
+impl crate::obs::StatsSource for AlgasServer {
+    fn metrics_text(&self) -> String {
+        self.runtime_stats().to_prometheus()
+    }
+
+    fn stats_json(&self) -> String {
+        self.runtime_stats().to_json()
+    }
+
+    fn traces_json(&self) -> String {
+        AlgasServer::traces_json(self)
     }
 }
 
@@ -418,7 +469,7 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                     // Physical-id search: the host poller translates to
                     // original ids exactly once, at delivery.
                     shared.engine.search_physical_into(&query_buf, tag, &mut scratch);
-                    {
+                    let stamps = {
                         // Copy the result lists into the slot's own
                         // buffers element-wise so both the scratch and
                         // the slot keep their allocations across jobs.
@@ -440,10 +491,14 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                                 dst.extend_from_slice(s);
                             }
                         }
-                        payload.job.as_mut().expect("Work implies a job").stamps.mark_finish();
-                    }
+                        let job = payload.job.as_mut().expect("Work implies a job");
+                        job.stamps.mark_finish();
+                        job.stamps
+                    };
+                    let rerank_delta = scratch.rerank.since(&rerank_before);
                     shared.obs.record_search(first, s, &scratch.multi);
-                    shared.obs.record_rerank(first, &scratch.rerank.since(&rerank_before));
+                    shared.obs.record_rerank(first, &rerank_delta);
+                    shared.obs.flight_search(first, s, &scratch.multi, &rerank_delta, &stamps);
                     let flipped = slot.state.transition(SlotState::Work, SlotState::Finish);
                     debug_assert!(flipped, "only this worker moves Work -> Finish");
                     did_work = true;
@@ -484,6 +539,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                 SlotState::Finish => {
                     all_quit = false;
                     let merge_before = merge.stats;
+                    let picked_up = obs::stamp();
                     let job = {
                         let mut payload = slot.payload.lock();
                         // Merge while holding the lock: the lists are
@@ -513,7 +569,9 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                     shared.obs.record_delivery(
                         first,
                         s,
+                        job.tag,
                         &job.stamps,
+                        picked_up,
                         merged_at,
                         obs::stamp(),
                         &merge.stats.since(&merge_before),
@@ -529,8 +587,9 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                     match shared.submissions.try_recv() {
                         Ok(mut job) => {
                             job.stamps.mark_slot();
+                            let stamps = job.stamps;
                             slot.payload.lock().job = Some(job);
-                            shared.obs.slot_assigned(first, s);
+                            shared.obs.slot_assigned(first, s, &stamps);
                             let flipped = slot.state.transition(state, SlotState::Work);
                             debug_assert!(flipped, "this poller owns the slot's host edges");
                             did_work = true;
@@ -586,6 +645,7 @@ mod tests {
                 n_workers: workers,
                 n_host_threads: hosts,
                 queue_capacity: 256,
+                ..Default::default()
             },
         );
         (server, ds, oracle)
@@ -621,7 +681,13 @@ mod tests {
         relayouted.relayout();
         let server = AlgasServer::start(
             AlgasEngine::new(relayouted, cfg).unwrap(),
-            RuntimeConfig { n_slots: 4, n_workers: 2, n_host_threads: 1, queue_capacity: 64 },
+            RuntimeConfig {
+                n_slots: 4,
+                n_workers: 2,
+                n_host_threads: 1,
+                queue_capacity: 64,
+                ..Default::default()
+            },
         );
         for i in 0..5 {
             let q = ds.queries.get(i).to_vec();
@@ -647,7 +713,13 @@ mod tests {
         assert!(oracle.quantized());
         let server = AlgasServer::start(
             AlgasEngine::new(index, cfg).unwrap(),
-            RuntimeConfig { n_slots: 4, n_workers: 2, n_host_threads: 1, queue_capacity: 64 },
+            RuntimeConfig {
+                n_slots: 4,
+                n_workers: 2,
+                n_host_threads: 1,
+                queue_capacity: 64,
+                ..Default::default()
+            },
         );
         for i in 0..5 {
             let q = ds.queries.get(i).to_vec();
@@ -790,6 +862,60 @@ mod tests {
         server.shutdown();
     }
 
+    #[cfg(feature = "obs")]
+    #[test]
+    fn flight_recorder_captures_served_queries() {
+        use crate::obs::flight::EventKind;
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg =
+            EngineConfig { k: 8, l: 32, slots: 2, beam: BeamMode::Auto, ..Default::default() };
+        let engine = AlgasEngine::new(index, cfg).unwrap();
+        let server = AlgasServer::start(
+            engine,
+            RuntimeConfig {
+                n_slots: 2,
+                n_workers: 1,
+                n_host_threads: 1,
+                queue_capacity: 64,
+                // Retain everything: threshold 0 marks every query slow.
+                flight: FlightConfig { slow_threshold_ns: 0, ..Default::default() },
+            },
+        );
+        for i in 0..6 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        let traces = server.flight_traces();
+        assert!(!traces.is_empty(), "threshold 0 must retain queries");
+        for t in &traces {
+            let kinds: Vec<EventKind> = t.events.iter().map(|e| e.kind).collect();
+            for k in [
+                EventKind::Enqueued,
+                EventKind::Assigned,
+                EventKind::WorkStart,
+                EventKind::CtaStep,
+                EventKind::Finish,
+                EventKind::MergeBegin,
+                EventKind::MergeEnd,
+                EventKind::Delivered,
+            ] {
+                assert!(kinds.contains(&k), "trace {} missing {}", t.tag, k.name());
+            }
+            assert!(t.e2e_ns() > 0);
+            assert!(t.lifecycle.delivered_ns >= t.lifecycle.submitted_ns);
+        }
+        // The whole pipeline round-trips: ring -> retained -> Chrome
+        // JSON -> validator, with all six lifecycle phases as spans.
+        let chrome = server.chrome_trace_json();
+        let summary = crate::obs::validate_chrome_trace(&chrome).expect("valid Chrome trace");
+        assert!(summary.missing_phases().is_empty(), "missing {:?}", summary.missing_phases());
+        let stats = server.runtime_stats();
+        assert_eq!(stats.flight.completions, 6);
+        assert!(stats.flight.retained >= traces.len() as u64);
+        server.shutdown();
+    }
+
     #[test]
     fn shutdown_drains_inflight_queries() {
         let (server, ds, _) = test_server(4, 2, 1);
@@ -820,7 +946,13 @@ mod tests {
         let engine = AlgasEngine::new(index, cfg).unwrap();
         let server = AlgasServer::start(
             engine,
-            RuntimeConfig { n_slots: 1, n_workers: 1, n_host_threads: 1, queue_capacity: 1 },
+            RuntimeConfig {
+                n_slots: 1,
+                n_workers: 1,
+                n_host_threads: 1,
+                queue_capacity: 1,
+                ..Default::default()
+            },
         );
         // Flood faster than one slot can drain; eventually QueueFull.
         let mut rejections = 0u64;

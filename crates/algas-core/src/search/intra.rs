@@ -67,6 +67,10 @@ pub struct CtaScratch {
     list: Option<CandidateList>,
     trace: CtaTrace,
     in_diffusing_phase: bool,
+    /// Step index at which beam extend switched to the diffusing phase
+    /// (`None` while localizing or for greedy searches) — the flight
+    /// recorder's `beam_switch` event.
+    diffusing_switch_step: Option<u32>,
     done: bool,
     expand_ids: Vec<u32>,
     scored: Vec<(DistValue, u32)>,
@@ -89,6 +93,12 @@ impl CtaScratch {
         &self.trace
     }
 
+    /// The step index at which beam extend switched to the diffusing
+    /// phase, if it did.
+    pub fn diffusing_switch_step(&self) -> Option<u32> {
+        self.diffusing_switch_step
+    }
+
     /// Resets for a fresh search with candidate-list capacity `l`,
     /// keeping every allocation.
     fn reset(&mut self, l: usize) {
@@ -98,6 +108,7 @@ impl CtaScratch {
         }
         self.trace.steps.clear();
         self.in_diffusing_phase = false;
+        self.diffusing_switch_step = None;
         self.done = false;
         self.expand_ids.clear();
         self.scored.clear();
@@ -235,6 +246,7 @@ impl<'a> CtaSearch<'a> {
             if let Some(b) = self.params.beam {
                 if first >= b.offset_beam {
                     s.in_diffusing_phase = true;
+                    s.diffusing_switch_step = Some(s.trace.steps.len() as u32);
                 }
             }
         }

@@ -54,6 +54,13 @@ impl MultiScratch {
         self.n_active
     }
 
+    /// Step index at which CTA `c` switched to the diffusing phase in
+    /// the most recent search (`None` if beam extend never triggered).
+    pub fn diffusing_switch_step(&self, c: usize) -> Option<u32> {
+        assert!(c < self.n_active, "CTA {c} not active (n_active={})", self.n_active);
+        self.ctas[c].diffusing_switch_step()
+    }
+
     /// Maximum steps over the active CTAs (cf. [`MultiResult::max_steps`]).
     pub fn max_steps(&self) -> usize {
         (0..self.n_active).map(|c| self.ctas[c].trace().n_steps()).max().unwrap_or(0)

@@ -29,11 +29,13 @@ use std::sync::Mutex;
 /// Default number of build threads: the `ALGAS_BUILD_THREADS`
 /// environment variable when set (≥ 1), otherwise the machine's
 /// available parallelism.
+///
+/// # Panics
+/// Panics (via [`algas_vector::env::parse_var`]) if the variable is set
+/// to something that does not parse as an unsigned integer.
 pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var("ALGAS_BUILD_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = algas_vector::env::parse_var::<usize>("ALGAS_BUILD_THREADS") {
+        return n.max(1);
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }

@@ -1,0 +1,109 @@
+//! Unified environment-variable parsing for `ALGAS_*` toggles.
+//!
+//! Every crate in the workspace reads its feature toggles through these
+//! two helpers instead of ad-hoc `std::env::var` parsing, so the
+//! accepted spellings (`1|true|yes|on` / `0|false|no|off`,
+//! case-insensitive) and the failure mode (a panic naming the variable,
+//! the offending value, and the accepted forms) are identical
+//! everywhere. A malformed operator-set variable is a configuration
+//! error worth failing loudly on, not something to silently default.
+
+/// Reads a boolean toggle such as `ALGAS_QUANTIZE`.
+///
+/// Accepts `1|true|yes|on` (→ `true`) and `0|false|no|off` (→ `false`),
+/// case-insensitively and ignoring surrounding whitespace. An unset or
+/// empty variable is `false`.
+///
+/// # Panics
+/// Panics with a message naming the variable and the accepted forms if
+/// the value is set but matches neither spelling.
+pub fn bool_flag(name: &str) -> bool {
+    let Ok(raw) = std::env::var(name) else {
+        return false;
+    };
+    let v = raw.trim();
+    if v.is_empty() {
+        return false;
+    }
+    match v.to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => true,
+        "0" | "false" | "no" | "off" => false,
+        _ => panic!(
+            "{name}: cannot parse `{raw}` as a boolean flag \
+             (expected 1|true|yes|on or 0|false|no|off, case-insensitive)"
+        ),
+    }
+}
+
+/// Reads a typed variable such as `ALGAS_BUILD_THREADS`. Returns `None`
+/// when unset or empty.
+///
+/// # Panics
+/// Panics with a message naming the variable, the offending value, and
+/// the expected type if the value is set but does not parse.
+pub fn parse_var<T>(name: &str) -> Option<T>
+where
+    T: std::str::FromStr,
+{
+    let raw = std::env::var(name).ok()?;
+    let v = raw.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.parse::<T>() {
+        Ok(t) => Some(t),
+        Err(_) => panic!("{name}: cannot parse `{raw}` as {}", std::any::type_name::<T>()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global; each test uses its own variable
+    // name so parallel test threads never race on one.
+
+    #[test]
+    fn unset_is_false_and_none() {
+        assert!(!bool_flag("ALGAS_TEST_UNSET_FLAG"));
+        assert_eq!(parse_var::<usize>("ALGAS_TEST_UNSET_VAR"), None);
+    }
+
+    #[test]
+    fn accepted_spellings_case_insensitive() {
+        let name = "ALGAS_TEST_SPELLINGS";
+        for v in ["1", "true", "YES", "On", " yes "] {
+            std::env::set_var(name, v);
+            assert!(bool_flag(name), "{v:?} should read as true");
+        }
+        for v in ["0", "false", "NO", "Off", ""] {
+            std::env::set_var(name, v);
+            assert!(!bool_flag(name), "{v:?} should read as false");
+        }
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    fn numeric_variables_parse() {
+        let name = "ALGAS_TEST_NUMERIC";
+        std::env::set_var(name, " 12 ");
+        assert_eq!(parse_var::<usize>(name), Some(12));
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse `maybe`")]
+    fn bad_flag_panics_with_clear_message() {
+        let name = "ALGAS_TEST_BAD_FLAG";
+        std::env::set_var(name, "maybe");
+        let _ = bool_flag(name);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse `many`")]
+    fn bad_numeric_panics_with_clear_message() {
+        let name = "ALGAS_TEST_BAD_NUMERIC";
+        std::env::set_var(name, "many");
+        let _ = parse_var::<usize>(name);
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod binary;
 pub mod datasets;
+pub mod env;
 pub mod ground_truth;
 pub mod io;
 pub mod metric;

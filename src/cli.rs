@@ -8,8 +8,13 @@
 //! algas search --index index.algas --queries q.fvecs --k 10 --l 64 [--quantize true]
 //!              [--rerank 32] [--gt gt.ivecs] [--out r.ivecs]
 //! algas serve  --index index.algas --queries q.fvecs --slots 16 [--quantize true]
-//!              [--rerank 32] [--stats-json stats.json]
+//!              [--rerank 32] [--stats-json stats.json] [--listen 127.0.0.1:9100]
+//!              [--linger-ms 0] [--trace-out trace.json] [--trace-threshold-us N]
+//!              [--trace-top 8] [--trace-sample N] [--trace-ring 1024]
 //! algas stats  --index index.algas --queries q.fvecs [--format json|prom]
+//! algas trace  --index index.algas --queries q.fvecs --out trace.json
+//!              [--trace-threshold-us N] [--trace-top 8] [--trace-sample N]
+//! algas trace-check --file trace.json [--require-phases true]
 //! ```
 //!
 //! `--quantize true` switches graph traversal onto SQ8 codes (quarter
@@ -19,15 +24,23 @@
 //! re-quantization.
 //!
 //! `serve` drives the threaded runtime and reports throughput and
-//! client-side latency percentiles; `--stats-json` additionally dumps
-//! the full [`RuntimeStats`](algas_core::obs::RuntimeStats) telemetry
-//! snapshot. `stats` runs the same
+//! client-side latency percentiles (computed through the same
+//! log-linear histogram as the server-side phase spans);
+//! `--stats-json` additionally dumps the full
+//! [`RuntimeStats`](algas_core::obs::RuntimeStats) telemetry snapshot,
+//! `--listen` serves `/metrics`, `/stats.json`, and `/traces` over
+//! HTTP while the session runs (`--linger-ms` keeps it up after the
+//! queries drain), and `--trace-out` writes the retained slow-query
+//! flight traces as Chrome trace-event JSON. `stats` runs the same
 //! serving session and emits only the snapshot, as JSON or Prometheus
-//! text exposition.
+//! text exposition. `trace` runs a session purely to capture flight
+//! traces (open the output at <https://ui.perfetto.dev>); `trace-check`
+//! validates such a file, as CI does.
 //!
 //! All logic lives here (testable); `src/bin/algas.rs` is a thin shim.
 
 use algas_core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
+use algas_core::obs::{FlightConfig, StatsServer};
 use algas_core::runtime::{AlgasServer, RuntimeConfig};
 use algas_graph::cagra::CagraParams;
 use algas_graph::nsw::NswParams;
@@ -53,6 +66,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "search" => cmd_search(&flags, out),
         "serve" => cmd_serve(&flags, out),
         "stats" => cmd_stats(&flags, out),
+        "trace" => cmd_trace(&flags, out),
+        "trace-check" => cmd_trace_check(&flags, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage()).map_err(io_err)?;
             Ok(())
@@ -62,7 +77,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: algas <gen|gt|build|info|search|serve|stats> [--flag value]...\n\
+    "usage: algas <gen|gt|build|info|search|serve|stats|trace|trace-check> [--flag value]...\n\
      see crate docs (src/cli.rs) for the flags of each command"
         .to_string()
 }
@@ -338,19 +353,42 @@ fn start_server_from_flags(
             n_workers: opt_parse(flags, "workers", 2usize)?,
             n_host_threads: opt_parse(flags, "hosts", 1usize)?,
             queue_capacity: 4096,
+            flight: flight_from_flags(flags)?,
         },
     );
     Ok((server, queries))
 }
 
+/// The flight-recorder retention policy from the shared
+/// `--trace-*` flags: `--trace-threshold-us` retains every query at
+/// least that slow (unset disables the threshold), `--trace-top` the
+/// K slowest seen (default 8), `--trace-sample` every Nth completion,
+/// `--trace-ring` the per-slot event-ring depth.
+fn flight_from_flags(flags: &HashMap<String, String>) -> Result<FlightConfig, String> {
+    Ok(FlightConfig {
+        ring_capacity: opt_parse(flags, "trace-ring", 1024usize)?,
+        slow_threshold_ns: match flags.get("trace-threshold-us") {
+            None => u64::MAX,
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("--trace-threshold-us: cannot parse `{v}`"))?
+                .saturating_mul(1000),
+        },
+        top_k: opt_parse(flags, "trace-top", 8usize)?,
+        sample_every: opt_parse(flags, "trace-sample", 0u64)?,
+    })
+}
+
 /// Pushes every query (×`repeat`) through the server and returns the
-/// sorted client-side latencies in µs.
+/// client-side submit→reply latencies as a histogram snapshot (ns) —
+/// the same log-linear quantile path the server-side phase spans use.
 fn drive_serve_session(
     server: &AlgasServer,
     queries: &VectorStore,
     repeat: usize,
-) -> Result<Vec<u128>, String> {
+) -> Result<algas_core::obs::HistogramSnapshot, String> {
     let total = queries.len() * repeat;
+    let hist = algas_core::obs::Histogram::new();
     let mut pending = Vec::with_capacity(total);
     for _ in 0..repeat {
         for qi in 0..queries.len() {
@@ -360,31 +398,42 @@ fn drive_serve_session(
             pending.push((std::time::Instant::now(), rx));
         }
     }
-    let mut lat_us: Vec<u128> = pending
-        .into_iter()
-        .map(|(sent, rx)| {
-            rx.recv().map(|_| sent.elapsed().as_micros()).map_err(|_| "server died".to_string())
-        })
-        .collect::<Result<_, _>>()?;
-    lat_us.sort_unstable();
-    Ok(lat_us)
+    for (sent, rx) in pending {
+        rx.recv().map_err(|_| "server died".to_string())?;
+        hist.record(sent.elapsed().as_nanos() as u64);
+    }
+    Ok(hist.snapshot())
 }
 
 fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
     let (server, queries) = start_server_from_flags(flags)?;
+    let server = std::sync::Arc::new(server);
+    let stats_server = match flags.get("listen") {
+        Some(addr) => {
+            let srv = StatsServer::start(addr.as_str(), server.clone() as _)
+                .map_err(|e| format!("--listen {addr}: {e}"))?;
+            writeln!(out, "stats listening on http://{}", srv.local_addr()).map_err(io_err)?;
+            Some(srv)
+        }
+        None => None,
+    };
     let repeat = opt_parse(flags, "repeat", 1usize)?.max(1);
     let total = queries.len() * repeat;
     let t0 = std::time::Instant::now();
-    let lat_us = drive_serve_session(&server, &queries, repeat)?;
+    let lat = drive_serve_session(&server, &queries, repeat)?;
     let wall = t0.elapsed();
     writeln!(
         out,
         "served {total} queries in {wall:.2?} ({:.0} q/s); latency p50 {} µs, p99 {} µs",
         total as f64 / wall.as_secs_f64(),
-        lat_us[total / 2],
-        lat_us[(total * 99) / 100],
+        lat.quantile(0.5) / 1000,
+        lat.quantile(0.99) / 1000,
     )
     .map_err(io_err)?;
+    let linger_ms = opt_parse(flags, "linger-ms", 0u64)?;
+    if linger_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+    }
     let stats = server.runtime_stats();
     if !stats.phases.end_to_end.is_empty() {
         let p99_us = |h: &algas_core::obs::HistogramSnapshot| h.quantile(0.99) as f64 / 1000.0;
@@ -405,7 +454,18 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         std::fs::write(path, stats.to_json()).map_err(|e| format!("{path}: {e}"))?;
         writeln!(out, "wrote runtime stats to {path}").map_err(io_err)?;
     }
-    server.shutdown();
+    if let Some(path) = flags.get("trace-out") {
+        let traces = server.flight_traces();
+        std::fs::write(path, server.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(out, "wrote {} flight trace(s) to {path}", traces.len()).map_err(io_err)?;
+    }
+    if let Some(srv) = stats_server {
+        srv.stop();
+    }
+    match std::sync::Arc::try_unwrap(server) {
+        Ok(server) => server.shutdown(),
+        Err(_) => return Err("internal: server still shared at shutdown".into()),
+    }
     Ok(())
 }
 
@@ -424,6 +484,53 @@ fn cmd_stats(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
     }
     server.shutdown();
     Ok(())
+}
+
+/// `algas trace`: runs a serving session purely to capture flight
+/// traces, then writes the retained (tail-sampled) query timelines as
+/// Chrome trace-event JSON — load the file at <https://ui.perfetto.dev>.
+/// Retention follows the shared `--trace-*` flags (default: the 8
+/// slowest queries of the session).
+fn cmd_trace(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let (server, queries) = start_server_from_flags(flags)?;
+    let repeat = opt_parse(flags, "repeat", 1usize)?.max(1);
+    drive_serve_session(&server, &queries, repeat)?;
+    let traces = server.flight_traces();
+    let path = req(flags, "out")?;
+    std::fs::write(path, server.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
+    writeln!(
+        out,
+        "served {} queries; wrote {} flight trace(s) to {path} (open in ui.perfetto.dev)",
+        queries.len() * repeat,
+        traces.len(),
+    )
+    .map_err(io_err)?;
+    server.shutdown();
+    Ok(())
+}
+
+/// `algas trace-check`: validates a Chrome trace-event JSON file (as
+/// written by `trace` / `serve --trace-out`). `--require-phases true`
+/// additionally demands all six lifecycle phases appear as duration
+/// events — the round-trip check CI runs.
+fn cmd_trace_check(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let path = req(flags, "file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary =
+        algas_core::obs::validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    if parse_bool(flags, "require-phases")? {
+        let missing = summary.missing_phases();
+        if !missing.is_empty() {
+            return Err(format!("{path}: missing lifecycle phases: {missing:?}"));
+        }
+    }
+    writeln!(
+        out,
+        "{path}: valid Chrome trace ({} events, {} duration span names)",
+        summary.events,
+        summary.duration_names.len(),
+    )
+    .map_err(io_err)
 }
 
 #[cfg(test)]
@@ -582,6 +689,83 @@ mod tests {
         assert!(gauge("algas_base_store_bytes") > gauge("algas_quant_store_bytes"));
 
         for p in [base, queries, gt, index, qindex, results, stats_json] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn trace_roundtrip_and_stats_endpoint() {
+        let base = tmp("t-base.fvecs");
+        let queries = tmp("t-q.fvecs");
+        let index = tmp("t-index.algas");
+        let trace = tmp("t-trace.json");
+        let trace2 = tmp("t-trace2.json");
+        run_ok(&[
+            "gen",
+            "--out",
+            &base,
+            "--queries",
+            &queries,
+            "--n",
+            "400",
+            "--nq",
+            "20",
+            "--dim",
+            "10",
+            "--seed",
+            "3",
+        ]);
+        run_ok(&["build", "--base", &base, "--graph", "cagra", "--out", &index]);
+
+        // Threshold 0: every query is "slow", so the capture retains
+        // full timelines and the Chrome export carries all phases.
+        let msg = run_ok(&[
+            "trace",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--trace-threshold-us",
+            "0",
+            "--out",
+            &trace,
+        ]);
+        assert!(msg.contains("flight trace(s)"), "{msg}");
+        let check = run_ok(&["trace-check", "--file", &trace]);
+        assert!(check.contains("valid Chrome trace"), "{check}");
+        if cfg!(feature = "obs") {
+            // Full round-trip: ring -> tail-sampled -> Chrome JSON ->
+            // re-parsed with all six lifecycle phases present.
+            run_ok(&["trace-check", "--file", &trace, "--require-phases", "true"]);
+        }
+
+        // serve with a live stats listener (ephemeral port) + trace-out.
+        let msg = run_ok(&[
+            "serve",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--slots",
+            "4",
+            "--listen",
+            "127.0.0.1:0",
+            "--trace-threshold-us",
+            "0",
+            "--trace-out",
+            &trace2,
+        ]);
+        assert!(msg.contains("stats listening on http://127.0.0.1:"), "{msg}");
+        run_ok(&["trace-check", "--file", &trace2]);
+
+        // A corrupted file is rejected.
+        std::fs::write(&trace2, "{\"traceEvents\":[{\"ph\":\"X\"}]}").unwrap();
+        let mut sink = Vec::new();
+        let args: Vec<String> =
+            ["trace-check", "--file", &trace2].iter().map(|s| s.to_string()).collect();
+        assert!(run(&args, &mut sink).is_err());
+
+        for p in [base, queries, index, trace, trace2] {
             let _ = std::fs::remove_file(p);
         }
     }

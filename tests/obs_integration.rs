@@ -22,8 +22,13 @@ fn start_server() -> (AlgasServer, algas::vector::VectorStore) {
     let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
     let cfg = EngineConfig { k: 10, l: 64, slots: 4, ..Default::default() };
     let engine = AlgasEngine::new(index, cfg).expect("tuning");
-    let runtime_cfg =
-        RuntimeConfig { n_slots: 4, n_workers: 2, n_host_threads: 2, queue_capacity: 256 };
+    let runtime_cfg = RuntimeConfig {
+        n_slots: 4,
+        n_workers: 2,
+        n_host_threads: 2,
+        queue_capacity: 256,
+        ..Default::default()
+    };
     (AlgasServer::start(engine, runtime_cfg), ds.queries)
 }
 

@@ -1,0 +1,81 @@
+//! Golden-file test for the Prometheus exposition: a fixed
+//! [`RuntimeStats`] fixture must render byte-for-byte the page checked
+//! in at `tests/golden/stats.prom`, and that page must satisfy the
+//! exposition checker (HELP/TYPE pairing, name charset, no duplicate
+//! series).
+//!
+//! The golden pin catches accidental renames — a metric name is public
+//! API the moment a dashboard queries it. After an *intentional*
+//! change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test prom_golden
+//! ```
+
+use algas::core::engine::RerankStats;
+use algas::core::merge::MergeStats;
+use algas::core::obs::prom::check_exposition;
+use algas::core::obs::{FlightTotals, Histogram, HostStats, RuntimeStats, SlotStats, WorkerStats};
+use algas::core::tracer::StepTotals;
+use std::path::Path;
+
+/// A fully-populated snapshot with every family non-trivial. Values
+/// are arbitrary but fixed; the histogram is filled through the real
+/// recording path so the golden file also pins bucket boundaries.
+fn fixture() -> RuntimeStats {
+    let mut s = RuntimeStats::empty(2, 2, 1);
+    s.submitted = 40;
+    s.completed = 38;
+    s.rejected_queue_full = 3;
+    s.queue_depth = 2;
+    s.slots_occupied = 1;
+    s.base_bytes = 48_000;
+    s.quant_bytes = 12_400;
+    s.per_worker[0] = WorkerStats { queries: 20, busy_passes: 19, idle_passes: 100 };
+    s.per_worker[1] = WorkerStats { queries: 18, busy_passes: 18, idle_passes: 120 };
+    s.per_host[0] = HostStats { delivered: 38, refills: 40, busy_passes: 70, idle_passes: 9 };
+    s.per_slot[0] = SlotStats { assigned: 21, finished: 20, delivered: 20 };
+    s.per_slot[1] = SlotStats { assigned: 19, finished: 18, delivered: 18 };
+    let h = Histogram::new();
+    for v in [1_000u64, 2_000, 5_000, 100_000, 12] {
+        h.record(v);
+    }
+    s.phases.end_to_end = h.snapshot();
+    s.phases.work_to_finish = h.snapshot();
+    s.search = StepTotals {
+        steps: 500,
+        expansions: 700,
+        dist_evals: 9_000,
+        sorts: 500,
+        calc_cycles: 80_000,
+        sort_cycles: 20_000,
+        other_cycles: 10_000,
+    };
+    s.rerank = RerankStats { reranks: 38, candidates: 760, promotions: 12 };
+    s.merge = MergeStats { merges: 38, elements: 300, dupes_dropped: 4 };
+    s.flight = FlightTotals { completions: 38, events: 410, retained: 5 };
+    s
+}
+
+#[test]
+fn exposition_matches_golden_and_passes_checker() {
+    let page = fixture().to_prometheus();
+
+    let samples = check_exposition(&page).expect("exposition is well-formed");
+    assert!(samples > 30, "suspiciously few samples ({samples}) — families missing?");
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/stats.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &page).expect("write golden");
+        eprintln!("regenerated {}", golden_path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("tests/golden/stats.prom exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        page, golden,
+        "Prometheus exposition drifted from tests/golden/stats.prom. Metric names and \
+         labels are public API — if the change is intentional, rerun with UPDATE_GOLDEN=1 \
+         and include the golden diff in review."
+    );
+}
