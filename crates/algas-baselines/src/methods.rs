@@ -138,7 +138,7 @@ impl CagraMethod {
             l,
             slots: batch_size,
             beam: BeamMode::Greedy,
-            entry: EntryPolicy::Hashed { seed: 0xCA62A },
+            entry_policy: EntryPolicy::Hashed { seed: 0xCA62A },
             ..Default::default()
         };
         Ok(Self { engine: AlgasEngine::new(index, cfg)?, batch_size })
@@ -197,7 +197,7 @@ impl GannsMethod {
             slots: batch_size,
             n_parallel: Some(1),
             beam: BeamMode::Greedy,
-            entry: EntryPolicy::Medoid,
+            entry_policy: EntryPolicy::Medoid,
             ..Default::default()
         };
         Ok(Self { engine: AlgasEngine::new(index, cfg)?, batch_size })

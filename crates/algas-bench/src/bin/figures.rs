@@ -9,6 +9,7 @@
 //! figures bench_serve [--scale S] [--out PATH]  # serving telemetry → BENCH_serve.json
 //! figures bench_quant [--scale S] [--out PATH]  # fp32 vs SQ8 → BENCH_quant.json
 //! figures bench_trace [--scale S] [--baseline P1[,P2]] [--from PATH] [--out PATH]  # recorder overhead → BENCH_trace.json
+//! figures bench_adaptive [--scale S] [--out PATH]  # entry policies + SLO control → BENCH_adaptive.json
 //! ```
 //!
 //! `--scale` scales the synthetic corpora (default 0.15 ≈ 9k vectors
@@ -63,7 +64,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|list|bench_distance|bench_build|bench_serve|bench_quant|\
-         bench_trace|<experiment-id>] [--scale S] [--out PATH] [--baseline P1[,P2]] [--from PATH]"
+         bench_trace|bench_adaptive|<experiment-id>] [--scale S] [--out PATH] \
+         [--baseline P1[,P2]] [--from PATH]"
     );
     std::process::exit(2);
 }
@@ -171,6 +173,14 @@ fn main() {
         algas_bench::quant_bench::run(
             args.scale,
             args.out.as_deref().unwrap_or("BENCH_quant.json"),
+        );
+        return;
+    }
+    if args.command == "bench_adaptive" {
+        // Entry-policy hops + SLO-controller benchmark: self-contained.
+        algas_bench::adaptive_bench::run(
+            args.scale,
+            args.out.as_deref().unwrap_or("BENCH_adaptive.json"),
         );
         return;
     }

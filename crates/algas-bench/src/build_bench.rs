@@ -107,7 +107,7 @@ pub fn run(scale: f64, out_path: &str) {
         l: 64,
         slots: 8,
         beam: BeamMode::Auto,
-        entry: EntryPolicy::Medoid,
+        entry_policy: EntryPolicy::Medoid,
         ..Default::default()
     };
     let mut relayouted = index.clone();

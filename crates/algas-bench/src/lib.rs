@@ -16,6 +16,7 @@
 //! cargo run --release -p algas-bench --bin figures -- fig10 --scale 0.2
 //! ```
 
+pub mod adaptive_bench;
 pub mod build_bench;
 pub mod cache;
 pub mod experiments;

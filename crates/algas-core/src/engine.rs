@@ -6,13 +6,14 @@
 //! and packages each query's timed work as
 //! [`algas_gpu_sim::QueryWork`] for the batching simulators.
 
+use crate::control::{ControlConfig, SloController};
 use crate::merge::{merge_topk_into, HostCostModel, MergeScratch};
 use crate::search::intra::IntraParams;
-use crate::search::multi::{search_multi_into, MultiParams, MultiResult, MultiScratch};
+use crate::search::multi::{search_multi_seeded_into, MultiParams, MultiResult, MultiScratch};
 use crate::search::{BeamParams, SearchContext};
-use crate::tuning::{tune, TuningError, TuningInput, TuningPlan};
+use crate::tuning::{tune, EffortLadder, EffortStep, TuningError, TuningInput, TuningPlan};
 use algas_gpu_sim::{CostModel, CtaWork, DeviceProps, QueryWork};
-use algas_graph::entry::{medoid, EntryPolicy};
+use algas_graph::entry::{medoid, EntryIndex, EntryParams, EntryPolicy};
 use algas_graph::{CagraBuilder, FixedDegreeGraph, GraphKind, NodePermutation, NswBuilder};
 use algas_vector::metric::DistValue;
 use algas_vector::{Metric, QuantizedStore, VectorStore};
@@ -37,6 +38,10 @@ pub struct AlgasIndex {
     /// Physical → original id map when the index has been relayouted
     /// (see [`AlgasIndex::relayout`]); `None` means ids are unpermuted.
     pub id_map: Option<NodePermutation>,
+    /// Index-time entry data (LSH bucket table + descent ladder) for
+    /// the smart entry policies; `None` means only the data-free
+    /// policies are available (they all degrade gracefully).
+    pub entry: Option<EntryIndex>,
 }
 
 impl AlgasIndex {
@@ -48,7 +53,16 @@ impl AlgasIndex {
     ) -> Self {
         let graph = NswBuilder::new(metric, params).build(&base);
         let medoid = medoid(&base, metric);
-        Self { base, quant: None, graph, metric, medoid, kind: GraphKind::Nsw, id_map: None }
+        Self {
+            base,
+            quant: None,
+            graph,
+            metric,
+            medoid,
+            kind: GraphKind::Nsw,
+            id_map: None,
+            entry: None,
+        }
     }
 
     /// Builds a CAGRA-style fixed out-degree index.
@@ -59,7 +73,16 @@ impl AlgasIndex {
     ) -> Self {
         let graph = CagraBuilder::new(metric, params).build(&base);
         let medoid = medoid(&base, metric);
-        Self { base, quant: None, graph, metric, medoid, kind: GraphKind::Cagra, id_map: None }
+        Self {
+            base,
+            quant: None,
+            graph,
+            metric,
+            medoid,
+            kind: GraphKind::Cagra,
+            id_map: None,
+            entry: None,
+        }
     }
 
     /// Wraps pre-built parts (e.g. graphs loaded from a cache).
@@ -74,7 +97,7 @@ impl AlgasIndex {
     ) -> Self {
         assert_eq!(base.len(), graph.len(), "graph/corpus size mismatch");
         let medoid = medoid(&base, metric);
-        Self { base, quant: None, graph, metric, medoid, kind, id_map: None }
+        Self { base, quant: None, graph, metric, medoid, kind, id_map: None, entry: None }
     }
 
     /// Relayouts the index for cache locality: renumbers nodes by a
@@ -98,6 +121,10 @@ impl AlgasIndex {
             Some(prev) => prev.compose(&perm),
             None => perm.clone(),
         });
+        // Entry data stores vertex ids; rebuilding over the permuted
+        // rows is both simpler and better than translating (bucket
+        // representatives stay deterministic for the new numbering).
+        self.rebuild_entry_index();
         perm
     }
 
@@ -125,9 +152,38 @@ impl AlgasIndex {
 
     /// Builds (or rebuilds) the SQ8 code mirror of `base`. Idempotent
     /// to call on an already-quantized index — the codes are derived
-    /// data and re-deriving them yields the same bytes.
+    /// data and re-deriving them yields the same bytes. An existing
+    /// entry index is rebuilt so its signatures match the store the
+    /// traversal will actually score.
     pub fn quantize(&mut self) {
         self.quant = Some(QuantizedStore::from_store(&self.base));
+        if self.entry.is_some() {
+            self.rebuild_entry_index();
+        }
+    }
+
+    /// Builds (or rebuilds) the index-time entry data — the LSH bucket
+    /// table and the descent ladder — enabling the data-backed entry
+    /// policies. Signatures are computed over the SQ8 codes when the
+    /// index is quantized (the store the traversal scores), else fp32.
+    pub fn build_entry_index(&mut self, params: &EntryParams) {
+        self.entry = Some(EntryIndex::build(&self.base, self.quant.as_ref(), self.metric, params));
+    }
+
+    /// Rebuilds the entry data with the parameters recoverable from the
+    /// existing structures (no-op when the index has none). Called
+    /// after operations that renumber or re-encode rows.
+    fn rebuild_entry_index(&mut self) {
+        let Some(e) = &self.entry else { return };
+        let params = match &e.hash {
+            Some(h) => EntryParams {
+                n_bits: Some(h.n_bits()),
+                reps_per_bucket: h.reps_per_bucket(),
+                seed: h.hasher().seed(),
+            },
+            None => EntryParams::default(),
+        };
+        self.build_entry_index(&params);
     }
 
     /// Corpus size.
@@ -162,8 +218,11 @@ pub struct EngineConfig {
     /// Beam extend on/off (`None` = greedy; `Some` overrides the
     /// tuner's trigger offset).
     pub beam: BeamMode,
-    /// Entry policy for the CTAs.
-    pub entry: EntryPolicy,
+    /// Entry policy for the CTAs. The data-backed policies
+    /// ([`EntryPolicy::HashTable`], [`EntryPolicy::Descent`]) make the
+    /// engine build the index's [`EntryIndex`] at construction if the
+    /// index doesn't already carry one.
+    pub entry_policy: EntryPolicy,
     /// Traverse on SQ8 quantized distances, then re-rank the pooled
     /// candidates with exact f32 distances (`Default` honors the
     /// `ALGAS_QUANTIZE` environment variable so CI can flip the whole
@@ -172,6 +231,14 @@ pub struct EngineConfig {
     /// Candidates re-ranked exactly per query when quantized; `None`
     /// means `2 * k`. Clamped to at least `k`.
     pub rerank_depth: Option<usize>,
+    /// Target p99 service latency in microseconds. `Some` arms the
+    /// online SLO controller: the serving runtime feeds completed-query
+    /// service spans back into the engine, which sheds search effort
+    /// (rerank depth, then parallel CTAs, then beam shape) one rung at
+    /// a time while the SLO is violated and restores it when latency
+    /// recovers. `None` keeps the static plan (the controller stays
+    /// inert at full effort).
+    pub slo_us: Option<u64>,
 }
 
 /// How beam extend is configured.
@@ -196,9 +263,10 @@ impl Default for EngineConfig {
             slots: 16,
             n_parallel: None,
             beam: BeamMode::Auto,
-            entry: EntryPolicy::Hashed { seed: 0xA16A5 },
+            entry_policy: EntryPolicy::Hashed { seed: 0xA16A5 },
             quantize: algas_vector::env::bool_flag("ALGAS_QUANTIZE"),
             rerank_depth: None,
+            slo_us: None,
         }
     }
 }
@@ -258,6 +326,8 @@ pub struct TracedSearch {
 pub struct SearchScratch {
     /// Multi-CTA state (shared bitmap, per-CTA lists and traces).
     pub multi: MultiScratch,
+    /// Per-CTA entry seeds resolved for the current query.
+    seed_buf: Vec<u32>,
     merge: MergeScratch,
     /// Final merged TopK of the most recent search, ascending.
     pub topk: Vec<(DistValue, u32)>,
@@ -286,6 +356,7 @@ pub struct AlgasEngine {
     cfg: EngineConfig,
     plan: TuningPlan,
     beam: Option<BeamParams>,
+    control: SloController,
 }
 
 impl AlgasEngine {
@@ -298,6 +369,11 @@ impl AlgasEngine {
         assert!(cfg.k > 0 && cfg.l >= cfg.k, "need 0 < k <= L");
         if cfg.quantize && index.quant.is_none() {
             index.quantize();
+        }
+        // A data-backed entry policy on an index without entry data
+        // (e.g. one loaded from a pre-v4 file): build it now, once.
+        if cfg.entry_policy.needs_entry_data() && index.entry.is_none() && !index.is_empty() {
+            index.build_entry_index(&EntryParams::default());
         }
         let mut input = TuningInput::new(cfg.device, cfg.slots, index.base.dim(), cfg.l, cfg.k);
         input.graph_degree = index.graph.degree();
@@ -332,7 +408,17 @@ impl AlgasEngine {
             }
             BeamMode::Manual(b) => Some(b),
         };
-        Ok(Self { index, cfg, plan, beam })
+        // The effort ladder starts at the static plan (rung 0) and
+        // relaxes only knobs the engine actually uses: rerank depth
+        // exists on the quantized path, beam shape whenever beaming.
+        let rerank =
+            index.quant.is_some().then(|| cfg.rerank_depth.unwrap_or(2 * cfg.k).max(cfg.k));
+        let ladder = EffortLadder::build(plan.n_parallel, beam, rerank, cfg.k);
+        let control = SloController::new(
+            cfg.slo_us.map(|us| ControlConfig::for_slo_ns(us.saturating_mul(1_000))),
+            ladder,
+        );
+        Ok(Self { index, cfg, plan, beam, control })
     }
 
     /// The tuner's decision.
@@ -350,20 +436,36 @@ impl AlgasEngine {
         &self.index
     }
 
-    /// Effective beam parameters (`None` = greedy).
+    /// Effective beam parameters of the static plan (`None` = greedy).
+    /// The SLO controller may be running at a cheaper rung right now;
+    /// see [`current_effort`](Self::current_effort).
     pub fn beam(&self) -> Option<BeamParams> {
         self.beam
     }
 
-    fn multi_params(&self) -> MultiParams {
+    /// The SLO controller (inert at full effort unless
+    /// [`EngineConfig::slo_us`] armed it).
+    pub fn controller(&self) -> &SloController {
+        &self.control
+    }
+
+    /// The effort configuration the next search will run at — the
+    /// static plan at controller level 0, a relaxed rung when the SLO
+    /// controller has shed effort.
+    #[inline]
+    pub fn current_effort(&self) -> EffortStep {
+        self.control.current()
+    }
+
+    fn multi_params_for(&self, step: EffortStep) -> MultiParams {
         MultiParams {
             intra: IntraParams {
                 l: self.cfg.l,
-                beam: self.beam,
+                beam: step.beam,
                 bitmap_in_shared: self.plan.n_parallel == 1,
             },
-            n_ctas: self.plan.n_parallel,
-            entry: self.cfg.entry,
+            n_ctas: step.n_ctas.clamp(1, self.plan.n_parallel),
+            entry: self.cfg.entry_policy,
         }
     }
 
@@ -378,20 +480,31 @@ impl AlgasEngine {
         self.index.quant.is_some()
     }
 
-    /// The effective exact-rerank pool depth (`>= k`; meaningful only
-    /// when [`quantized`](Self::quantized)).
+    /// The effective exact-rerank pool depth right now (`>= k`;
+    /// meaningful only when [`quantized`](Self::quantized)). Equals the
+    /// configured depth at controller level 0; a shedding SLO
+    /// controller halves it toward `k`.
     #[inline]
     pub fn rerank_depth(&self) -> usize {
-        self.cfg.rerank_depth.unwrap_or(2 * self.cfg.k).max(self.cfg.k)
+        self.rerank_depth_for(self.control.current())
+    }
+
+    #[inline]
+    fn rerank_depth_for(&self, step: EffortStep) -> usize {
+        if self.quantized() {
+            step.rerank_depth.max(self.cfg.k)
+        } else {
+            self.cfg.rerank_depth.unwrap_or(2 * self.cfg.k).max(self.cfg.k)
+        }
     }
 
     /// Per-CTA result-list length: `k` on the fp32 path, the (possibly
     /// `L`-capped) rerank depth on the quantized path, where each CTA
     /// over-fetches so the exact pass has a pool to re-rank.
     #[inline]
-    fn fetch_k(&self) -> usize {
+    fn fetch_k_for(&self, step: EffortStep) -> usize {
         if self.quantized() {
-            self.rerank_depth().min(self.cfg.l)
+            self.rerank_depth_for(step).min(self.cfg.l)
         } else {
             self.cfg.k
         }
@@ -409,6 +522,13 @@ impl AlgasEngine {
     /// the final TopK cut — so `scratch.topk` distances are always
     /// exact, whichever path ran.
     pub fn search_physical_into(&self, query: &[f32], query_id: u64, scratch: &mut SearchScratch) {
+        // One effort snapshot per query: a concurrent controller tick
+        // must not change knobs between the traversal and the merge.
+        let step = self.control.current();
+        self.resolve_seeds(query, query_id, &mut scratch.seed_buf);
+        // A shed CTA rung launches fewer walkers over the same seeds
+        // the full plan would have used first.
+        scratch.seed_buf.truncate(step.n_ctas.clamp(1, self.plan.n_parallel));
         match &self.index.quant {
             Some(quant) => {
                 let ctx = SearchContext::with_quantized(
@@ -418,18 +538,17 @@ impl AlgasEngine {
                     self.index.metric,
                     &self.cfg.cost,
                 );
-                search_multi_into(
+                search_multi_seeded_into(
                     ctx,
-                    self.multi_params(),
+                    self.multi_params_for(step),
                     query,
-                    query_id,
-                    self.index.medoid,
-                    self.fetch_k(),
+                    &scratch.seed_buf,
+                    self.fetch_k_for(step),
                     &mut scratch.multi,
                 );
                 merge_topk_into(
                     scratch.multi.per_cta(),
-                    self.rerank_depth(),
+                    self.rerank_depth_for(step),
                     &mut scratch.merge,
                     &mut scratch.pooled,
                 );
@@ -442,12 +561,11 @@ impl AlgasEngine {
                     self.index.metric,
                     &self.cfg.cost,
                 );
-                search_multi_into(
+                search_multi_seeded_into(
                     ctx,
-                    self.multi_params(),
+                    self.multi_params_for(step),
                     query,
-                    query_id,
-                    self.index.medoid,
+                    &scratch.seed_buf,
                     self.cfg.k,
                     &mut scratch.multi,
                 );
@@ -457,6 +575,40 @@ impl AlgasEngine {
                     &mut scratch.merge,
                     &mut scratch.topk,
                 );
+            }
+        }
+    }
+
+    /// Resolves this query's per-CTA entry seeds into `seeds`
+    /// (allocation-free after warmup). Data-backed policies consult the
+    /// index's [`EntryIndex`] — the query's LSH signature is computed
+    /// once here, not per CTA — and every policy degrades to its
+    /// data-free behavior when the index carries no entry data.
+    fn resolve_seeds(&self, query: &[f32], query_id: u64, seeds: &mut Vec<u32>) {
+        seeds.clear();
+        let policy = self.cfg.entry_policy;
+        let medoid = self.index.medoid;
+        match &self.index.entry {
+            Some(e) if policy.needs_entry_data() => {
+                let sig = e.hash.as_ref().map_or(0, |t| t.signature(query));
+                for c in 0..self.plan.n_parallel {
+                    seeds.push(e.seed_for(
+                        policy,
+                        sig,
+                        query,
+                        &self.index.base,
+                        self.index.metric,
+                        query_id,
+                        c as u32,
+                        medoid,
+                    ));
+                }
+            }
+            _ => {
+                let n = self.index.len();
+                for c in 0..self.plan.n_parallel {
+                    seeds.push(policy.entry_for(query_id, c as u32, n, medoid));
+                }
             }
         }
     }
@@ -552,7 +704,7 @@ impl AlgasEngine {
         let n_ctas = ctas.len();
         // Each CTA ships its whole fetch list (k, or the rerank pool
         // depth when quantized) back to the host.
-        let per_cta_k = self.fetch_k();
+        let per_cta_k = self.fetch_k_for(self.control.current());
         QueryWork {
             ctas,
             query_bytes: (dim * 4) as u64,

@@ -12,7 +12,10 @@
 //!   operation cost-traced against the simulated GPU.
 //! * [`merge`] — host-side TopK merging (the GPU-CPU cooperation).
 //! * [`tuning`] — the §IV-C adaptive tuner solving the residency and
-//!   shared-memory constraints.
+//!   shared-memory constraints, plus the [`tuning::EffortLadder`] of
+//!   progressively cheaper effort configurations derived from a plan.
+//! * [`control`] — the online SLO controller: feeds live service-span
+//!   p99s back into the effort ladder to hold a latency target.
 //! * [`engine`] — [`engine::AlgasEngine`]: index + tuner + traced
 //!   search + [`algas_gpu_sim::QueryWork`] production for the batching
 //!   simulators.
@@ -39,6 +42,7 @@
 //! assert_eq!(ids.len(), 8);
 //! ```
 
+pub mod control;
 pub mod engine;
 pub mod lists;
 pub mod merge;
@@ -50,6 +54,7 @@ pub mod state;
 pub mod tracer;
 pub mod tuning;
 
+pub use control::{ControlConfig, ControlDecision, ControlReason, ControlStats, SloController};
 pub use engine::{
     AlgasEngine, AlgasIndex, BeamMode, EngineConfig, RerankStats, TracedSearch, Workload,
 };
@@ -58,4 +63,4 @@ pub use obs::{Histogram, HistogramSnapshot, RuntimeStats};
 pub use runtime::{AlgasServer, RuntimeConfig, SearchReply, StatsSnapshot};
 pub use search::BeamParams;
 pub use state::{AtomicSlotState, SlotState};
-pub use tuning::{tune, TuningError, TuningInput, TuningPlan};
+pub use tuning::{tune, EffortLadder, EffortStep, TuningError, TuningInput, TuningPlan};

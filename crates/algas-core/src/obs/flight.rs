@@ -64,6 +64,11 @@ pub enum EventKind {
     /// Reply handed to the client channel, `Finish → Done` flip
     /// (`lane` = host).
     Delivered = 10,
+    /// The SLO controller changed or confirmed the effort level at a
+    /// tick triggered by this query's completion (`lane` = host, `a` =
+    /// new effort level, `b` = [`crate::control::ControlReason`] as
+    /// `u8`).
+    ControlAdjust = 11,
 }
 
 impl EventKind {
@@ -80,6 +85,7 @@ impl EventKind {
             EventKind::MergeBegin => "merge_begin",
             EventKind::MergeEnd => "merge_end",
             EventKind::Delivered => "delivered",
+            EventKind::ControlAdjust => "control_adjust",
         }
     }
 
@@ -96,6 +102,7 @@ impl EventKind {
             8 => EventKind::MergeBegin,
             9 => EventKind::MergeEnd,
             10 => EventKind::Delivered,
+            11 => EventKind::ControlAdjust,
             _ => return None,
         })
     }
@@ -713,6 +720,7 @@ mod tests {
             }
         }
         assert!(EventKind::from_u8(0).is_none());
-        assert!(EventKind::from_u8(11).is_none());
+        assert_eq!(EventKind::from_u8(11), Some(EventKind::ControlAdjust));
+        assert!(EventKind::from_u8(12).is_none());
     }
 }

@@ -108,6 +108,9 @@ mod enabled {
         reranks: Counter,
         rerank_candidates: Counter,
         rerank_promotions: Counter,
+        // Entry quality: summed best entry distance (milli-units, so
+        // the counter stays integral) over this worker's queries.
+        entry_dist_milli: Counter,
     }
 
     #[derive(Default)]
@@ -229,6 +232,10 @@ mod enabled {
             multi: &crate::search::multi::MultiScratch,
         ) {
             self.record_search_totals(w, s, &multi.step_totals());
+            if let Some(d) = multi.entry_distance() {
+                // Milli-unit fixed point keeps the cell a plain counter.
+                self.workers[w].entry_dist_milli.add((f64::from(d) * 1e3) as u64);
+            }
         }
 
         /// [`RuntimeObs::record_search`] with pre-aggregated totals.
@@ -435,6 +442,8 @@ mod enabled {
                     promotions: c.rerank_promotions.get(),
                 });
             }
+            out.entry_dist_milli_total =
+                self.workers.iter().map(|c| c.entry_dist_milli.get()).sum();
             out.merge = MergeStats::default();
             for c in &self.hosts {
                 out.merge.merge(&MergeStats {

@@ -18,6 +18,7 @@ use super::flight::FlightTotals;
 use super::hist::HistogramSnapshot;
 use super::json::{obj, Value};
 use super::prom::PromWriter;
+use crate::control::ControlStats;
 use crate::engine::RerankStats;
 use crate::merge::MergeStats;
 use crate::tracer::StepTotals;
@@ -143,6 +144,13 @@ pub struct RuntimeStats {
     pub search: StepTotals,
     /// SQ8 exact-rerank totals (all zero on fp32 engines).
     pub rerank: RerankStats,
+    /// Summed best-entry distance over all searched queries, in
+    /// milli-units (fixed point so the hot-path cell stays a plain
+    /// counter). Divide by queries for the mean entry distance — the
+    /// gauge the smart entry policies exist to shrink.
+    pub entry_dist_milli_total: u64,
+    /// SLO controller state (all zero / `init` when no SLO is set).
+    pub control: ControlStats,
     /// Host-side merge totals.
     pub merge: MergeStats,
     /// Flight-recorder totals (completions examined, events written,
@@ -161,6 +169,33 @@ impl RuntimeStats {
             per_host: vec![HostStats::default(); n_host_threads],
             per_slot: vec![SlotStats::default(); n_slots],
             ..Self::default()
+        }
+    }
+
+    /// Total queries searched across workers.
+    pub fn queries_searched(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.queries).sum()
+    }
+
+    /// Mean CTA search steps ("hops") per searched query — the figure
+    /// of merit for entry selection (0.0 before any query).
+    pub fn hops_per_query(&self) -> f64 {
+        let q = self.queries_searched();
+        if q == 0 {
+            0.0
+        } else {
+            self.search.steps as f64 / q as f64
+        }
+    }
+
+    /// Mean best-entry distance per searched query (0.0 before any
+    /// query).
+    pub fn mean_entry_distance(&self) -> f64 {
+        let q = self.queries_searched();
+        if q == 0 {
+            0.0
+        } else {
+            self.entry_dist_milli_total as f64 / 1e3 / q as f64
         }
     }
 
@@ -282,8 +317,11 @@ impl RuntimeStats {
                     ("calc_cycles", Value::Uint(self.search.calc_cycles)),
                     ("sort_cycles", Value::Uint(self.search.sort_cycles)),
                     ("other_cycles", Value::Uint(self.search.other_cycles)),
+                    ("entry_dist_milli_total", Value::Uint(self.entry_dist_milli_total)),
                     // Derived; emitted for consumers, ignored on parse.
                     ("sort_fraction", Value::Num(self.search.sort_fraction())),
+                    ("hops_per_query", Value::Num(self.hops_per_query())),
+                    ("mean_entry_distance", Value::Num(self.mean_entry_distance())),
                 ]),
             ),
             (
@@ -308,6 +346,25 @@ impl RuntimeStats {
                     ("completions", Value::Uint(self.flight.completions)),
                     ("events", Value::Uint(self.flight.events)),
                     ("retained", Value::Uint(self.flight.retained)),
+                ]),
+            ),
+            (
+                "control",
+                obj(vec![
+                    ("enabled", Value::Bool(self.control.enabled)),
+                    ("slo_ns", Value::Uint(self.control.slo_ns)),
+                    ("level", Value::Uint(u64::from(self.control.level))),
+                    ("max_level", Value::Uint(u64::from(self.control.max_level))),
+                    ("beam_width", Value::Uint(self.control.beam_width)),
+                    ("offset_beam", Value::Uint(self.control.offset_beam)),
+                    ("rerank_depth", Value::Uint(self.control.rerank_depth)),
+                    ("n_ctas", Value::Uint(self.control.n_ctas)),
+                    ("ticks", Value::Uint(self.control.ticks)),
+                    ("sheds", Value::Uint(self.control.sheds)),
+                    ("restores", Value::Uint(self.control.restores)),
+                    ("holds", Value::Uint(self.control.holds)),
+                    ("last_p99_ns", Value::Uint(self.control.last_p99_ns)),
+                    ("last_reason", Value::Str(self.control.last_reason.clone())),
                 ]),
             ),
         ]);
@@ -400,6 +457,9 @@ impl RuntimeStats {
             sort_cycles: u(search, "sort_cycles")?,
             other_cycles: u(search, "other_cycles")?,
         };
+        // Absent in snapshots written before entry telemetry existed.
+        out.entry_dist_milli_total =
+            search.get("entry_dist_milli_total").and_then(Value::as_u64).unwrap_or(0);
         // Absent in snapshots written before the SQ8 subsystem existed;
         // those parse with zeroed rerank totals.
         if let Some(rerank) = doc.get("rerank") {
@@ -422,6 +482,31 @@ impl RuntimeStats {
                 completions: u(flight, "completions")?,
                 events: u(flight, "events")?,
                 retained: u(flight, "retained")?,
+            };
+        }
+        // Absent in snapshots written before the SLO controller
+        // existed; those parse with the inert default.
+        if let Some(c) = doc.get("control") {
+            out.control = ControlStats {
+                enabled: matches!(c.get("enabled"), Some(Value::Bool(true))),
+                slo_ns: u(c, "slo_ns")?,
+                level: u(c, "level")? as u32,
+                max_level: u(c, "max_level")? as u32,
+                beam_width: u(c, "beam_width")?,
+                offset_beam: u(c, "offset_beam")?,
+                rerank_depth: u(c, "rerank_depth")?,
+                // Absent before the CTA-shedding rungs existed.
+                n_ctas: if c.get("n_ctas").is_some() { u(c, "n_ctas")? } else { 0 },
+                ticks: u(c, "ticks")?,
+                sheds: u(c, "sheds")?,
+                restores: u(c, "restores")?,
+                holds: u(c, "holds")?,
+                last_p99_ns: u(c, "last_p99_ns")?,
+                last_reason: c
+                    .get("last_reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("init")
+                    .to_string(),
             };
         }
         Ok(out)
@@ -588,6 +673,14 @@ impl RuntimeStats {
         }
         w.family("algas_search_sort_fraction", "gauge", "Fraction of cycles spent sorting.")
             .sample("algas_search_sort_fraction", &[], self.search.sort_fraction());
+        w.family(
+            "algas_search_hops_per_query",
+            "gauge",
+            "Mean CTA search steps per query (entry-selection figure of merit).",
+        )
+        .sample("algas_search_hops_per_query", &[], self.hops_per_query());
+        w.family("algas_entry_distance_mean", "gauge", "Mean best-entry distance per query.")
+            .sample("algas_entry_distance_mean", &[], self.mean_entry_distance());
         for (name, help, v) in [
             ("algas_rerank_total", "SQ8 exact-rerank passes.", self.rerank.reranks),
             (
@@ -618,6 +711,59 @@ impl RuntimeStats {
         }
         w.family("algas_flight_retained", "gauge", "Query traces currently retained.")
             .scalar("algas_flight_retained", self.flight.retained);
+        for (name, help, v) in [
+            (
+                "algas_control_enabled",
+                "1 when an SLO is configured and the controller is live.",
+                u64::from(self.control.enabled),
+            ),
+            ("algas_control_slo_ns", "Configured p99 service-latency target.", self.control.slo_ns),
+            (
+                "algas_control_level",
+                "Current effort level (0 = full effort).",
+                u64::from(self.control.level),
+            ),
+            (
+                "algas_control_max_level",
+                "Cheapest effort level available.",
+                u64::from(self.control.max_level),
+            ),
+            (
+                "algas_control_beam_width",
+                "Current beam width (0 = greedy).",
+                self.control.beam_width,
+            ),
+            (
+                "algas_control_offset_beam",
+                "Current diffusing-switch offset (0 = greedy).",
+                self.control.offset_beam,
+            ),
+            (
+                "algas_control_rerank_depth",
+                "Current exact-rerank pool depth.",
+                self.control.rerank_depth,
+            ),
+            (
+                "algas_control_n_ctas",
+                "Parallel CTAs per query at the current rung.",
+                self.control.n_ctas,
+            ),
+            (
+                "algas_control_last_p99_ns",
+                "Window p99 at the last controller tick.",
+                self.control.last_p99_ns,
+            ),
+        ] {
+            w.family(name, "gauge", help).scalar(name, v);
+        }
+        for (name, help, v) in [
+            ("algas_control_ticks_total", "Controller ticks run.", self.control.ticks),
+            ("algas_control_sheds_total", "Ticks that shed effort.", self.control.sheds),
+            ("algas_control_restores_total", "Ticks that restored effort.", self.control.restores),
+            ("algas_control_holds_total", "Ticks that held the level.", self.control.holds),
+        ] {
+            w.family(name, "counter", help).scalar(name, v);
+        }
         w.finish()
     }
 
@@ -689,6 +835,23 @@ mod tests {
             other_cycles: 10_000,
         };
         s.rerank = RerankStats { reranks: 38, candidates: 760, promotions: 12 };
+        s.entry_dist_milli_total = 41_230;
+        s.control = ControlStats {
+            enabled: true,
+            slo_ns: 2_000_000,
+            level: 2,
+            max_level: 5,
+            beam_width: 16,
+            offset_beam: 2,
+            rerank_depth: 24,
+            n_ctas: 4,
+            ticks: 9,
+            sheds: 3,
+            restores: 1,
+            holds: 5,
+            last_p99_ns: 1_900_000,
+            last_reason: "hold".to_string(),
+        };
         s.merge = MergeStats { merges: 38, elements: 300, dupes_dropped: 4 };
         s.flight = FlightTotals { completions: 38, events: 410, retained: 5 };
         s
@@ -729,6 +892,14 @@ mod tests {
         assert_eq!(find("algas_flight_completions_total").value, 38.0);
         assert_eq!(find("algas_flight_events_total").value, 410.0);
         assert_eq!(find("algas_flight_retained").value, 5.0);
+        assert_eq!(find("algas_control_enabled").value, 1.0);
+        assert_eq!(find("algas_control_level").value, 2.0);
+        assert_eq!(find("algas_control_sheds_total").value, 3.0);
+        assert_eq!(find("algas_control_last_p99_ns").value, 1_900_000.0);
+        let hops = find("algas_search_hops_per_query").value;
+        assert!((hops - s.hops_per_query()).abs() < 1e-12);
+        let ed = find("algas_entry_distance_mean").value;
+        assert!((ed - s.mean_entry_distance()).abs() < 1e-12);
         let w1 = samples
             .iter()
             .find(|x| x.name == "algas_worker_queries_total" && x.label("worker") == Some("1"))

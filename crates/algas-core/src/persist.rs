@@ -12,10 +12,11 @@ use std::path::Path;
 const INDEX_MAGIC: u32 = 0x414C_4958; // "ALIX"
 /// Format 2 appends a node-permutation section (the relayout id-map)
 /// after the graph; format 3 appends an SQ8 code section (scales,
-/// offsets, code rows) after that. Both optional sections use a
-/// zero length to mean "absent", so format-1 and format-2 files are
-/// still read.
-const FORMAT_VERSION: u32 = 3;
+/// offsets, code rows) after that; format 4 appends an entry-index
+/// section (the LSH bucket table and descent ladder for the smart
+/// entry policies). Every optional section uses a zero length to mean
+/// "absent", so format-1 through format-3 files are still read.
+const FORMAT_VERSION: u32 = 4;
 /// Oldest format this build still reads.
 const OLDEST_READABLE_VERSION: u32 = 1;
 
@@ -25,7 +26,8 @@ pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
     let graph_blob = algas_graph::binary::encode_graph(&index.graph);
     let perm_blob = index.id_map.as_ref().map(algas_graph::binary::encode_permutation);
     let quant_blob = index.quant.as_ref().map(algas_vector::binary::encode_quantized);
-    let mut header = BytesMut::with_capacity(48);
+    let entry_blob = index.entry.as_ref().map(algas_graph::binary::encode_entry_index);
+    let mut header = BytesMut::with_capacity(56);
     header.put_u32_le(INDEX_MAGIC);
     header.put_u32_le(FORMAT_VERSION);
     header.put_u8(match index.metric {
@@ -43,6 +45,8 @@ pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
     header.put_u64_le(perm_blob.as_ref().map_or(0, |b| b.len() as u64));
     // Zero-length section = index was never quantized.
     header.put_u64_le(quant_blob.as_ref().map_or(0, |b| b.len() as u64));
+    // Zero-length section = index carries no entry data.
+    header.put_u64_le(entry_blob.as_ref().map_or(0, |b| b.len() as u64));
     w.write_all(&header)?;
     w.write_all(&store_blob)?;
     w.write_all(&graph_blob)?;
@@ -52,10 +56,13 @@ pub fn write_index<W: Write>(mut w: W, index: &AlgasIndex) -> io::Result<()> {
     if let Some(blob) = quant_blob {
         w.write_all(&blob)?;
     }
+    if let Some(blob) = entry_blob {
+        w.write_all(&blob)?;
+    }
     Ok(())
 }
 
-/// Deserializes an index from a reader (accepts formats 1 through 3).
+/// Deserializes an index from a reader (accepts formats 1 through 4).
 pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     let mut header = [0u8; 30];
     r.read_exact(&mut header)?;
@@ -97,6 +104,13 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     } else {
         0
     };
+    let entry_len = if version >= 4 {
+        let mut ext = [0u8; 8];
+        r.read_exact(&mut ext).map_err(|_| invalid("truncated v4 header"))?;
+        u64::from_le_bytes(ext) as usize
+    } else {
+        0
+    };
 
     let mut store_blob = vec![0u8; store_len];
     r.read_exact(&mut store_blob).map_err(|_| invalid("truncated corpus section"))?;
@@ -133,7 +147,14 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<AlgasIndex> {
     } else {
         None
     };
-    Ok(AlgasIndex { base, quant, graph, metric, medoid, kind, id_map })
+    let entry = if entry_len > 0 {
+        let mut entry_blob = vec![0u8; entry_len];
+        r.read_exact(&mut entry_blob).map_err(|_| invalid("truncated entry section"))?;
+        Some(algas_graph::binary::decode_entry_index(&entry_blob, base.len())?)
+    } else {
+        None
+    };
+    Ok(AlgasIndex { base, quant, graph, metric, medoid, kind, id_map, entry })
 }
 
 impl AlgasIndex {
@@ -279,6 +300,53 @@ mod tests {
     }
 
     #[test]
+    fn entry_index_roundtrips_through_v4() {
+        let mut index = sample_index();
+        index.quantize();
+        index.build_entry_index(&algas_graph::entry::EntryParams::default());
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let back = read_index(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.entry, index.entry);
+        assert_eq!(back.quant, index.quant);
+        assert_eq!(back.base, index.base);
+        // The loaded table resolves the same entry seeds.
+        let (e, b) = (index.entry.as_ref().unwrap(), back.entry.as_ref().unwrap());
+        let t = e.hash.as_ref().unwrap();
+        let bt = b.hash.as_ref().unwrap();
+        for sig in 0..t.hasher().n_buckets() as u32 {
+            assert_eq!(t.seed_for(sig, 0), bt.seed_for(sig, 0));
+        }
+    }
+
+    #[test]
+    fn reads_format_v3_files_without_entry_section() {
+        // Hand-build a v3 file: v4 layout minus the entry-length field.
+        let mut index = sample_index();
+        index.quantize();
+        let store_blob = algas_vector::binary::encode_store(&index.base);
+        let graph_blob = algas_graph::binary::encode_graph(&index.graph);
+        let quant_blob = algas_vector::binary::encode_quantized(index.quant.as_ref().unwrap());
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(INDEX_MAGIC);
+        buf.put_u32_le(3);
+        buf.put_u8(1); // cosine
+        buf.put_u8(1); // cagra
+        buf.put_u32_le(index.medoid);
+        buf.put_u64_le(store_blob.len() as u64);
+        buf.put_u64_le(graph_blob.len() as u64);
+        buf.put_u64_le(0); // never relayouted
+        buf.put_u64_le(quant_blob.len() as u64);
+        buf.extend_from_slice(&store_blob);
+        buf.extend_from_slice(&graph_blob);
+        buf.extend_from_slice(&quant_blob);
+        let back = read_index(std::io::Cursor::new(buf.to_vec())).unwrap();
+        assert!(back.entry.is_none());
+        assert_eq!(back.quant, index.quant);
+        assert_eq!(back.graph, index.graph);
+    }
+
+    #[test]
     fn rejects_corruption() {
         let index = sample_index();
         let mut buf = Vec::new();
@@ -297,7 +365,7 @@ mod tests {
         let err = read_index(std::io::Cursor::new(vers)).unwrap_err();
         let msg = err.to_string();
         assert!(
-            msg.contains("version 99") && msg.contains("1 through 3"),
+            msg.contains("version 99") && msg.contains("1 through 4"),
             "version error should name the readable range, got: {msg}"
         );
         // Truncated quantization section.

@@ -302,6 +302,10 @@ impl AlgasServer {
             .filter(|s| matches!(s.state.load(), SlotState::Work | SlotState::Finish))
             .count() as u64;
         self.shared.obs.populate(&mut out);
+        // The controller lives in the engine, not the recorder; the
+        // server stamps its state in so every exposition surface
+        // (JSON, Prometheus, `algas stats`) carries the control rung.
+        out.control = self.shared.engine.controller().stats();
         out
     }
 
@@ -563,6 +567,19 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                     shared.stats.service_ns_total.fetch_add(service_ns, Ordering::Relaxed);
                     shared.stats.max_service_ns.fetch_max(service_ns, Ordering::Relaxed);
+                    // Feed the SLO controller the submit→reply span it
+                    // regulates. When a cadence tick fires, stamp the
+                    // decision into this slot's flight ring before the
+                    // delivery events close the query's window.
+                    if let Some(d) = shared.engine.controller().observe(service_ns) {
+                        shared.obs.flight_record(
+                            s,
+                            obs::flight::EventKind::ControlAdjust,
+                            first as u32,
+                            d.level,
+                            d.reason as u32,
+                        );
+                    }
                     // Telemetry lands before the reply too, so a client
                     // observing its reply sees its query fully recorded
                     // (the delivery stamp marks the send boundary).
@@ -673,7 +690,7 @@ mod tests {
             l: 32,
             slots: 4,
             beam: BeamMode::Auto,
-            entry: algas_graph::EntryPolicy::Medoid,
+            entry_policy: algas_graph::EntryPolicy::Medoid,
             ..Default::default()
         };
         let oracle = AlgasEngine::new(index.clone(), cfg).unwrap();
@@ -913,6 +930,62 @@ mod tests {
         let stats = server.runtime_stats();
         assert_eq!(stats.flight.completions, 6);
         assert!(stats.flight.retained >= traces.len() as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slo_controller_sheds_under_an_impossible_target() {
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        // Quantized engine: the effort ladder has rerank rungs to shed.
+        // A 1 µs SLO is unreachable, so every tick must shed until the
+        // ladder saturates — never restore.
+        let cfg = EngineConfig {
+            k: 8,
+            l: 32,
+            slots: 2,
+            beam: BeamMode::Auto,
+            quantize: true,
+            slo_us: Some(1),
+            ..Default::default()
+        };
+        let engine = AlgasEngine::new(index, cfg).unwrap();
+        assert!(engine.controller().enabled(), "quantized + slo => active controller");
+        let tick_every = engine.controller().config().tick_every;
+        let server = AlgasServer::start(
+            engine,
+            RuntimeConfig {
+                n_slots: 2,
+                n_workers: 1,
+                n_host_threads: 1,
+                queue_capacity: 256,
+                ..Default::default()
+            },
+        );
+        for i in 0..(3 * tick_every as usize) {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        let s = server.runtime_stats();
+        assert!(s.control.enabled);
+        assert!(s.control.ticks >= 2, "completions must drive cadence ticks");
+        assert!(s.control.sheds >= 1, "an impossible SLO must shed effort");
+        assert_eq!(s.control.restores, 0);
+        assert!(s.control.level >= 1);
+        assert!(s.control.last_p99_ns > 1_000, "p99 of real service spans");
+        server.shutdown();
+    }
+
+    #[test]
+    fn controller_stays_inert_without_an_slo() {
+        let (server, ds, _) = test_server(4, 2, 1);
+        for i in 0..80 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        let s = server.runtime_stats();
+        assert!(!s.control.enabled);
+        assert_eq!((s.control.level, s.control.ticks, s.control.sheds), (0, 0, 0));
         server.shutdown();
     }
 

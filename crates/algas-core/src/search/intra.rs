@@ -99,6 +99,14 @@ impl CtaScratch {
         self.diffusing_switch_step
     }
 
+    /// Distance from the query to this CTA's entry vertex in the most
+    /// recent search (the seed step's recorded distance); `None` before
+    /// any search. Entry policies are judged by how small they make
+    /// this.
+    pub fn entry_distance(&self) -> Option<f32> {
+        self.trace.steps.first().map(|s| s.best_distance)
+    }
+
     /// Resets for a fresh search with candidate-list capacity `l`,
     /// keeping every allocation.
     fn reset(&mut self, l: usize) {

@@ -77,6 +77,17 @@ impl MultiScratch {
         totals
     }
 
+    /// Distance from the query to its best entry point in the most
+    /// recent search: the minimum over active CTAs of the seed step's
+    /// recorded distance. A direct read on entry quality — smart entry
+    /// policies exist to shrink this. `None` before any search.
+    /// Allocation-free.
+    pub fn entry_distance(&self) -> Option<f32> {
+        (0..self.n_active)
+            .filter_map(|c| self.ctas[c].entry_distance())
+            .fold(None, |acc: Option<f32>, d| Some(acc.map_or(d, |a| a.min(d))))
+    }
+
     /// Moves the buffered results out into an owned [`MultiResult`],
     /// leaving the scratch reusable (compat path; allocates).
     pub fn take_result(&mut self) -> MultiResult {
@@ -152,6 +163,40 @@ pub fn search_multi_into(
     k: usize,
     scratch: &mut MultiScratch,
 ) {
+    let n = ctx.base.len();
+    run_multi(ctx, params, query, k, scratch, |c| {
+        params.entry.entry_for(query_id, c as u32, n, medoid)
+    });
+}
+
+/// [`search_multi_into`] with the per-CTA entry points resolved by the
+/// caller — the hook the engine's index-backed entry policies (LSH
+/// bucket table, descent ladder) use to seed the CTAs. `seeds[c]` is
+/// CTA `c`'s entry vertex; `params.entry` is ignored.
+///
+/// # Panics
+/// Panics if `seeds.len() != params.n_ctas`, `n_ctas == 0` or
+/// `k > intra.l`.
+pub fn search_multi_seeded_into(
+    ctx: SearchContext<'_>,
+    params: MultiParams,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    scratch: &mut MultiScratch,
+) {
+    assert_eq!(seeds.len(), params.n_ctas, "one entry seed per CTA");
+    run_multi(ctx, params, query, k, scratch, |c| seeds[c]);
+}
+
+fn run_multi(
+    ctx: SearchContext<'_>,
+    params: MultiParams,
+    query: &[f32],
+    k: usize,
+    scratch: &mut MultiScratch,
+    seed_of: impl Fn(usize) -> u32,
+) {
     assert!(params.n_ctas > 0, "need at least one CTA");
     assert!(k <= params.intra.l, "k={k} exceeds candidate list capacity {}", params.intra.l);
     let n = ctx.base.len();
@@ -181,7 +226,8 @@ pub fn search_multi_into(
     // scratch, so the round-robin loop below re-attaches per step
     // instead of holding N simultaneous searches.
     for (c, cta) in scratch.ctas[..params.n_ctas].iter_mut().enumerate() {
-        let entry = params.entry.entry_for(query_id, c as u32, n, medoid);
+        let entry = seed_of(c);
+        debug_assert!((entry as usize) < n, "entry seed {entry} out of range for corpus {n}");
         let _ = CtaSearch::new(ctx, intra, query, entry, shared_visited, cta);
     }
 

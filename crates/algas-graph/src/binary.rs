@@ -1,13 +1,21 @@
-//! Canonical binary serialization of [`FixedDegreeGraph`] and
-//! [`NodePermutation`].
+//! Canonical binary serialization of [`FixedDegreeGraph`],
+//! [`NodePermutation`], and [`EntryIndex`].
 
 use crate::csr::{FixedDegreeGraph, INVALID_ID};
+use crate::entry::{DescentLadder, EntryIndex, HashEntryTable, NO_ENTRY};
 use crate::layout::NodePermutation;
+use algas_vector::lsh::{HyperplaneHasher, MAX_SIGNATURE_BITS};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io;
 
 const GRAPH_MAGIC: u32 = 0x414C_4752; // "ALGR"
 const PERM_MAGIC: u32 = 0x414C_504D; // "ALPM"
+const ENTRY_MAGIC: u32 = 0x414C_4554; // "ALET"
+
+/// Presence flag for the hash table part of an entry blob.
+const ENTRY_HAS_HASH: u8 = 1;
+/// Presence flag for the descent-ladder part of an entry blob.
+const ENTRY_HAS_LADDER: u8 = 2;
 
 /// Serializes a graph (including padding slots, so the roundtrip is
 /// exact).
@@ -88,6 +96,138 @@ pub fn decode_permutation(mut data: &[u8]) -> io::Result<NodePermutation> {
     Ok(NodePermutation::from_new_to_old(new_to_old))
 }
 
+/// Serializes an [`EntryIndex`]: a presence byte, then the hash table
+/// (hyperplanes + representative table) and the descent ladder, each
+/// length-free (shapes are fully determined by the header fields).
+pub fn encode_entry_index(entry: &EntryIndex) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(ENTRY_MAGIC);
+    let mut flags = 0u8;
+    if entry.hash.is_some() {
+        flags |= ENTRY_HAS_HASH;
+    }
+    if entry.ladder.is_some() {
+        flags |= ENTRY_HAS_LADDER;
+    }
+    buf.put_u8(flags);
+    if let Some(t) = &entry.hash {
+        let h = t.hasher();
+        buf.put_u32_le(h.n_bits());
+        buf.put_u32_le(t.reps_per_bucket());
+        buf.put_u32_le(h.dim() as u32);
+        buf.put_u64_le(h.seed());
+        for &p in h.planes() {
+            buf.put_f32_le(p);
+        }
+        for &r in t.reps() {
+            buf.put_u32_le(r);
+        }
+    }
+    if let Some(l) = &entry.ladder {
+        buf.put_u64_le(l.top().len() as u64);
+        buf.put_u64_le(l.mid().len() as u64);
+        for &v in l.top() {
+            buf.put_u32_le(v);
+        }
+        for &v in l.mid() {
+            buf.put_u32_le(v);
+        }
+        for &s in l.child_start() {
+            buf.put_u32_le(s);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes an [`EntryIndex`] over a corpus of `n` vertices;
+/// rejects wrong magic, truncation, malformed shapes, and vertex ids
+/// outside the corpus.
+pub fn decode_entry_index(mut data: &[u8], n: usize) -> io::Result<EntryIndex> {
+    if data.remaining() < 5 || data.get_u32_le() != ENTRY_MAGIC {
+        return Err(invalid("not an entry-index blob"));
+    }
+    let flags = data.get_u8();
+    if flags & !(ENTRY_HAS_HASH | ENTRY_HAS_LADDER) != 0 {
+        return Err(invalid("entry-index blob has unknown sections"));
+    }
+    let hash = if flags & ENTRY_HAS_HASH != 0 {
+        if data.remaining() < 20 {
+            return Err(invalid("entry-index blob truncated"));
+        }
+        let n_bits = data.get_u32_le();
+        let rpb = data.get_u32_le() as usize;
+        let dim = data.get_u32_le() as usize;
+        let seed = data.get_u64_le();
+        if n_bits == 0 || n_bits > MAX_SIGNATURE_BITS || rpb == 0 || dim == 0 {
+            return Err(invalid("entry-index hash table has a malformed shape"));
+        }
+        let n_buckets = 1usize << n_bits;
+        let plane_len = n_bits as usize * dim;
+        if data.remaining() < plane_len * 4 + n_buckets * rpb * 4 {
+            return Err(invalid("entry-index blob truncated"));
+        }
+        let mut planes = Vec::with_capacity(plane_len);
+        for _ in 0..plane_len {
+            planes.push(data.get_f32_le());
+        }
+        let mut reps = Vec::with_capacity(n_buckets * rpb);
+        for _ in 0..n_buckets * rpb {
+            let r = data.get_u32_le();
+            if r != NO_ENTRY && r as usize >= n {
+                return Err(invalid("entry-index representative out of range"));
+            }
+            reps.push(r);
+        }
+        let hasher = HyperplaneHasher::from_parts(dim, n_bits, seed, planes);
+        Some(HashEntryTable::from_parts(hasher, reps, rpb as u32))
+    } else {
+        None
+    };
+    let ladder = if flags & ENTRY_HAS_LADDER != 0 {
+        if data.remaining() < 16 {
+            return Err(invalid("entry-index blob truncated"));
+        }
+        let n_top = data.get_u64_le() as usize;
+        let n_mid = data.get_u64_le() as usize;
+        if n_top == 0 || n_top > DescentLadder::TOP_CAP || n_mid < n_top {
+            return Err(invalid("entry-index ladder has a malformed shape"));
+        }
+        if data.remaining() != (n_top + n_mid + n_top + 1) * 4 {
+            return Err(invalid("entry-index blob truncated"));
+        }
+        let read_ids = |data: &mut &[u8], count: usize| -> io::Result<Vec<u32>> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let v = data.get_u32_le();
+                if v as usize >= n {
+                    return Err(invalid("entry-index pivot out of range"));
+                }
+                out.push(v);
+            }
+            Ok(out)
+        };
+        let top = read_ids(&mut data, n_top)?;
+        let mid = read_ids(&mut data, n_mid)?;
+        let mut child_start = Vec::with_capacity(n_top + 1);
+        for _ in 0..n_top + 1 {
+            child_start.push(data.get_u32_le());
+        }
+        if child_start[0] != 0
+            || *child_start.last().unwrap() as usize != n_mid
+            || child_start.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(invalid("entry-index ladder boundaries are inconsistent"));
+        }
+        Some(DescentLadder::from_parts(top, mid, child_start))
+    } else {
+        None
+    };
+    if data.remaining() > 0 {
+        return Err(invalid("entry-index blob has trailing bytes"));
+    }
+    Ok(EntryIndex { hash, ladder })
+}
+
 fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
@@ -128,6 +268,49 @@ mod tests {
         buf.put_u32_le(1);
         buf.put_u32_le(1); // old id 1 mapped twice
         assert!(decode_permutation(&buf).is_err());
+    }
+
+    #[test]
+    fn entry_index_roundtrips() {
+        use crate::entry::EntryParams;
+        use algas_vector::datasets::DatasetSpec;
+        use algas_vector::Metric;
+        let base = DatasetSpec::tiny(300, 8, Metric::L2, 0x77).generate().base;
+        let params = EntryParams { n_bits: Some(5), ..EntryParams::default() };
+        let e = EntryIndex::build(&base, None, Metric::L2, &params);
+        let blob = encode_entry_index(&e);
+        assert_eq!(decode_entry_index(&blob, base.len()).unwrap(), e);
+        // Hash-only and ladder-only blobs roundtrip too.
+        let hash_only = EntryIndex { hash: e.hash.clone(), ladder: None };
+        let blob = encode_entry_index(&hash_only);
+        assert_eq!(decode_entry_index(&blob, base.len()).unwrap(), hash_only);
+        let ladder_only = EntryIndex { hash: None, ladder: e.ladder.clone() };
+        let blob = encode_entry_index(&ladder_only);
+        assert_eq!(decode_entry_index(&blob, base.len()).unwrap(), ladder_only);
+    }
+
+    #[test]
+    fn entry_index_rejects_bad_blobs() {
+        use crate::entry::EntryParams;
+        use algas_vector::datasets::DatasetSpec;
+        use algas_vector::Metric;
+        assert!(decode_entry_index(&[1, 2, 3], 10).is_err());
+        let base = DatasetSpec::tiny(200, 6, Metric::L2, 0x78).generate().base;
+        let params = EntryParams { n_bits: Some(4), ..EntryParams::default() };
+        let e = EntryIndex::build(&base, None, Metric::L2, &params);
+        let good = encode_entry_index(&e).to_vec();
+        // Truncation.
+        assert!(decode_entry_index(&good[..good.len() - 2], base.len()).is_err());
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_entry_index(&bad, base.len()).is_err());
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_entry_index(&long, base.len()).is_err());
+        // Representatives referencing a smaller corpus are rejected.
+        assert!(decode_entry_index(&good, 3).is_err());
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //!   layers act as a smart entry selector.
 //!
 //! Entry-point selection for single- and multi-CTA search lives in
-//! [`entry`], and [`stats`] computes degree / reachability statistics
-//! used by the motivation figures.
+//! [`entry`] — the stateless policies plus the index-time
+//! [`entry::EntryIndex`] (LSH bucket table and descent ladder) — and
+//! [`stats`] computes degree / reachability statistics used by the
+//! motivation figures.
 
 pub mod binary;
 pub mod cagra;
@@ -39,7 +41,7 @@ pub mod stats;
 
 pub use cagra::CagraBuilder;
 pub use csr::FixedDegreeGraph;
-pub use entry::EntryPolicy;
+pub use entry::{DescentLadder, EntryIndex, EntryParams, EntryPolicy, HashEntryTable};
 pub use hnsw::{build_hnsw, HnswIndex, HnswParams};
 pub use layout::NodePermutation;
 pub use nsw::NswBuilder;

@@ -20,6 +20,9 @@
 //!   and [`quant::QuantizedQuery`] folds the affine map into the query
 //!   once per search so traversal runs on integer dot products at a
 //!   quarter of the fp32 bandwidth.
+//! * [`lsh`] — random-hyperplane (sign) LSH signatures over both the
+//!   fp32 and SQ8 stores, the substrate of the hash-bucket entry table
+//!   in `algas-graph::entry`.
 //! * [`datasets`] — clustered Gaussian-mixture generators standing in for
 //!   the paper's SIFT1M / GIST1M / GloVe200 / NYTimes corpora (see
 //!   DESIGN.md §2 for the substitution argument), plus the
@@ -34,6 +37,7 @@ pub mod datasets;
 pub mod env;
 pub mod ground_truth;
 pub mod io;
+pub mod lsh;
 pub mod metric;
 pub mod quant;
 pub mod simd;
@@ -41,6 +45,7 @@ pub mod store;
 
 pub use datasets::{DatasetSpec, GeneratedDataset};
 pub use ground_truth::{brute_force_knn, recall, GroundTruth};
+pub use lsh::HyperplaneHasher;
 pub use metric::{DistValue, Metric};
 pub use quant::{QuantizedQuery, QuantizedStore};
 pub use store::VectorStore;

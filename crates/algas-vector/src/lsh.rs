@@ -1,0 +1,250 @@
+//! Random-hyperplane (sign) LSH signatures.
+//!
+//! The entry-table subsystem hashes every corpus vector — and, at query
+//! time, the query — to a short bit signature: bit `b` is the sign of
+//! the dot product with hyperplane `b`. Vectors on the same side of
+//! every plane land in the same bucket, so a bucket representative is a
+//! good search entry for any query hashing there. Signatures are
+//! computed over the fp32 rows or, when the index is quantized, over
+//! the dequantized SQ8 rows, so the table matches whatever store the
+//! traversal actually scores against.
+//!
+//! The hasher is fully determined by `(dim, n_bits, seed)`: planes are
+//! drawn from a seeded SplitMix64 + Box–Muller generator, so rebuilding
+//! with the same parameters reproduces the same signatures bit-for-bit
+//! on every platform.
+
+use crate::quant::QuantizedStore;
+use crate::store::VectorStore;
+
+/// Hard cap on signature width (buckets = `2^bits`; 16 bits = 65536
+/// buckets, already far past the useful range for entry selection).
+pub const MAX_SIGNATURE_BITS: u32 = 16;
+
+/// SplitMix64 step (private copy; `algas-graph::entry` exposes the
+/// public one, but this crate sits below it in the dependency order).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A uniform in the open interval (0, 1) from a SplitMix64 output.
+#[inline]
+fn unit_open(x: u64) -> f64 {
+    // 53 mantissa bits, nudged off exact 0.
+    (((x >> 11) as f64) + 0.5) / (1u64 << 53) as f64
+}
+
+/// A bank of `n_bits` random hyperplanes over `dim`-dimensional
+/// vectors, mapping any vector to an `n_bits`-bit signature.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HyperplaneHasher {
+    dim: usize,
+    n_bits: u32,
+    seed: u64,
+    /// Row-major `n_bits × dim` plane normals.
+    planes: Vec<f32>,
+}
+
+impl HyperplaneHasher {
+    /// Draws `n_bits` Gaussian hyperplanes deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `n_bits` is 0 or exceeds
+    /// [`MAX_SIGNATURE_BITS`].
+    pub fn new(dim: usize, n_bits: u32, seed: u64) -> Self {
+        assert!(dim > 0, "hyperplanes need a positive dimension");
+        assert!(
+            n_bits > 0 && n_bits <= MAX_SIGNATURE_BITS,
+            "signature width {n_bits} out of range 1..={MAX_SIGNATURE_BITS}"
+        );
+        let mut planes = Vec::with_capacity(n_bits as usize * dim);
+        let mut ctr = seed;
+        let mut spare: Option<f64> = None;
+        for _ in 0..n_bits as usize * dim {
+            let z = match spare.take() {
+                Some(z) => z,
+                None => {
+                    // Box–Muller: two uniforms → two independent
+                    // standard normals.
+                    ctr = ctr.wrapping_add(1);
+                    let u1 = unit_open(splitmix64(ctr));
+                    ctr = ctr.wrapping_add(1);
+                    let u2 = unit_open(splitmix64(ctr));
+                    let r = (-2.0 * u1.ln()).sqrt();
+                    let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+                    spare = Some(r * s);
+                    r * c
+                }
+            };
+            planes.push(z as f32);
+        }
+        Self { dim, n_bits, seed, planes }
+    }
+
+    /// Reassembles a hasher from persisted parts (the decode path).
+    ///
+    /// # Panics
+    /// Panics if `planes` is not `n_bits × dim` long.
+    pub fn from_parts(dim: usize, n_bits: u32, seed: u64, planes: Vec<f32>) -> Self {
+        assert_eq!(planes.len(), n_bits as usize * dim, "plane matrix shape mismatch");
+        Self { dim, n_bits, seed, planes }
+    }
+
+    /// Vector dimensionality the planes were drawn for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Signature width in bits.
+    pub fn n_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    /// The seed the planes were drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The flat `n_bits × dim` plane matrix (for persistence).
+    pub fn planes(&self) -> &[f32] {
+        &self.planes
+    }
+
+    /// Number of buckets the signature space addresses.
+    pub fn n_buckets(&self) -> usize {
+        1usize << self.n_bits
+    }
+
+    /// The signature of one vector: bit `b` set iff
+    /// `dot(planes[b], v) >= 0`. Allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `v` is not `dim`-dimensional.
+    #[inline]
+    pub fn signature(&self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "signature of wrong-dimension vector");
+        let mut sig = 0u32;
+        for b in 0..self.n_bits as usize {
+            let plane = &self.planes[b * self.dim..(b + 1) * self.dim];
+            let mut dot = 0.0f32;
+            for (&p, &x) in plane.iter().zip(v) {
+                dot += p * x;
+            }
+            sig |= u32::from(dot >= 0.0) << b;
+        }
+        sig
+    }
+
+    /// The signature of row `i` of a [`VectorStore`].
+    pub fn signature_row(&self, store: &VectorStore, i: usize) -> u32 {
+        self.signature(store.get(i))
+    }
+
+    /// The signature of row `i` of a [`QuantizedStore`], computed over
+    /// the dequantized codes so it matches what a quantized traversal
+    /// scores against. `scratch` is reused across calls (index-build
+    /// path; not on the query hot path).
+    pub fn signature_quant_row(
+        &self,
+        store: &QuantizedStore,
+        i: usize,
+        scratch: &mut Vec<f32>,
+    ) -> u32 {
+        store.dequantize_into(i, scratch);
+        self.signature(scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_store() -> VectorStore {
+        let mut s = VectorStore::with_capacity(4, 8);
+        let mut ctr = 99u64;
+        for _ in 0..8 {
+            let row: Vec<f32> = (0..4)
+                .map(|_| {
+                    ctr += 1;
+                    (splitmix64(ctr) % 1000) as f32 / 500.0 - 1.0
+                })
+                .collect();
+            s.push(&row);
+        }
+        s
+    }
+
+    #[test]
+    fn same_seed_same_planes_and_signatures() {
+        let a = HyperplaneHasher::new(16, 8, 0xBEEF);
+        let b = HyperplaneHasher::new(16, 8, 0xBEEF);
+        assert_eq!(a, b);
+        let v: Vec<f32> = (0..16).map(|i| (i as f32) - 7.5).collect();
+        assert_eq!(a.signature(&v), b.signature(&v));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HyperplaneHasher::new(16, 8, 1);
+        let b = HyperplaneHasher::new(16, 8, 2);
+        assert_ne!(a.planes(), b.planes());
+    }
+
+    #[test]
+    fn signature_fits_width_and_negation_flips_every_bit() {
+        let h = HyperplaneHasher::new(6, 10, 7);
+        let v = [0.3f32, -1.0, 0.5, 2.0, -0.25, 0.8];
+        let sig = h.signature(&v);
+        assert!(sig < 1 << 10);
+        let neg: Vec<f32> = v.iter().map(|x| -x).collect();
+        // Sign LSH: -v sits on the other side of every plane v is
+        // strictly on one side of (ties are measure-zero here).
+        assert_eq!(h.signature(&neg), !sig & ((1 << 10) - 1));
+    }
+
+    #[test]
+    fn close_vectors_collide_more_than_far_ones() {
+        let h = HyperplaneHasher::new(8, 12, 3);
+        let a = [1.0f32, 2.0, -1.0, 0.5, 0.0, 1.5, -2.0, 0.25];
+        let near: Vec<f32> = a.iter().map(|x| x + 0.01).collect();
+        let far: Vec<f32> = a.iter().map(|x| -x + 3.0).collect();
+        let d_near = (h.signature(&a) ^ h.signature(&near)).count_ones();
+        let d_far = (h.signature(&a) ^ h.signature(&far)).count_ones();
+        assert!(d_near <= d_far, "near {d_near} vs far {d_far}");
+        assert!(d_near <= 2, "near-identical vectors should share almost all bits");
+    }
+
+    #[test]
+    fn quantized_signatures_mostly_match_fp32() {
+        let s = toy_store();
+        let q = QuantizedStore::from_store(&s);
+        let h = HyperplaneHasher::new(4, 8, 11);
+        let mut scratch = Vec::new();
+        let mut mismatched_bits = 0u32;
+        for i in 0..s.len() {
+            mismatched_bits +=
+                (h.signature_row(&s, i) ^ h.signature_quant_row(&q, i, &mut scratch)).count_ones();
+        }
+        // SQ8 error can flip a bit whose dot product sits near zero,
+        // but the overwhelming majority must agree.
+        assert!(mismatched_bits <= 4, "too many flipped bits: {mismatched_bits}");
+    }
+
+    #[test]
+    fn from_parts_roundtrips() {
+        let h = HyperplaneHasher::new(5, 6, 42);
+        let r = HyperplaneHasher::from_parts(5, 6, 42, h.planes().to_vec());
+        assert_eq!(h, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bits_panics() {
+        HyperplaneHasher::new(4, 0, 1);
+    }
+}

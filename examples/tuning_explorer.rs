@@ -1,12 +1,14 @@
 //! Tuning explorer: walks the §IV-C adaptive-tuning constraint system
 //! over slot counts and list sizes, printing the feasible region — the
-//! tool a user would reach for before deploying ALGAS on a new GPU.
+//! tool a user would reach for before deploying ALGAS on a new GPU —
+//! then the effort ladder the SLO controller sheds along at runtime.
 //!
 //! ```text
 //! cargo run --release --example tuning_explorer
 //! ```
 
-use algas::core::tuning::{tune, TuningInput};
+use algas::core::search::BeamParams;
+use algas::core::tuning::{tune, EffortLadder, TuningInput};
 use algas::gpu::occupancy::{device_occupancy, BlockDemand};
 use algas::gpu::DeviceProps;
 
@@ -70,5 +72,31 @@ fn main() {
          shared-memory budget per block shrinks as residency demand grows — \
          exactly the trade-off §IV-C's formulas encode.",
         device.max_resident_blocks()
+    );
+
+    // The static plan fixes the shape; the SLO controller moves along
+    // this ladder at runtime — rung 0 is the plan (max recall), each
+    // higher rung strictly cheaper.
+    let beam = Some(BeamParams { offset_beam: 4, beam_width: 4 });
+    let ladder = EffortLadder::build(8, beam, Some(64), 10);
+    println!(
+        "\n== SLO controller effort ladder (8 CTAs, k=10, rerank 64, beam 4@4) ==\n\
+         {:<6} {:>12} {:>12} {:>12} {:>8}",
+        "rung", "rerank", "beam_width", "offset_beam", "ctas"
+    );
+    for (level, s) in ladder.steps().iter().enumerate() {
+        println!(
+            "{level:<6} {:>12} {:>12} {:>12} {:>8}",
+            s.rerank_depth,
+            s.beam.map_or(0, |b| b.beam_width),
+            s.beam.map_or(0, |b| b.offset_beam),
+            s.n_ctas,
+        );
+    }
+    println!(
+        "\nServe with `--slo-us <target>` and the controller walks down this \
+         ladder whenever the live p99 breaches the target (and back up once \
+         it clears), holding tail latency at the highest-recall rung the \
+         load allows; its position is exported as `algas_control_level`."
     );
 }

@@ -3,12 +3,14 @@
 //! ```text
 //! algas gen    --out base.fvecs --queries q.fvecs --n 20000 --dim 64 --metric l2
 //! algas gt     --base base.fvecs --queries q.fvecs --metric l2 --k 100 --out gt.ivecs
-//! algas build  --base base.fvecs --metric l2 --graph cagra [--quantize true] --out index.algas
+//! algas build  --base base.fvecs --metric l2 --graph cagra [--quantize true]
+//!              [--entry true] --out index.algas
 //! algas info   --index index.algas
 //! algas search --index index.algas --queries q.fvecs --k 10 --l 64 [--quantize true]
-//!              [--rerank 32] [--gt gt.ivecs] [--out r.ivecs]
+//!              [--rerank 32] [--entry-policy hash-table] [--gt gt.ivecs] [--out r.ivecs]
 //! algas serve  --index index.algas --queries q.fvecs --slots 16 [--quantize true]
-//!              [--rerank 32] [--stats-json stats.json] [--listen 127.0.0.1:9100]
+//!              [--rerank 32] [--entry-policy hash-table] [--slo-us 2000]
+//!              [--stats-json stats.json] [--listen 127.0.0.1:9100]
 //!              [--linger-ms 0] [--trace-out trace.json] [--trace-threshold-us N]
 //!              [--trace-top 8] [--trace-sample N] [--trace-ring 1024]
 //! algas stats  --index index.algas --queries q.fvecs [--format json|prom]
@@ -22,6 +24,17 @@
 //! candidates (default 2k) before results are returned; `build
 //! --quantize` persists the codes in the index file so serving skips
 //! re-quantization.
+//!
+//! `--entry-policy` picks how each search seeds its CTAs:
+//! `medoid` (single classic entry), `hashed` (CAGRA-style
+//! pseudo-random, the default), `hash-table` (LSH bucket lookup,
+//! starts the walk near the query), or `descent` (pivot-ladder
+//! descent). The table/ladder policies use entry structures persisted
+//! by `build --entry true` (format v4) or built at load time. On
+//! `serve`/`stats`, `--slo-us` arms the SLO controller: it watches the
+//! live submit→reply p99 and sheds/restores search effort (rerank
+//! depth, then CTAs, then beam shape) to hold the target; its rung and
+//! counters appear in the stats snapshot under `"control"`.
 //!
 //! `serve` drives the threaded runtime and reports throughput and
 //! client-side latency percentiles (computed through the same
@@ -45,6 +58,7 @@ use algas_core::runtime::{AlgasServer, RuntimeConfig};
 use algas_graph::cagra::CagraParams;
 use algas_graph::nsw::NswParams;
 use algas_graph::stats::graph_stats;
+use algas_graph::{EntryParams, EntryPolicy};
 use algas_vector::datasets::DatasetSpec;
 use algas_vector::ground_truth::{brute_force_knn, mean_recall, GroundTruth};
 use algas_vector::{Metric, VectorStore};
@@ -116,6 +130,19 @@ fn parse_bool(flags: &HashMap<String, String>, name: &str) -> Result<bool, Strin
         Some("1") | Some("true") | Some("yes") => Ok(true),
         Some("0") | Some("false") | Some("no") => Ok(false),
         Some(other) => Err(format!("--{name} must be true|false, got `{other}`")),
+    }
+}
+
+fn parse_entry_policy(flags: &HashMap<String, String>) -> Result<EntryPolicy, String> {
+    match flags.get("entry-policy").map(|s| s.as_str()) {
+        None => Ok(EngineConfig::default().entry_policy),
+        Some("medoid") => Ok(EntryPolicy::Medoid),
+        Some("hashed") => Ok(EntryPolicy::Hashed { seed: 0 }),
+        Some("hash-table") | Some("hash_table") | Some("lsh") => Ok(EntryPolicy::HashTable),
+        Some("descent") => Ok(EntryPolicy::Descent),
+        Some(other) => {
+            Err(format!("--entry-policy must be medoid|hashed|hash-table|descent, got `{other}`"))
+        }
     }
 }
 
@@ -213,15 +240,19 @@ fn cmd_build(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
     if parse_bool(flags, "quantize")? {
         index.quantize();
     }
+    if parse_bool(flags, "entry")? {
+        index.build_entry_index(&EntryParams::default());
+    }
     let path = req(flags, "out")?;
     index.save(path).map_err(io_err)?;
     writeln!(
         out,
-        "built {:?} graph over {} vectors in {:.1?}{}; saved to {path}",
+        "built {:?} graph over {} vectors in {:.1?}{}{}; saved to {path}",
         index.kind,
         index.len(),
         t0.elapsed(),
         if index.quant.is_some() { " (with SQ8 codes)" } else { "" },
+        if index.entry.is_some() { " (with entry structures)" } else { "" },
     )
     .map_err(io_err)
 }
@@ -232,7 +263,7 @@ fn cmd_info(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), 
     writeln!(
         out,
         "vectors: {} x dim {}\nmetric: {}\ngraph: {:?}, degree {} (mean valid {:.1}, min {})\n\
-         reachable from medoid-entry BFS: {:.1}%\nmedoid: {}\nquantized: {}",
+         reachable from medoid-entry BFS: {:.1}%\nmedoid: {}\nquantized: {}\nentry: {}",
         index.base.len(),
         index.base.dim(),
         index.metric.name(),
@@ -249,6 +280,30 @@ fn cmd_info(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), 
                 index.base.nbytes() / 1024
             ),
             None => "no".to_string(),
+        },
+        match &index.entry {
+            Some(e) => {
+                let hash = e.hash.as_ref().map(|t| {
+                    format!(
+                        "LSH table {} bits, {}/{} buckets filled, {} reps/bucket",
+                        t.n_bits(),
+                        t.occupied_buckets(),
+                        t.hasher().n_buckets(),
+                        t.reps_per_bucket(),
+                    )
+                });
+                let ladder = e
+                    .ladder
+                    .as_ref()
+                    .map(|l| format!("descent ladder {}+{} pivots", l.top().len(), l.mid().len()));
+                match (hash, ladder) {
+                    (Some(h), Some(l)) => format!("{h}; {l}"),
+                    (Some(h), None) => h,
+                    (None, Some(l)) => l,
+                    (None, None) => "empty".to_string(),
+                }
+            }
+            None => "none (medoid/hashed only)".to_string(),
         },
     )
     .map_err(io_err)
@@ -269,6 +324,11 @@ fn engine_from_flags(
         rerank_depth: match flags.get("rerank") {
             None => None,
             Some(v) => Some(v.parse().map_err(|_| format!("--rerank: cannot parse `{v}`"))?),
+        },
+        entry_policy: parse_entry_policy(flags)?,
+        slo_us: match flags.get("slo-us") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| format!("--slo-us: cannot parse `{v}`"))?),
         },
         ..defaults
     };
@@ -447,6 +507,31 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
             p99_us(&stats.phases.finish_to_merged),
             p99_us(&stats.phases.merged_to_delivered),
             stats.search.sort_fraction(),
+        )
+        .map_err(io_err)?;
+    }
+    if stats.queries_searched() > 0 {
+        writeln!(
+            out,
+            "entry: {:.1} hops/query, mean entry distance {:.3}",
+            stats.hops_per_query(),
+            stats.mean_entry_distance(),
+        )
+        .map_err(io_err)?;
+    }
+    if stats.control.enabled {
+        writeln!(
+            out,
+            "slo controller: target p99 {} µs, effort rung {}/{} ({}), window p99 {} µs; \
+             {} ticks ({} shed, {} restore)",
+            stats.control.slo_ns / 1000,
+            stats.control.level,
+            stats.control.max_level,
+            stats.control.last_reason,
+            stats.control.last_p99_ns / 1000,
+            stats.control.ticks,
+            stats.control.sheds,
+            stats.control.restores,
         )
         .map_err(io_err)?;
     }
@@ -689,6 +774,125 @@ mod tests {
         assert!(gauge("algas_base_store_bytes") > gauge("algas_quant_store_bytes"));
 
         for p in [base, queries, gt, index, qindex, results, stats_json] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn entry_and_slo_flags() {
+        let base = tmp("e-base.fvecs");
+        let queries = tmp("e-q.fvecs");
+        let gt = tmp("e-gt.ivecs");
+        let index = tmp("e-index.algas");
+        run_ok(&[
+            "gen",
+            "--out",
+            &base,
+            "--queries",
+            &queries,
+            "--n",
+            "600",
+            "--nq",
+            "40",
+            "--dim",
+            "12",
+            "--seed",
+            "7",
+        ]);
+        run_ok(&["gt", "--base", &base, "--queries", &queries, "--k", "20", "--out", &gt]);
+
+        // Entry structures persist through the v4 index file and show
+        // up in `info`.
+        let msg = run_ok(&[
+            "build",
+            "--base",
+            &base,
+            "--graph",
+            "cagra",
+            "--entry",
+            "true",
+            "--quantize",
+            "true",
+            "--out",
+            &index,
+        ]);
+        assert!(msg.contains("with entry structures"), "{msg}");
+        let msg = run_ok(&["info", "--index", &index]);
+        assert!(msg.contains("LSH table"), "{msg}");
+        assert!(msg.contains("descent ladder"), "{msg}");
+
+        // Both smart policies search with healthy recall.
+        for policy in ["hash-table", "descent"] {
+            let msg = run_ok(&[
+                "search",
+                "--index",
+                &index,
+                "--queries",
+                &queries,
+                "--k",
+                "10",
+                "--l",
+                "64",
+                "--entry-policy",
+                policy,
+                "--gt",
+                &gt,
+            ]);
+            let recall: f64 = msg
+                .lines()
+                .find(|l| l.starts_with("recall@10"))
+                .and_then(|l| l.split(' ').nth(1))
+                .and_then(|v| v.parse().ok())
+                .expect("recall line");
+            assert!(recall > 0.85, "{policy} recall {recall}");
+        }
+        let err = run(
+            &["search", "--index", &index, "--queries", &queries, "--entry-policy", "psychic"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("medoid|hashed|hash-table|descent"), "{err}");
+
+        // An unreachable SLO arms the controller and the serve summary
+        // + stats snapshot both report its rung.
+        let msg = run_ok(&[
+            "serve",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--slots",
+            "4",
+            "--repeat",
+            "3",
+            "--entry-policy",
+            "hash-table",
+            "--slo-us",
+            "1",
+        ]);
+        assert!(msg.contains("slo controller: target p99 1 µs"), "{msg}");
+        let msg = run_ok(&[
+            "stats",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--slots",
+            "4",
+            "--repeat",
+            "3",
+            "--slo-us",
+            "1",
+        ]);
+        let stats = RuntimeStats::from_json(msg.trim()).expect("stats output parses");
+        assert!(stats.control.enabled);
+        assert!(stats.control.ticks >= 1, "120 completions must tick the controller");
+        assert!(stats.control.level >= 1, "an impossible SLO must shed effort");
+
+        for p in [base, queries, gt, index] {
             let _ = std::fs::remove_file(p);
         }
     }

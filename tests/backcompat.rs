@@ -1,0 +1,88 @@
+//! Back-compat pin: a format-v3 index file checked into the repo
+//! (`tests/fixtures/index_v3.alix`) must keep loading on every future
+//! build. The in-crate persistence tests exercise old layouts they
+//! synthesize themselves, which drifts with the encoder; this fixture
+//! is a byte-for-byte snapshot of what a v3 build actually wrote.
+//!
+//! Regenerate (only when the fixture is missing or deliberately
+//! changed) with:
+//!
+//! ```text
+//! UPDATE_FIXTURE=1 cargo test --test backcompat
+//! ```
+
+use algas::core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
+use algas::graph::cagra::CagraParams;
+use algas::graph::{EntryParams, EntryPolicy};
+use algas::vector::datasets::DatasetSpec;
+use algas::vector::Metric;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/index_v3.alix");
+const N: usize = 300;
+const DIM: usize = 8;
+
+/// Hand-builds the format-3 encoding (v4 layout minus the entry-length
+/// header field and entry section) of a quantized, never-relayouted
+/// index — the layout a pre-entry-subsystem build wrote.
+fn encode_v3(index: &AlgasIndex) -> Vec<u8> {
+    assert!(index.id_map.is_none() && index.entry.is_none());
+    let store_blob = algas::vector::binary::encode_store(&index.base);
+    let graph_blob = algas::graph::binary::encode_graph(&index.graph);
+    let quant_blob = algas::vector::binary::encode_quantized(index.quant.as_ref().unwrap());
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&0x414C_4958u32.to_le_bytes()); // "ALIX"
+    buf.extend_from_slice(&3u32.to_le_bytes());
+    buf.push(0); // L2
+    buf.push(1); // CAGRA
+    buf.extend_from_slice(&index.medoid.to_le_bytes());
+    buf.extend_from_slice(&(store_blob.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(graph_blob.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&0u64.to_le_bytes()); // never relayouted
+    buf.extend_from_slice(&(quant_blob.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&store_blob);
+    buf.extend_from_slice(&graph_blob);
+    buf.extend_from_slice(&quant_blob);
+    buf
+}
+
+#[test]
+fn checked_in_v3_fixture_loads_and_upgrades_to_v4() {
+    if std::env::var("UPDATE_FIXTURE").is_ok() {
+        let ds = DatasetSpec::tiny(N, DIM, Metric::L2, 71).generate();
+        let mut index = AlgasIndex::build_cagra(ds.base, Metric::L2, CagraParams::default());
+        index.quantize();
+        std::fs::write(FIXTURE, encode_v3(&index)).unwrap();
+        eprintln!("rewrote {FIXTURE}");
+    }
+
+    let index = AlgasIndex::load(FIXTURE).expect("v3 fixture must load");
+    assert_eq!(index.base.len(), N);
+    assert_eq!(index.base.dim(), DIM);
+    assert_eq!(index.metric, Metric::L2);
+    assert!(index.quant.is_some(), "v3 fixture carries SQ8 codes");
+    assert!(index.id_map.is_none(), "v3 fixture was never relayouted");
+    assert!(index.entry.is_none(), "v3 predates the entry section");
+    assert!((index.medoid as usize) < N);
+
+    // The loaded index serves: a pre-entry file runs every policy via
+    // its data-free degradation, including the smart ones.
+    let queries = DatasetSpec::tiny(N, DIM, Metric::L2, 71).generate().queries;
+    for policy in [EntryPolicy::Medoid, EntryPolicy::HashTable, EntryPolicy::Descent] {
+        let cfg = EngineConfig { k: 5, l: 32, entry_policy: policy, ..Default::default() };
+        let engine = AlgasEngine::new(index.clone(), cfg).unwrap();
+        let hits = engine.search(queries.get(0), 0);
+        assert_eq!(hits.len(), 5, "short TopK under {policy:?}");
+    }
+
+    // Upgrade path: build entry structures and rewrite — the file
+    // round-trips as v4 with the section intact.
+    let mut upgraded = index;
+    upgraded.build_entry_index(&EntryParams::default());
+    let path = std::env::temp_dir().join(format!("algas-v4-up-{}.alix", std::process::id()));
+    upgraded.save(&path).unwrap();
+    let back = AlgasIndex::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(back.entry, upgraded.entry);
+    assert_eq!(back.quant, upgraded.quant);
+    assert_eq!(back.base, upgraded.base);
+}

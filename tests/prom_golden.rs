@@ -12,6 +12,7 @@
 //! UPDATE_GOLDEN=1 cargo test --test prom_golden
 //! ```
 
+use algas::core::control::ControlStats;
 use algas::core::engine::RerankStats;
 use algas::core::merge::MergeStats;
 use algas::core::obs::prom::check_exposition;
@@ -54,6 +55,23 @@ fn fixture() -> RuntimeStats {
     s.rerank = RerankStats { reranks: 38, candidates: 760, promotions: 12 };
     s.merge = MergeStats { merges: 38, elements: 300, dupes_dropped: 4 };
     s.flight = FlightTotals { completions: 38, events: 410, retained: 5 };
+    s.entry_dist_milli_total = 41_230;
+    s.control = ControlStats {
+        enabled: true,
+        slo_ns: 2_000_000,
+        level: 2,
+        max_level: 5,
+        beam_width: 16,
+        offset_beam: 2,
+        rerank_depth: 24,
+        n_ctas: 4,
+        ticks: 9,
+        sheds: 3,
+        restores: 1,
+        holds: 5,
+        last_p99_ns: 1_900_000,
+        last_reason: "hold".to_string(),
+    };
     s
 }
 

@@ -16,7 +16,7 @@ fn medoid_cfg() -> EngineConfig {
         l: 64,
         slots: 8,
         beam: BeamMode::Auto,
-        entry: EntryPolicy::Medoid,
+        entry_policy: EntryPolicy::Medoid,
         ..Default::default()
     }
 }

@@ -10,6 +10,7 @@
 
 use algas::core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
 use algas::graph::cagra::CagraParams;
+use algas::graph::{EntryParams, EntryPolicy};
 use algas::vector::datasets::DatasetSpec;
 use algas::vector::Metric;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -124,6 +125,57 @@ fn hot_path_allocates_nothing_after_warmup() {
         after - before,
         0,
         "quantized hot path (traversal + rerank) allocated {} times after warmup",
+        after - before
+    );
+
+    // Same invariant with the full serving loop armed: LSH hash-table
+    // entry lookup (per-query signature + bucket probe) inside
+    // `search_into`, plus the SLO controller's `observe` feedback —
+    // ring write, cadence check, and the tick's window-p99 sort all
+    // run on the hot path and must stay heap-free. The controller is
+    // saturated to the cheapest rung first so the measured pass runs
+    // at a fixed effort step (a mid-pass rung change may legitimately
+    // regrow scratch buffers).
+    let mut index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+    index.build_entry_index(&EntryParams::default());
+    let ecfg = EngineConfig {
+        quantize: true,
+        rerank_depth: Some(24),
+        entry_policy: EntryPolicy::HashTable,
+        slo_us: Some(1),
+        ..cfg
+    };
+    let engine = AlgasEngine::new(index, ecfg).unwrap();
+    assert!(engine.controller().enabled(), "controller must be armed");
+    let mut scratch = engine.make_scratch();
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+    // Saturate: a 1 µs SLO is unreachable, so every tick sheds until
+    // the level pins at the ladder's end.
+    let max = engine.controller().ladder().max_level();
+    while engine.controller().level() < max {
+        engine.controller().observe(1_000_000);
+    }
+    // Second warmup at the saturated rung's shape.
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        checksum += scratch.topk.len() as u64;
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for q in 0..n_queries {
+        engine.search_into(ds.queries.get(q), q as u64, &mut scratch);
+        engine.controller().observe(1_000_000);
+        checksum += scratch.topk.len() as u64;
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(checksum, 9 * (n_queries as u64) * 10, "searches returned short TopK");
+    assert_eq!(engine.controller().level(), max, "saturated level must stay pinned");
+    assert_eq!(
+        after - before,
+        0,
+        "entry lookup + controller tick hot path allocated {} times after warmup",
         after - before
     );
 }
