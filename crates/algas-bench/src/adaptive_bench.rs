@@ -135,7 +135,10 @@ fn serve_session(
     );
     let clients = 8usize;
     let per_client = (8 * queries.len() / clients).max(128);
-    let warmup = per_client / 2;
+    // Shared warm-up arithmetic with the open-loop net generator: the
+    // first half of each client's stream (controller still walking the
+    // ladder) is excluded from the recorded latencies.
+    let warmup = algas_core::net::loadgen::warmup_len(per_client, 0.5);
     let hist = Histogram::new();
     let nq = queries.len();
     // ids per query index, merged across clients (identical queries

@@ -10,6 +10,7 @@
 //! figures bench_quant [--scale S] [--out PATH]  # fp32 vs SQ8 → BENCH_quant.json
 //! figures bench_trace [--scale S] [--baseline P1[,P2]] [--from PATH] [--out PATH]  # recorder overhead → BENCH_trace.json
 //! figures bench_adaptive [--scale S] [--out PATH]  # entry policies + SLO control → BENCH_adaptive.json
+//! figures bench_net [--scale S] [--out PATH]   # TCP front end, open-loop → BENCH_net.json
 //! ```
 //!
 //! `--scale` scales the synthetic corpora (default 0.15 ≈ 9k vectors
@@ -64,7 +65,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|list|bench_distance|bench_build|bench_serve|bench_quant|\
-         bench_trace|bench_adaptive|<experiment-id>] [--scale S] [--out PATH] \
+         bench_trace|bench_adaptive|bench_net|<experiment-id>] [--scale S] [--out PATH] \
          [--baseline P1[,P2]] [--from PATH]"
     );
     std::process::exit(2);
@@ -182,6 +183,11 @@ fn main() {
             args.scale,
             args.out.as_deref().unwrap_or("BENCH_adaptive.json"),
         );
+        return;
+    }
+    if args.command == "bench_net" {
+        // TCP front end under open-loop Poisson load: self-contained.
+        algas_bench::net_bench::run(args.scale, args.out.as_deref().unwrap_or("BENCH_net.json"));
         return;
     }
     if args.command == "bench_trace" {

@@ -20,6 +20,7 @@ pub mod adaptive_bench;
 pub mod build_bench;
 pub mod cache;
 pub mod experiments;
+pub mod net_bench;
 pub mod prep;
 pub mod quant_bench;
 pub mod report;

@@ -22,6 +22,10 @@
 //! * [`runtime`] — a real threaded implementation of the architecture
 //!   (persistent workers, atomic slots, host pollers) usable as a CPU
 //!   ANNS server.
+//! * [`net`] — the TCP network front end: length-prefixed binary
+//!   protocol, a poll/park readiness loop with pipelined out-of-order
+//!   completion and RETRY_AFTER backpressure, a blocking client, and
+//!   an open-loop Poisson load generator.
 //! * [`obs`] — serving-path telemetry: lock-free counters, log-linear
 //!   latency histograms, query lifecycle spans, and JSON / Prometheus
 //!   exposition of [`obs::RuntimeStats`] (feature `obs`, default-on).
@@ -46,6 +50,7 @@ pub mod control;
 pub mod engine;
 pub mod lists;
 pub mod merge;
+pub mod net;
 pub mod obs;
 pub mod persist;
 pub mod runtime;
@@ -59,6 +64,7 @@ pub use engine::{
     AlgasEngine, AlgasIndex, BeamMode, EngineConfig, RerankStats, TracedSearch, Workload,
 };
 pub use merge::{merge_topk, HostCostModel};
+pub use net::{NetClient, NetConfig, NetServer, NetStats};
 pub use obs::{Histogram, HistogramSnapshot, RuntimeStats};
 pub use runtime::{AlgasServer, RuntimeConfig, SearchReply, StatsSnapshot};
 pub use search::BeamParams;

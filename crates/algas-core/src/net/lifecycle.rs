@@ -1,0 +1,225 @@
+//! Shared listener lifecycle: one bounded-linger stop path for every
+//! TCP front end (the stats HTTP server and the query protocol
+//! server).
+//!
+//! The old stats server blocked in `accept` and unwedged itself with a
+//! throwaway self-connection on stop — workable for one listener, but
+//! a second copy of that hack for the query listener would mean two
+//! subtly different shutdown paths to keep correct. Instead both fronts
+//! now share [`ListenerHandle`]: the listener is switched to
+//! nonblocking mode and the loop body is handed an [`IdleParker`] whose
+//! park interval bounds how stale a stop-flag read can be, so `stop()`
+//! is just "set flag, join" — no self-connect, no leaked thread, and a
+//! deterministic worst-case linger.
+
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest a loop may sleep between stop-flag checks; bounds the join
+/// latency of [`ListenerHandle::stop`].
+pub const MAX_PARK: Duration = Duration::from_millis(2);
+
+/// A named listener thread with a shared stop flag. Created by
+/// [`ListenerHandle::spawn`]; stopped (flag + join) by
+/// [`ListenerHandle::stop`] or drop.
+pub struct ListenerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ListenerHandle {
+    /// Binds `addr` (port 0 for ephemeral), switches the listener to
+    /// nonblocking mode, and runs `body(listener, stop, parker)` on a
+    /// named thread until it returns.
+    ///
+    /// Contract for `body`: poll `stop` at least once per accept/work
+    /// pass and return promptly once it reads `true`; park via the
+    /// provided [`IdleParker`] when idle so the stop flag is observed
+    /// within [`MAX_PARK`].
+    ///
+    /// # Errors
+    /// Propagates bind / nonblocking-mode / thread-spawn failures.
+    pub fn spawn<F>(name: &str, addr: impl ToSocketAddrs, body: F) -> std::io::Result<Self>
+    where
+        F: FnOnce(TcpListener, &AtomicBool, &mut IdleParker) + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new().name(name.to_string()).spawn(move || {
+            let mut parker = IdleParker::new();
+            body(listener, &stop_flag, &mut parker);
+        })?;
+        Ok(Self { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once [`ListenerHandle::stop`] has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Sets the stop flag and joins the loop thread. Returns once the
+    /// thread has exited; bounded by the loop's park interval plus
+    /// whatever linger its body applies.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::Release);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ListenerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Spin-free idle parking for nonblocking accept/poll loops: yields a
+/// few times, then sleeps with exponentially growing intervals capped
+/// at [`MAX_PARK`]. Any progress resets it to the hot path. The cap is
+/// what makes `stop()` latency deterministic.
+pub struct IdleParker {
+    idle_passes: u32,
+}
+
+const YIELD_PASSES: u32 = 4;
+
+impl IdleParker {
+    /// A fresh parker in the hot (yield) regime.
+    pub fn new() -> Self {
+        Self { idle_passes: 0 }
+    }
+
+    /// Call when a pass made progress: the next park stays cheap.
+    pub fn reset(&mut self) {
+        self.idle_passes = 0;
+    }
+
+    /// Call when a pass found nothing to do.
+    pub fn park(&mut self) {
+        if self.idle_passes < YIELD_PASSES {
+            std::thread::yield_now();
+        } else {
+            // 1µs, 2µs, … doubling up to the MAX_PARK cap.
+            let exp = (self.idle_passes - YIELD_PASSES).min(11);
+            std::thread::sleep(Duration::from_micros(1u64 << exp).min(MAX_PARK));
+        }
+        self.idle_passes = self.idle_passes.saturating_add(1);
+    }
+}
+
+impl Default for IdleParker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::ErrorKind;
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    fn accept_counting_loop(
+        listener: TcpListener,
+        stop: &AtomicBool,
+        parker: &mut IdleParker,
+        hits: Arc<std::sync::atomic::AtomicU64>,
+    ) {
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok(_) => {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    parker.reset();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => parker.park(),
+                Err(_) => parker.park(),
+            }
+        }
+    }
+
+    #[test]
+    fn stop_joins_without_a_connection() {
+        // The old accept loop needed a self-connect to unwedge; the
+        // nonblocking loop must stop on the flag alone, quickly.
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let h = {
+            let hits = Arc::clone(&hits);
+            ListenerHandle::spawn("t-accept", "127.0.0.1:0", move |l, s, p| {
+                accept_counting_loop(l, s, p, hits)
+            })
+            .unwrap()
+        };
+        let start = Instant::now();
+        h.stop();
+        assert!(start.elapsed() < Duration::from_secs(1), "stop lingered: {:?}", start.elapsed());
+    }
+
+    #[test]
+    fn start_stop_twice_on_same_port() {
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let h1 = {
+            let hits = Arc::clone(&hits);
+            ListenerHandle::spawn("t-accept1", "127.0.0.1:0", move |l, s, p| {
+                accept_counting_loop(l, s, p, hits)
+            })
+            .unwrap()
+        };
+        let addr = h1.local_addr();
+        TcpStream::connect(addr).unwrap();
+        // Stop only after the loop has seen the connection — stop is
+        // immediate by design and may otherwise beat the accept.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while hits.load(Ordering::Relaxed) < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        h1.stop();
+        // The port is fully released: a second handle can bind the
+        // exact same port and serve.
+        let h2 = {
+            let hits = Arc::clone(&hits);
+            ListenerHandle::spawn("t-accept2", addr, move |l, s, p| {
+                accept_counting_loop(l, s, p, hits)
+            })
+            .unwrap()
+        };
+        TcpStream::connect(addr).unwrap();
+        // Both connections were seen by their respective loops.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while hits.load(Ordering::Relaxed) < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        h2.stop();
+    }
+
+    #[test]
+    fn drop_is_equivalent_to_stop() {
+        let addr;
+        {
+            let h = ListenerHandle::spawn("t-drop", "127.0.0.1:0", |l, s, p| {
+                accept_counting_loop(l, s, p, Arc::new(Default::default()))
+            })
+            .unwrap();
+            addr = h.local_addr();
+        }
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! The network front end: a compact binary query protocol over TCP.
+//!
+//! * [`frame`] — the length-prefixed little-endian wire format
+//!   (SEARCH / PING / STATS requests, RESULT / PONG / STATS_REPLY /
+//!   ERROR / RETRY_AFTER replies) with a resumable, allocation-free
+//!   codec.
+//! * [`lifecycle`] — the shared nonblocking-listener stop path used by
+//!   both this server and the [`crate::obs::http::StatsServer`].
+//! * [`server`] — [`server::NetServer`]: a poll/park readiness loop
+//!   over `std::net` that decodes pipelined requests, submits them to
+//!   the [`crate::runtime::AlgasServer`] slot runtime, and completes
+//!   responses out of order as slots finish, with RETRY_AFTER
+//!   backpressure once the in-flight budget or submission queue fills.
+//! * [`client`] — [`client::NetClient`]: a blocking pipelining client.
+//! * [`loadgen`] — an open-loop load generator with seeded Poisson
+//!   arrivals and SLO-attainment reporting.
+
+pub mod client;
+pub mod frame;
+pub mod lifecycle;
+pub mod loadgen;
+pub mod server;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Always-on network counters (like the runtime's query counters,
+/// these are live even with the `obs` feature off — they are the
+/// protocol's source of truth for backpressure accounting).
+#[derive(Default)]
+pub(crate) struct NetCounters {
+    pub connections_accepted: AtomicU64,
+    pub connections_closed: AtomicU64,
+    pub frames_in: AtomicU64,
+    pub frames_out: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub backpressure_rejects: AtomicU64,
+}
+
+impl NetCounters {
+    pub(crate) fn snapshot(&self) -> NetStats {
+        NetStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            backpressure_rejects: self.backpressure_rejects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of the network front end's counters. Carried
+/// in [`crate::obs::RuntimeStats::net`] (all-zero when no listener is
+/// running) and exposed as the `algas_net_*` Prometheus families.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// TCP connections accepted by the query listener.
+    pub connections_accepted: u64,
+    /// Connections fully closed (EOF, error, or shutdown).
+    pub connections_closed: u64,
+    /// Complete frames decoded from clients.
+    pub frames_in: u64,
+    /// Complete frames written to clients.
+    pub frames_out: u64,
+    /// Raw bytes read from client sockets.
+    pub bytes_in: u64,
+    /// Raw bytes written to client sockets.
+    pub bytes_out: u64,
+    /// Frames rejected as malformed (bad magic/version/opcode/payload).
+    pub protocol_errors: u64,
+    /// Requests answered with RETRY_AFTER instead of being queued.
+    pub backpressure_rejects: u64,
+}
+
+pub use client::{NetClient, Reply};
+pub use frame::{DecodeError, Decoded, ErrorCode, FrameHeader, Opcode};
+pub use loadgen::{LoadConfig, LoadReport};
+pub use server::{NetConfig, NetServer};

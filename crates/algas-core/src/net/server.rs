@@ -1,0 +1,572 @@
+//! [`NetServer`]: the query protocol's readiness loop.
+//!
+//! One thread owns a nonblocking `TcpListener` plus every accepted
+//! connection and runs a poll/park loop (no epoll, no async runtime —
+//! `std::net` only):
+//!
+//! 1. **accept** — drain the listener's accept queue;
+//! 2. **read** — per connection, pull bytes into its read buffer and
+//!    decode as many complete frames as arrived (partial frames stay
+//!    buffered and resume on the next pass);
+//! 3. **submit** — SEARCH frames go straight into the
+//!    [`AlgasServer`] submission queue; each accepted request parks a
+//!    `(connection, request_id, reply receiver)` triple in the
+//!    in-flight table;
+//! 4. **complete** — poll the in-flight table with `try_recv`;
+//!    finished replies are encoded into their connection's write
+//!    buffer *in completion order*, which is how out-of-order
+//!    pipelining falls out for free;
+//! 5. **write** — flush write buffers; `WouldBlock` leaves the tail
+//!    for the next pass (partial-write resume).
+//!
+//! **Backpressure** is protocol-level, not TCP-level: when the
+//! in-flight table is at [`NetConfig::max_inflight`] or the runtime's
+//! bounded queue rejects a submit ([`SubmitError::QueueFull`]), the
+//! request is answered immediately with RETRY_AFTER carrying a
+//! suggested delay derived from the SLO controller's live p99 (its
+//! view of load), instead of queueing unboundedly. Rejections are
+//! counted in [`super::NetStats::backpressure_rejects`].
+//!
+//! Stopping uses the shared [`super::lifecycle`] path: set the flag,
+//! drain in-flight replies and write buffers for at most
+//! [`NetConfig::linger`], join.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, TryRecvError};
+
+use super::frame::{self, Decoded, ErrorCode, Opcode};
+use super::lifecycle::{IdleParker, ListenerHandle};
+use super::{NetCounters, NetStats};
+use crate::obs::RuntimeStats;
+use crate::runtime::{AlgasServer, SearchReply, SubmitError};
+
+/// Tuning for the network front end.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Max requests submitted-but-unanswered across all connections
+    /// before new SEARCHes get RETRY_AFTER.
+    pub max_inflight: usize,
+    /// Max accepted `payload_len`; larger frames are a protocol error.
+    pub max_payload: u32,
+    /// Max simultaneously open connections; excess accepts are closed
+    /// immediately.
+    pub max_conns: usize,
+    /// How long `stop()` keeps draining in-flight replies and
+    /// unflushed write buffers before closing connections.
+    pub linger: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 256,
+            max_payload: frame::DEFAULT_MAX_PAYLOAD,
+            max_conns: 1024,
+            linger: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A running query listener over an [`AlgasServer`].
+pub struct NetServer {
+    server: Arc<AlgasServer>,
+    counters: Arc<NetCounters>,
+    handle: ListenerHandle,
+}
+
+impl NetServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts the readiness
+    /// loop serving queries from `server`.
+    ///
+    /// # Errors
+    /// Propagates bind / spawn failures.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        server: Arc<AlgasServer>,
+        cfg: NetConfig,
+    ) -> std::io::Result<Self> {
+        let counters = Arc::new(NetCounters::default());
+        let loop_server = Arc::clone(&server);
+        let loop_counters = Arc::clone(&counters);
+        let handle = ListenerHandle::spawn("algas-net", addr, move |listener, stop, parker| {
+            event_loop(&listener, stop, parker, &loop_server, &loop_counters, cfg);
+        })?;
+        Ok(Self { server, counters, handle })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.handle.local_addr()
+    }
+
+    /// A snapshot of the network counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.counters.snapshot()
+    }
+
+    /// The runtime's full telemetry snapshot with this listener's
+    /// network counters stamped in.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        let mut out = self.server.runtime_stats();
+        out.net = self.counters.snapshot();
+        out
+    }
+
+    /// Stops accepting, drains within the configured linger, joins the
+    /// loop thread. The underlying [`AlgasServer`] keeps running.
+    pub fn stop(self) {
+        self.handle.stop();
+    }
+}
+
+/// A running net server is directly servable by the
+/// [`crate::obs::StatsServer`]; unlike serving the [`AlgasServer`]
+/// directly, `/metrics` and `/stats.json` carry live `algas_net_*`
+/// counters.
+impl crate::obs::StatsSource for NetServer {
+    fn metrics_text(&self) -> String {
+        self.runtime_stats().to_prometheus()
+    }
+
+    fn stats_json(&self) -> String {
+        self.runtime_stats().to_json()
+    }
+
+    fn traces_json(&self) -> String {
+        self.server.traces_json()
+    }
+}
+
+/// Per-pass read chunk; also the initial read-buffer headroom.
+const READ_CHUNK: usize = 16 * 1024;
+/// A connection whose unflushed write buffer exceeds this is a slow
+/// consumer and gets dropped (bounds server-side memory per client).
+const MAX_WRITE_BACKLOG: usize = 8 * 1024 * 1024;
+
+struct Conn {
+    stream: TcpStream,
+    /// Read buffer; bytes `[0..rlen)` are valid undecoded input.
+    rbuf: Vec<u8>,
+    rlen: usize,
+    /// Write buffer; bytes `[wpos..wbuf.len())` are pending output.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Replies still owed to this connection.
+    inflight: usize,
+    /// Stop reading (EOF or fatal frame error); flush + drain, then
+    /// close.
+    closing: bool,
+    /// Guards the in-flight table against connection-slot reuse.
+    gen: u64,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+}
+
+struct Pending {
+    conn: usize,
+    gen: u64,
+    request_id: u64,
+    rx: Receiver<SearchReply>,
+}
+
+#[allow(clippy::too_many_lines)]
+fn event_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    parker: &mut IdleParker,
+    server: &Arc<AlgasServer>,
+    counters: &NetCounters,
+    cfg: NetConfig,
+) {
+    let dim = server.dim();
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut next_gen: u64 = 0;
+    let mut scratch_query: Vec<f32> = Vec::with_capacity(dim);
+    let mut linger_deadline: Option<Instant> = None;
+
+    loop {
+        let mut progress = false;
+        let stopping = stop.load(Ordering::Acquire);
+
+        if stopping {
+            linger_deadline.get_or_insert_with(|| Instant::now() + cfg.linger);
+        } else {
+            // 1. Accept burst.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progress = true;
+                        counters.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                        let open = conns.iter().filter(|c| c.is_some()).count();
+                        if open >= cfg.max_conns || stream.set_nonblocking(true).is_err() {
+                            counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        next_gen += 1;
+                        let conn = Conn {
+                            stream,
+                            rbuf: Vec::new(),
+                            rlen: 0,
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            inflight: 0,
+                            closing: false,
+                            gen: next_gen,
+                        };
+                        match conns.iter_mut().position(|c| c.is_none()) {
+                            Some(idx) => conns[idx] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+
+            // 2–3. Read, decode, submit.
+            for (idx, slot) in conns.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else { continue };
+                if conn.closing {
+                    continue;
+                }
+                match read_some(conn, counters) {
+                    ReadOutcome::Progress => progress = true,
+                    ReadOutcome::Idle => {}
+                    ReadOutcome::Dead => {
+                        close_conn(slot, counters);
+                        continue;
+                    }
+                }
+                let conn = slot.as_mut().expect("checked above");
+                if decode_and_handle(
+                    conn,
+                    idx,
+                    dim,
+                    server,
+                    counters,
+                    &cfg,
+                    &mut pending,
+                    &mut scratch_query,
+                ) {
+                    progress = true;
+                }
+            }
+        }
+
+        // 4. Complete: poll the in-flight table, out of order.
+        let mut i = 0;
+        while i < pending.len() {
+            match pending[i].rx.try_recv() {
+                Ok(reply) => {
+                    progress = true;
+                    let p = pending.swap_remove(i);
+                    if let Some(conn) = conns.get_mut(p.conn).and_then(Option::as_mut) {
+                        if conn.gen == p.gen {
+                            conn.inflight -= 1;
+                            frame::encode_result(
+                                &mut conn.wbuf,
+                                p.request_id,
+                                &reply.ids,
+                                &reply.distances,
+                            );
+                            counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(TryRecvError::Empty) => i += 1,
+                Err(TryRecvError::Disconnected) => {
+                    // Runtime shut down underneath us; the client gets
+                    // no reply for this id (it will see the close).
+                    progress = true;
+                    let p = pending.swap_remove(i);
+                    if let Some(conn) = conns.get_mut(p.conn).and_then(Option::as_mut) {
+                        if conn.gen == p.gen {
+                            conn.inflight -= 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Flush writes; reap drained connections.
+        for slot in &mut conns {
+            let Some(conn) = slot.as_mut() else { continue };
+            if !flush_some(conn, counters, &mut progress) {
+                close_conn(slot, counters);
+                continue;
+            }
+            if conn.closing && conn.inflight == 0 && conn.flushed() {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                close_conn(slot, counters);
+            }
+        }
+
+        if stopping {
+            let drained = pending.is_empty() && conns.iter().flatten().all(Conn::flushed);
+            if drained || linger_deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+        }
+
+        if progress {
+            parker.reset();
+        } else {
+            parker.park();
+        }
+    }
+
+    for slot in &mut conns {
+        close_conn(slot, counters);
+    }
+}
+
+enum ReadOutcome {
+    Progress,
+    Idle,
+    Dead,
+}
+
+fn read_some(conn: &mut Conn, counters: &NetCounters) -> ReadOutcome {
+    let mut outcome = ReadOutcome::Idle;
+    loop {
+        if conn.rbuf.len() < conn.rlen + READ_CHUNK {
+            conn.rbuf.resize(conn.rlen + READ_CHUNK, 0);
+        }
+        match conn.stream.read(&mut conn.rbuf[conn.rlen..]) {
+            Ok(0) => {
+                // Clean EOF: the client is done sending; finish what
+                // it is owed, then close.
+                conn.closing = true;
+                return ReadOutcome::Progress;
+            }
+            Ok(n) => {
+                conn.rlen += n;
+                counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                outcome = ReadOutcome::Progress;
+                if n < READ_CHUNK {
+                    return outcome;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return outcome,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Dead,
+        }
+    }
+}
+
+/// Decodes every complete frame buffered on `conn` and handles it.
+/// Returns true if any frame was processed.
+#[allow(clippy::too_many_arguments)]
+fn decode_and_handle(
+    conn: &mut Conn,
+    conn_idx: usize,
+    dim: usize,
+    server: &Arc<AlgasServer>,
+    counters: &NetCounters,
+    cfg: &NetConfig,
+    pending: &mut Vec<Pending>,
+    scratch_query: &mut Vec<f32>,
+) -> bool {
+    let mut cursor = 0;
+    let mut any = false;
+    loop {
+        match frame::decode_frame(&conn.rbuf[cursor..conn.rlen], cfg.max_payload) {
+            Ok(Decoded::NeedMore) => break,
+            Ok(Decoded::Frame { header, payload, consumed }) => {
+                counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                any = true;
+                // Borrow dance: the payload borrows rbuf, the write
+                // path needs wbuf — split the handling out over an
+                // explicit range instead.
+                let payload_range = (cursor + frame::HEADER_LEN, cursor + consumed);
+                debug_assert_eq!(payload.len(), payload_range.1 - payload_range.0);
+                cursor += consumed;
+                handle_frame(
+                    conn,
+                    conn_idx,
+                    header,
+                    payload_range,
+                    dim,
+                    server,
+                    counters,
+                    cfg,
+                    pending,
+                    scratch_query,
+                );
+                if conn.closing {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Framing is lost: answer once, stop reading, close
+                // after the flush.
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                frame::encode_error(&mut conn.wbuf, 0, e.error_code(), e.message());
+                counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                conn.closing = true;
+                any = true;
+                break;
+            }
+        }
+    }
+    if cursor > 0 {
+        conn.rbuf.copy_within(cursor..conn.rlen, 0);
+        conn.rlen -= cursor;
+    }
+    any
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    conn: &mut Conn,
+    conn_idx: usize,
+    header: frame::FrameHeader,
+    payload_range: (usize, usize),
+    dim: usize,
+    server: &Arc<AlgasServer>,
+    counters: &NetCounters,
+    cfg: &NetConfig,
+    pending: &mut Vec<Pending>,
+    scratch_query: &mut Vec<f32>,
+) {
+    let id = header.request_id;
+    match header.opcode {
+        Opcode::Search => {
+            let payload = &conn.rbuf[payload_range.0..payload_range.1];
+            if payload.len() != dim * 4
+                || frame::decode_search_into(payload, scratch_query).is_err()
+            {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                frame::encode_error(
+                    &mut conn.wbuf,
+                    id,
+                    ErrorCode::BadPayload,
+                    "SEARCH payload must be dim x f32",
+                );
+                counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Admission control: a bounded in-flight budget in front
+            // of the runtime's bounded queue. Both reject with
+            // RETRY_AFTER rather than queueing unboundedly.
+            if pending.len() >= cfg.max_inflight {
+                reject(conn, id, server, counters);
+                return;
+            }
+            match server.submit(std::mem::take(scratch_query)) {
+                Ok((_tag, rx)) => {
+                    conn.inflight += 1;
+                    pending.push(Pending { conn: conn_idx, gen: conn.gen, request_id: id, rx });
+                }
+                Err(SubmitError::QueueFull) => reject(conn, id, server, counters),
+                Err(SubmitError::ShuttingDown) => {
+                    frame::encode_error(
+                        &mut conn.wbuf,
+                        id,
+                        ErrorCode::ShuttingDown,
+                        "server shutting down",
+                    );
+                    counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                    conn.closing = true;
+                }
+            }
+        }
+        Opcode::Ping => {
+            let (start, end) = payload_range;
+            // Echo in place: copy the payload tail-first into wbuf via
+            // a split borrow of the conn.
+            let (rbuf, wbuf) = (&conn.rbuf, &mut conn.wbuf);
+            frame::encode_header(wbuf, Opcode::Pong, id, (end - start) as u32);
+            wbuf.extend_from_slice(&rbuf[start..end]);
+            counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+        Opcode::Stats => {
+            let mut stats = server.runtime_stats();
+            stats.net = counters.snapshot();
+            let body = stats.to_json();
+            frame::encode_frame(&mut conn.wbuf, Opcode::StatsReply, id, body.as_bytes());
+            counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+        // A reply opcode sent as a request: answer an error, keep the
+        // connection (the frame boundary is intact).
+        Opcode::Result | Opcode::Pong | Opcode::StatsReply | Opcode::Error | Opcode::RetryAfter => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            frame::encode_error(
+                &mut conn.wbuf,
+                id,
+                ErrorCode::BadOpcode,
+                "reply opcode in request",
+            );
+            counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn reject(conn: &mut Conn, request_id: u64, server: &AlgasServer, counters: &NetCounters) {
+    counters.backpressure_rejects.fetch_add(1, Ordering::Relaxed);
+    frame::encode_retry_after(&mut conn.wbuf, request_id, suggest_delay_us(server));
+    counters.frames_out.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The RETRY_AFTER hint: about two p99s of the SLO controller's live
+/// service-time window (its view of current load), falling back to the
+/// running mean when the controller is off, clamped to a sane band.
+fn suggest_delay_us(server: &AlgasServer) -> u32 {
+    let ctl = server.control_stats();
+    let base_ns = if ctl.last_p99_ns > 0 {
+        ctl.last_p99_ns
+    } else {
+        let mean_us = server.stats().mean_service_us();
+        if mean_us > 0.0 {
+            (mean_us * 1000.0) as u64
+        } else {
+            1_000_000 // nothing served yet: suggest 1ms
+        }
+    };
+    ((base_ns * 2) / 1000).clamp(100, 200_000) as u32
+}
+
+/// Writes as much pending output as the socket accepts. Returns false
+/// if the connection died.
+fn flush_some(conn: &mut Conn, counters: &NetCounters, progress: &mut bool) -> bool {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.wpos += n;
+                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                *progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if conn.flushed() {
+        // Fully drained: reset in place so the capacity is reused
+        // (steady-state encodes stay allocation-free).
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wbuf.len() - conn.wpos > MAX_WRITE_BACKLOG {
+        return false; // slow consumer
+    }
+    true
+}
+
+fn close_conn(slot: &mut Option<Conn>, counters: &NetCounters) {
+    if slot.take().is_some() {
+        counters.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -12,12 +12,19 @@
 //! (one curl or one Prometheus scrape at a time), not a serving path,
 //! so throughput is deliberately traded for zero dependencies and zero
 //! interaction with the query hot path.
+//!
+//! Shutdown rides the shared [`crate::net::lifecycle`] path (the same
+//! one the query listener uses): nonblocking accept + bounded idle
+//! parking, so `stop()` is flag-and-join with no self-connect hack and
+//! no leaked listener thread.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use crate::net::lifecycle::{IdleParker, ListenerHandle};
 
 /// What the endpoints serve. Implemented by the CLI over a running
 /// [`crate::runtime::AlgasServer`]; snapshots are taken per request.
@@ -33,9 +40,7 @@ pub trait StatsSource: Send + Sync {
 /// A running stats server; [`StatsServer::stop`] (or drop) shuts it
 /// down.
 pub struct StatsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    handle: ListenerHandle,
 }
 
 impl StatsServer {
@@ -45,58 +50,47 @@ impl StatsServer {
     /// # Errors
     /// Propagates bind failures (port in use, bad address).
     pub fn start(addr: impl ToSocketAddrs, source: Arc<dyn StatsSource>) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let thread = std::thread::Builder::new()
-            .name("algas-stats-http".into())
-            .spawn(move || accept_loop(&listener, &stop_flag, source.as_ref()))?;
-        Ok(Self { addr, stop, thread: Some(thread) })
+        let handle =
+            ListenerHandle::spawn("algas-stats-http", addr, move |listener, stop, parker| {
+                accept_loop(&listener, stop, parker, source.as_ref());
+            })?;
+        Ok(Self { handle })
     }
 
     /// The bound address (resolves port 0 to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.handle.local_addr()
     }
 
-    /// Stops the accept loop and joins its thread.
-    pub fn stop(mut self) {
-        self.stop_inner();
-    }
-
-    fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            self.stop.store(true, Ordering::Release);
-            // The accept loop blocks in `accept`; a throwaway
-            // connection unblocks it so it can observe the flag.
-            let _ = TcpStream::connect(self.addr);
-            let _ = thread.join();
-        }
+    /// Stops the accept loop and joins its thread (flag + join via the
+    /// shared listener lifecycle — bounded by the park interval plus
+    /// at most one in-progress scrape).
+    pub fn stop(self) {
+        self.handle.stop();
     }
 }
 
-impl Drop for StatsServer {
-    fn drop(&mut self) {
-        self.stop_inner();
-    }
-}
-
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, source: &dyn StatsSource) {
-    loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if stop.load(Ordering::Acquire) {
-                return;
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    parker: &mut IdleParker,
+    source: &dyn StatsSource,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                parker.reset();
+                // Scrapes are served blocking, one at a time; a
+                // stalled client must not wedge the scrape surface.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = handle(stream, source);
             }
-            continue;
-        };
-        if stop.load(Ordering::Acquire) {
-            return;
+            Err(e) if e.kind() == ErrorKind::WouldBlock => parker.park(),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => parker.park(),
         }
-        // A stalled client must not wedge the scrape surface.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle(stream, source);
     }
 }
 
@@ -221,6 +215,26 @@ mod tests {
         server.stop();
         // The port is released: a fresh server can bind it (racy on a
         // busy machine, so only assert the old one stopped serving).
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn start_stop_twice_on_same_port() {
+        // The unified lifecycle releases the port synchronously on
+        // stop: a second server can bind the exact same port and
+        // serve, and no listener thread leaks from the first.
+        let first = StatsServer::start("127.0.0.1:0", Arc::new(FixedSource)).unwrap();
+        let addr = first.local_addr();
+        let (head, _) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        first.stop();
+
+        let second = StatsServer::start(addr, Arc::new(FixedSource)).unwrap();
+        assert_eq!(second.local_addr(), addr);
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("algas_up 1"));
+        second.stop();
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
     }
 }

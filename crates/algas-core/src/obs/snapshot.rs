@@ -21,6 +21,7 @@ use super::prom::PromWriter;
 use crate::control::ControlStats;
 use crate::engine::RerankStats;
 use crate::merge::MergeStats;
+use crate::net::NetStats;
 use crate::tracer::StepTotals;
 use algas_gpu_sim::sched::SimReport;
 
@@ -156,6 +157,9 @@ pub struct RuntimeStats {
     /// Flight-recorder totals (completions examined, events written,
     /// traces retained).
     pub flight: FlightTotals,
+    /// Network front-end counters (all zero when no query listener is
+    /// running — the library/CLI paths never touch a socket).
+    pub net: NetStats,
 }
 
 impl RuntimeStats {
@@ -367,6 +371,19 @@ impl RuntimeStats {
                     ("last_reason", Value::Str(self.control.last_reason.clone())),
                 ]),
             ),
+            (
+                "net",
+                obj(vec![
+                    ("connections_accepted", Value::Uint(self.net.connections_accepted)),
+                    ("connections_closed", Value::Uint(self.net.connections_closed)),
+                    ("frames_in", Value::Uint(self.net.frames_in)),
+                    ("frames_out", Value::Uint(self.net.frames_out)),
+                    ("bytes_in", Value::Uint(self.net.bytes_in)),
+                    ("bytes_out", Value::Uint(self.net.bytes_out)),
+                    ("protocol_errors", Value::Uint(self.net.protocol_errors)),
+                    ("backpressure_rejects", Value::Uint(self.net.backpressure_rejects)),
+                ]),
+            ),
         ]);
         doc.render()
     }
@@ -507,6 +524,20 @@ impl RuntimeStats {
                     .and_then(Value::as_str)
                     .unwrap_or("init")
                     .to_string(),
+            };
+        }
+        // Absent in snapshots written before the network front end
+        // existed; those parse with zeroed net counters.
+        if let Some(n) = doc.get("net") {
+            out.net = NetStats {
+                connections_accepted: u(n, "connections_accepted")?,
+                connections_closed: u(n, "connections_closed")?,
+                frames_in: u(n, "frames_in")?,
+                frames_out: u(n, "frames_out")?,
+                bytes_in: u(n, "bytes_in")?,
+                bytes_out: u(n, "bytes_out")?,
+                protocol_errors: u(n, "protocol_errors")?,
+                backpressure_rejects: u(n, "backpressure_rejects")?,
             };
         }
         Ok(out)
@@ -764,6 +795,38 @@ impl RuntimeStats {
         ] {
             w.family(name, "counter", help).scalar(name, v);
         }
+        for (name, help, v) in [
+            (
+                "algas_net_connections_accepted_total",
+                "TCP connections accepted by the query listener.",
+                self.net.connections_accepted,
+            ),
+            (
+                "algas_net_connections_closed_total",
+                "Query connections fully closed.",
+                self.net.connections_closed,
+            ),
+            (
+                "algas_net_frames_in_total",
+                "Complete frames decoded from clients.",
+                self.net.frames_in,
+            ),
+            ("algas_net_frames_out_total", "Frames written to clients.", self.net.frames_out),
+            ("algas_net_bytes_in_total", "Bytes read from client sockets.", self.net.bytes_in),
+            ("algas_net_bytes_out_total", "Bytes written to client sockets.", self.net.bytes_out),
+            (
+                "algas_net_protocol_errors_total",
+                "Frames rejected as malformed.",
+                self.net.protocol_errors,
+            ),
+            (
+                "algas_net_backpressure_rejects_total",
+                "Requests answered with RETRY_AFTER.",
+                self.net.backpressure_rejects,
+            ),
+        ] {
+            w.family(name, "counter", help).scalar(name, v);
+        }
         w.finish()
     }
 
@@ -854,6 +917,16 @@ mod tests {
         };
         s.merge = MergeStats { merges: 38, elements: 300, dupes_dropped: 4 };
         s.flight = FlightTotals { completions: 38, events: 410, retained: 5 };
+        s.net = NetStats {
+            connections_accepted: 6,
+            connections_closed: 4,
+            frames_in: 120,
+            frames_out: 118,
+            bytes_in: 10_560,
+            bytes_out: 13_216,
+            protocol_errors: 2,
+            backpressure_rejects: 7,
+        };
         s
     }
 

@@ -269,6 +269,18 @@ impl AlgasServer {
         }
     }
 
+    /// The index dimensionality submitted queries must match.
+    pub fn dim(&self) -> usize {
+        self.shared.engine.index().base.dim()
+    }
+
+    /// The SLO controller's live stats — the controller's view of load
+    /// (windowed p99, current rung). Used by the network front end to
+    /// size RETRY_AFTER delay suggestions.
+    pub fn control_stats(&self) -> crate::control::ControlStats {
+        self.shared.engine.controller().stats()
+    }
+
     /// A snapshot of the serving counters.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {

@@ -11,8 +11,12 @@
 //! algas serve  --index index.algas --queries q.fvecs --slots 16 [--quantize true]
 //!              [--rerank 32] [--entry-policy hash-table] [--slo-us 2000]
 //!              [--stats-json stats.json] [--listen 127.0.0.1:9100]
+//!              [--net 127.0.0.1:7700] [--max-inflight 256] [--repeat N]
 //!              [--linger-ms 0] [--trace-out trace.json] [--trace-threshold-us N]
 //!              [--trace-top 8] [--trace-sample N] [--trace-ring 1024]
+//! algas bench-net --addr 127.0.0.1:7700 --queries q.fvecs [--qps 1000]
+//!              [--requests 1000] [--connections 1] [--seed 42] [--warmup 0.2]
+//!              [--slo-us 2000] [--normalize true] [--recv-timeout-ms 10000]
 //! algas stats  --index index.algas --queries q.fvecs [--format json|prom]
 //! algas trace  --index index.algas --queries q.fvecs --out trace.json
 //!              [--trace-threshold-us N] [--trace-top 8] [--trace-sample N]
@@ -44,7 +48,16 @@
 //! `--listen` serves `/metrics`, `/stats.json`, and `/traces` over
 //! HTTP while the session runs (`--linger-ms` keeps it up after the
 //! queries drain), and `--trace-out` writes the retained slow-query
-//! flight traces as Chrome trace-event JSON. `stats` runs the same
+//! flight traces as Chrome trace-event JSON. `--net` additionally
+//! binds the binary query protocol (length-prefixed frames, pipelined,
+//! RETRY_AFTER backpressure beyond `--max-inflight` outstanding
+//! requests); `--repeat 0` skips the local closed-loop drive entirely
+//! so the process serves network clients only, for `--linger-ms`.
+//! `bench-net` is the matching open-loop client: seeded Poisson
+//! arrivals at `--qps` replayed against `--addr` regardless of reply
+//! progress (no coordinated omission), reporting completed/rejected
+//! counts, client-side p50/p99, and — with `--slo-us` — SLO
+//! attainment over the post-`--warmup` fraction of requests. `stats` runs the same
 //! serving session and emits only the snapshot, as JSON or Prometheus
 //! text exposition. `trace` runs a session purely to capture flight
 //! traces (open the output at <https://ui.perfetto.dev>); `trace-check`
@@ -53,7 +66,8 @@
 //! All logic lives here (testable); `src/bin/algas.rs` is a thin shim.
 
 use algas_core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
-use algas_core::obs::{FlightConfig, StatsServer};
+use algas_core::net::{loadgen, NetConfig, NetServer};
+use algas_core::obs::{FlightConfig, StatsServer, StatsSource};
 use algas_core::runtime::{AlgasServer, RuntimeConfig};
 use algas_graph::cagra::CagraParams;
 use algas_graph::nsw::NswParams;
@@ -79,6 +93,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "info" => cmd_info(&flags, out),
         "search" => cmd_search(&flags, out),
         "serve" => cmd_serve(&flags, out),
+        "bench-net" => cmd_bench_net(&flags, out),
         "stats" => cmd_stats(&flags, out),
         "trace" => cmd_trace(&flags, out),
         "trace-check" => cmd_trace_check(&flags, out),
@@ -91,7 +106,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: algas <gen|gt|build|info|search|serve|stats|trace|trace-check> [--flag value]...\n\
+    "usage: algas <gen|gt|build|info|search|serve|bench-net|stats|trace|trace-check> [--flag value]...\n\
      see crate docs (src/cli.rs) for the flags of each command"
         .to_string()
 }
@@ -468,33 +483,59 @@ fn drive_serve_session(
 fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
     let (server, queries) = start_server_from_flags(flags)?;
     let server = std::sync::Arc::new(server);
+    let net_server = match flags.get("net") {
+        Some(addr) => {
+            let cfg = NetConfig {
+                max_inflight: opt_parse(flags, "max-inflight", NetConfig::default().max_inflight)?,
+                ..NetConfig::default()
+            };
+            let srv = NetServer::start(addr.as_str(), server.clone(), cfg)
+                .map_err(|e| format!("--net {addr}: {e}"))?;
+            writeln!(out, "query protocol listening on {}", srv.local_addr()).map_err(io_err)?;
+            Some(std::sync::Arc::new(srv))
+        }
+        None => None,
+    };
     let stats_server = match flags.get("listen") {
         Some(addr) => {
-            let srv = StatsServer::start(addr.as_str(), server.clone() as _)
+            // Serving through the net front makes its counters live on
+            // the scrape endpoints too.
+            let source: std::sync::Arc<dyn StatsSource> = match &net_server {
+                Some(net) => net.clone(),
+                None => server.clone(),
+            };
+            let srv = StatsServer::start(addr.as_str(), source)
                 .map_err(|e| format!("--listen {addr}: {e}"))?;
             writeln!(out, "stats listening on http://{}", srv.local_addr()).map_err(io_err)?;
             Some(srv)
         }
         None => None,
     };
-    let repeat = opt_parse(flags, "repeat", 1usize)?.max(1);
-    let total = queries.len() * repeat;
-    let t0 = std::time::Instant::now();
-    let lat = drive_serve_session(&server, &queries, repeat)?;
-    let wall = t0.elapsed();
-    writeln!(
-        out,
-        "served {total} queries in {wall:.2?} ({:.0} q/s); latency p50 {} µs, p99 {} µs",
-        total as f64 / wall.as_secs_f64(),
-        lat.quantile(0.5) / 1000,
-        lat.quantile(0.99) / 1000,
-    )
-    .map_err(io_err)?;
+    // `--repeat 0` skips the local closed-loop drive: the process only
+    // serves network clients (use with --net and --linger-ms).
+    let repeat = opt_parse(flags, "repeat", 1usize)?;
+    if repeat > 0 {
+        let total = queries.len() * repeat;
+        let t0 = std::time::Instant::now();
+        let lat = drive_serve_session(&server, &queries, repeat)?;
+        let wall = t0.elapsed();
+        writeln!(
+            out,
+            "served {total} queries in {wall:.2?} ({:.0} q/s); latency p50 {} µs, p99 {} µs",
+            total as f64 / wall.as_secs_f64(),
+            lat.quantile(0.5) / 1000,
+            lat.quantile(0.99) / 1000,
+        )
+        .map_err(io_err)?;
+    }
     let linger_ms = opt_parse(flags, "linger-ms", 0u64)?;
     if linger_ms > 0 {
         std::thread::sleep(std::time::Duration::from_millis(linger_ms));
     }
-    let stats = server.runtime_stats();
+    let stats = match &net_server {
+        Some(net) => net.runtime_stats(),
+        None => server.runtime_stats(),
+    };
     if !stats.phases.end_to_end.is_empty() {
         let p99_us = |h: &algas_core::obs::HistogramSnapshot| h.quantile(0.99) as f64 / 1000.0;
         writeln!(
@@ -535,6 +576,23 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         )
         .map_err(io_err)?;
     }
+    if stats.net != algas_core::net::NetStats::default() {
+        let n = &stats.net;
+        writeln!(
+            out,
+            "net: {} conns accepted ({} closed), {} frames in / {} out, \
+             {} bytes in / {} out, {} protocol errors, {} backpressure rejects",
+            n.connections_accepted,
+            n.connections_closed,
+            n.frames_in,
+            n.frames_out,
+            n.bytes_in,
+            n.bytes_out,
+            n.protocol_errors,
+            n.backpressure_rejects,
+        )
+        .map_err(io_err)?;
+    }
     if let Some(path) = flags.get("stats-json") {
         std::fs::write(path, stats.to_json()).map_err(|e| format!("{path}: {e}"))?;
         writeln!(out, "wrote runtime stats to {path}").map_err(io_err)?;
@@ -544,12 +602,89 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         std::fs::write(path, server.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
         writeln!(out, "wrote {} flight trace(s) to {path}", traces.len()).map_err(io_err)?;
     }
+    // Teardown order matters for the Arc unwraps: the stats listener
+    // may hold the net server, and both listeners hold the runtime.
     if let Some(srv) = stats_server {
         srv.stop();
+    }
+    if let Some(net) = net_server {
+        match std::sync::Arc::try_unwrap(net) {
+            Ok(net) => net.stop(),
+            Err(_) => return Err("internal: net server still shared at shutdown".into()),
+        }
     }
     match std::sync::Arc::try_unwrap(server) {
         Ok(server) => server.shutdown(),
         Err(_) => return Err("internal: server still shared at shutdown".into()),
+    }
+    Ok(())
+}
+
+/// `algas bench-net`: the open-loop load generator against a running
+/// `serve --net` endpoint. Requests follow a seeded Poisson schedule
+/// at `--qps` regardless of reply progress — a slow server accumulates
+/// backlog like it would from independent clients, so tail latency and
+/// RETRY_AFTER rejects are measured honestly (no coordinated
+/// omission). The leading `--warmup` fraction is excluded from latency
+/// and `--slo-us` attainment.
+fn cmd_bench_net(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let addr = req(flags, "addr")?;
+    let mut queries = load_fvecs(req(flags, "queries")?)?;
+    if parse_bool(flags, "normalize")? {
+        queries.normalize_l2();
+    }
+    let cfg = loadgen::LoadConfig {
+        target_qps: opt_parse(flags, "qps", 1000.0f64)?,
+        requests: opt_parse(flags, "requests", 1000usize)?,
+        connections: opt_parse(flags, "connections", 1usize)?,
+        seed: opt_parse(flags, "seed", 42u64)?,
+        warmup_fraction: opt_parse(flags, "warmup", 0.2f64)?,
+        slo: match flags.get("slo-us") {
+            None => None,
+            Some(v) => Some(std::time::Duration::from_micros(
+                v.parse().map_err(|_| format!("--slo-us: cannot parse `{v}`"))?,
+            )),
+        },
+        recv_timeout: std::time::Duration::from_millis(opt_parse(
+            flags,
+            "recv-timeout-ms",
+            10_000u64,
+        )?),
+    };
+    let query_vecs: Vec<Vec<f32>> = (0..queries.len()).map(|i| queries.get(i).to_vec()).collect();
+    let report =
+        loadgen::run_load(addr, &query_vecs, &cfg).map_err(|e| format!("bench-net {addr}: {e}"))?;
+    writeln!(
+        out,
+        "offered {} requests at target {:.0} q/s over {} connection(s), seed {}: \
+         {} completed, {} rejected (RETRY_AFTER), {} errors in {:.2?} ({:.0} q/s achieved)",
+        report.offered,
+        cfg.target_qps,
+        cfg.connections,
+        cfg.seed,
+        report.completed,
+        report.rejected,
+        report.errors,
+        report.elapsed,
+        report.achieved_qps,
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "client latency over {} post-warmup samples: p50 {:.1} µs, p99 {:.1} µs",
+        report.measured,
+        report.p50_us(),
+        report.p99_us(),
+    )
+    .map_err(io_err)?;
+    if let Some(slo) = cfg.slo {
+        writeln!(
+            out,
+            "slo attainment: {:.4} of measured requests within {} µs",
+            report.attainment,
+            slo.as_micros(),
+        )
+        .map_err(io_err)?;
     }
     Ok(())
 }
@@ -970,6 +1105,119 @@ mod tests {
         assert!(run(&args, &mut sink).is_err());
 
         for p in [base, queries, index, trace, trace2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    /// A `Write` that appends into shared memory so one thread can
+    /// watch another command's output as it runs.
+    #[derive(Clone, Default)]
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedOut {
+        fn text(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+        }
+    }
+
+    #[test]
+    fn serve_net_and_bench_net_roundtrip() {
+        let base = tmp("n-base.fvecs");
+        let queries = tmp("n-q.fvecs");
+        let index = tmp("n-index.algas");
+        run_ok(&[
+            "gen",
+            "--out",
+            &base,
+            "--queries",
+            &queries,
+            "--n",
+            "500",
+            "--nq",
+            "32",
+            "--dim",
+            "12",
+            "--seed",
+            "11",
+        ]);
+        run_ok(&["build", "--base", &base, "--graph", "cagra", "--out", &index]);
+
+        // `--repeat 0` + `--net` + `--linger-ms`: a network-only
+        // serving process on an ephemeral port.
+        let serve_out = SharedOut::default();
+        let serve_thread = {
+            let mut out = serve_out.clone();
+            let args: Vec<String> = [
+                "serve",
+                "--index",
+                &index,
+                "--queries",
+                &queries,
+                "--slots",
+                "4",
+                "--net",
+                "127.0.0.1:0",
+                "--repeat",
+                "0",
+                "--linger-ms",
+                "4000",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || run(&args, &mut out))
+        };
+        // Scrape the bound address from the serve banner.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            let text = serve_out.text();
+            if let Some(line) = text.lines().find(|l| l.starts_with("query protocol listening on"))
+            {
+                break line.rsplit(' ').next().unwrap().to_string();
+            }
+            assert!(std::time::Instant::now() < deadline, "serve never bound: {text}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let msg = run_ok(&[
+            "bench-net",
+            "--addr",
+            &addr,
+            "--queries",
+            &queries,
+            "--qps",
+            "2000",
+            "--requests",
+            "64",
+            "--connections",
+            "2",
+            "--seed",
+            "9",
+            "--slo-us",
+            "100000",
+        ]);
+        assert!(msg.contains("64 completed, 0 rejected (RETRY_AFTER), 0 errors"), "{msg}");
+        assert!(msg.contains("slo attainment:"), "{msg}");
+
+        serve_thread.join().unwrap().expect("serve exits cleanly");
+        let text = serve_out.text();
+        // No local drive ran, but the net summary reflects the bench.
+        assert!(!text.contains("served "), "{text}");
+        assert!(text.contains("net: 2 conns accepted"), "{text}");
+        assert!(text.contains("0 protocol errors"), "{text}");
+
+        for p in [base, queries, index] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -15,6 +15,7 @@
 use algas::core::control::ControlStats;
 use algas::core::engine::RerankStats;
 use algas::core::merge::MergeStats;
+use algas::core::net::NetStats;
 use algas::core::obs::prom::check_exposition;
 use algas::core::obs::{FlightTotals, Histogram, HostStats, RuntimeStats, SlotStats, WorkerStats};
 use algas::core::tracer::StepTotals;
@@ -71,6 +72,16 @@ fn fixture() -> RuntimeStats {
         holds: 5,
         last_p99_ns: 1_900_000,
         last_reason: "hold".to_string(),
+    };
+    s.net = NetStats {
+        connections_accepted: 6,
+        connections_closed: 4,
+        frames_in: 120,
+        frames_out: 118,
+        bytes_in: 10_560,
+        bytes_out: 13_216,
+        protocol_errors: 2,
+        backpressure_rejects: 7,
     };
     s
 }
