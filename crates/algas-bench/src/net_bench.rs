@@ -15,7 +15,12 @@
 //!    most 15% (the readiness loop must not perturb the hot path).
 //!    Client-side p50/p99 for the TCP run quantify the loopback+codec
 //!    round-trip itself.
-//! 3. **Overload** — the open-loop generator at a multiple of capacity
+//! 3. **Load curve** — the open-loop generator swept across a ladder
+//!    of target rates (fractions of calibrated capacity, crossing it)
+//!    on a fresh runtime per sweep, producing the classic
+//!    latency-vs-offered-load curve: client p50/p99 and reject counts
+//!    per rung under `"load_curve"`.
+//! 4. **Overload** — the open-loop generator at a multiple of capacity
 //!    against a deliberately small in-flight budget. Backpressure must
 //!    convert the overload into RETRY_AFTER rejects (counted in obs)
 //!    while the *accepted* requests keep a bounded tail — instead of
@@ -204,6 +209,52 @@ pub fn run(scale: f64, out_path: &str) {
         moderate.p99_us(),
     );
 
+    // ── Load curve: a ladder of offered rates across capacity ────────
+    // Fractions of the calibrated closed-loop capacity, deliberately
+    // crossing 1.0 so the curve shows the knee: flat client latency
+    // while there is headroom, then the queueing blow-up.
+    let curve_fractions = [0.25, 0.5, 0.75, 1.0, 1.25];
+    let curve_runtime = Arc::new(start_runtime(&index, 4096));
+    let curve_net =
+        NetServer::start("127.0.0.1:0", Arc::clone(&curve_runtime), NetConfig::default())
+            .expect("bind loopback");
+    let mut curve_rows = Vec::with_capacity(curve_fractions.len());
+    for &fraction in &curve_fractions {
+        let target_qps = (capacity_qps * fraction).max(100.0);
+        let curve_requests = ((target_qps * 0.75) as usize).clamp(500, 10_000);
+        eprintln!(
+            "load curve {fraction:.2}x capacity: {target_qps:.0} q/s, {curve_requests} requests ..."
+        );
+        let cfg = LoadConfig {
+            target_qps,
+            requests: curve_requests,
+            connections: 2,
+            seed: SEED + 2,
+            warmup_fraction: 0.2,
+            slo: Some(slo),
+            ..Default::default()
+        };
+        let report = loadgen::run_load(curve_net.local_addr(), &queries, &cfg).expect("curve run");
+        eprintln!(
+            "  achieved {:.0} q/s, client p50 {:.1} µs, p99 {:.1} µs, {} rejected",
+            report.achieved_qps,
+            report.p50_us(),
+            report.p99_us(),
+            report.rejected,
+        );
+        curve_rows.push(obj({
+            let mut f = vec![
+                ("fraction_of_capacity", Value::Num(fraction)),
+                ("target_qps", Value::Num(target_qps)),
+                ("requests", Value::Uint(curve_requests as u64)),
+            ];
+            f.extend(report_fields(&report));
+            f
+        }));
+    }
+    curve_net.stop();
+    drop(curve_runtime);
+
     // ── Overload: open loop past capacity, small in-flight budget ────
     let overload_qps = capacity_qps * 2.5;
     let overload_requests = ((overload_qps * 1.0) as usize).clamp(2_000, 40_000);
@@ -279,6 +330,7 @@ pub fn run(scale: f64, out_path: &str) {
                 ("within_15pct", Value::Bool(tax_ratio <= 1.15)),
             ]),
         ),
+        ("load_curve", Value::Arr(curve_rows)),
         (
             "overload",
             obj(vec![

@@ -128,6 +128,24 @@ impl NetClient {
         self.stream.write_all(&self.wbuf)
     }
 
+    /// Sends a SEARCH frame carrying a client-send timestamp
+    /// (`FLAG_CLIENT_TS`): `client_ts_us` rides in the payload tail
+    /// and lands in the server's query log next to this request id, so
+    /// wire-transit delay is attributable per query.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn send_search_ts(
+        &mut self,
+        request_id: u64,
+        query: &[f32],
+        client_ts_us: u64,
+    ) -> io::Result<()> {
+        self.wbuf.clear();
+        frame::encode_search_ts(&mut self.wbuf, request_id, query, client_ts_us);
+        self.stream.write_all(&self.wbuf)
+    }
+
     /// Sends a PING frame.
     ///
     /// # Errors

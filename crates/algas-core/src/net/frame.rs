@@ -7,15 +7,26 @@
 //!      0     4  magic        0x53474C41 — the bytes b"ALGS"
 //!      4     1  version      protocol version, currently 1
 //!      5     1  opcode       see [`Opcode`]
-//!      6     2  flags        reserved, must be zero
+//!      6     2  flags        see below; unknown bits are rejected
 //!      8     8  request_id   client-chosen, echoed verbatim in replies
 //!     16     4  payload_len  bytes of payload following the header
 //!     20     …  payload      opcode-specific, see below
 //! ```
 //!
+//! The only defined flag is [`FLAG_CLIENT_TS`] (bit 0), valid solely
+//! on `SEARCH` frames: it extends the payload with a trailing `u64`
+//! client-send timestamp (microseconds on the *client's* clock, echoed
+//! opaquely into the server's query log so a client can correlate its
+//! own send time with server-side spans). Every other flag bit is
+//! reserved and rejected, so the extension is version-gated: old
+//! servers reject flagged frames with `BadPayload` ("reserved flags
+//! set") instead of misparsing them, and old clients never set the bit.
+//!
 //! Payload layouts (all little-endian):
 //!
-//! * `SEARCH` — `dim × f32` query vector (`payload_len == 4 * dim`).
+//! * `SEARCH` — `dim × f32` query vector (`payload_len == 4 * dim`);
+//!   with [`FLAG_CLIENT_TS`] set, `dim × f32` then `u64 client_ts_us`
+//!   (`payload_len == 4 * dim + 8`).
 //! * `RESULT` — `u32 n`, then `n × (u32 id, f32 distance)` ascending
 //!   by distance.
 //! * `PING` / `PONG` — opaque bytes (≤ 64), echoed verbatim.
@@ -40,6 +51,9 @@ pub const HEADER_LEN: usize = 20;
 /// Default cap on `payload_len`; larger frames are a protocol error.
 /// Generous for any sane query dimension (1 MiB ≈ d = 262144).
 pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+/// Header flag (bit 0), SEARCH only: the payload carries a trailing
+/// `u64` client-send timestamp in microseconds after the query vector.
+pub const FLAG_CLIENT_TS: u16 = 0x0001;
 
 /// Frame opcodes. Requests have the high bit clear, replies set;
 /// `0xE0+` is the error space.
@@ -130,10 +144,19 @@ impl ErrorCode {
 pub struct FrameHeader {
     /// The frame's opcode.
     pub opcode: Opcode,
+    /// Validated flag bits ([`FLAG_CLIENT_TS`] or zero).
+    pub flags: u16,
     /// Client-chosen id, echoed in the matching reply.
     pub request_id: u64,
     /// Payload bytes following the header.
     pub payload_len: u32,
+}
+
+impl FrameHeader {
+    /// True when the SEARCH payload ends in a client-send timestamp.
+    pub fn has_client_ts(&self) -> bool {
+        self.flags & FLAG_CLIENT_TS != 0
+    }
 }
 
 /// Why a buffered byte stream cannot be a valid frame. All of these
@@ -245,7 +268,10 @@ pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<Decoded<'_>, DecodeE
     }
     let opcode = Opcode::from_u8(buf[5]).ok_or(DecodeError::BadOpcode(buf[5]))?;
     let flags = u16::from_le_bytes([buf[6], buf[7]]);
-    if flags != 0 {
+    // FLAG_CLIENT_TS is only meaningful on SEARCH; any other set bit
+    // (or the flag on a non-SEARCH frame) is reserved and rejected.
+    let valid = if opcode == Opcode::Search { FLAG_CLIENT_TS } else { 0 };
+    if flags & !valid != 0 {
         return Err(DecodeError::BadFlags(flags));
     }
     let request_id = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
@@ -258,7 +284,7 @@ pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<Decoded<'_>, DecodeE
         return Ok(Decoded::NeedMore);
     }
     Ok(Decoded::Frame {
-        header: FrameHeader { opcode, request_id, payload_len },
+        header: FrameHeader { opcode, flags, request_id, payload_len },
         payload: &buf[HEADER_LEN..total],
         consumed: total,
     })
@@ -274,10 +300,22 @@ pub fn encode_frame(out: &mut Vec<u8>, opcode: Opcode, request_id: u64, payload:
 /// payload bytes next. Lets composite payloads (RESULT) encode without
 /// a staging copy.
 pub fn encode_header(out: &mut Vec<u8>, opcode: Opcode, request_id: u64, payload_len: u32) {
+    encode_header_flags(out, opcode, 0, request_id, payload_len);
+}
+
+/// [`encode_header`] with explicit flag bits (the codec does not
+/// validate them here; [`decode_frame`] is the gatekeeper).
+pub fn encode_header_flags(
+    out: &mut Vec<u8>,
+    opcode: Opcode,
+    flags: u16,
+    request_id: u64,
+    payload_len: u32,
+) {
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.push(VERSION);
     out.push(opcode.as_u8());
-    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&request_id.to_le_bytes());
     out.extend_from_slice(&payload_len.to_le_bytes());
 }
@@ -288,6 +326,23 @@ pub fn encode_search(out: &mut Vec<u8>, request_id: u64, query: &[f32]) {
     for &v in query {
         out.extend_from_slice(&v.to_le_bytes());
     }
+}
+
+/// Appends a SEARCH frame carrying a client-send timestamp: the
+/// [`FLAG_CLIENT_TS`] bit is set and `client_ts_us` (microseconds on
+/// the client's clock, opaque to the server) trails the query vector.
+pub fn encode_search_ts(out: &mut Vec<u8>, request_id: u64, query: &[f32], client_ts_us: u64) {
+    encode_header_flags(
+        out,
+        Opcode::Search,
+        FLAG_CLIENT_TS,
+        request_id,
+        (query.len() * 4 + 8) as u32,
+    );
+    for &v in query {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&client_ts_us.to_le_bytes());
 }
 
 /// Appends a RESULT frame for a TopK reply.
@@ -347,6 +402,20 @@ pub fn decode_search_into(payload: &[u8], query: &mut Vec<f32>) -> Result<(), Ba
         payload.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))),
     );
     Ok(())
+}
+
+/// Splits a [`FLAG_CLIENT_TS`] SEARCH payload into the query-vector
+/// bytes and the trailing client-send timestamp (µs). The query bytes
+/// still need [`decode_search_into`].
+///
+/// # Errors
+/// The payload must be at least one f32 plus the 8-byte timestamp.
+pub fn split_search_ts(payload: &[u8]) -> Result<(&[u8], u64), BadPayload> {
+    if payload.len() < 12 {
+        return Err(BadPayload);
+    }
+    let (query, ts) = payload.split_at(payload.len() - 8);
+    Ok((query, u64::from_le_bytes(ts.try_into().expect("8 bytes"))))
 }
 
 /// Decodes a RESULT payload into `ids` / `distances` (cleared first).
@@ -488,6 +557,38 @@ mod tests {
             decode_frame(&big, 1024),
             Err(DecodeError::Oversize { len: u32::MAX, max: 1024 })
         );
+    }
+
+    #[test]
+    fn client_ts_flag_roundtrips_on_search_only() {
+        let mut buf = Vec::new();
+        encode_search_ts(&mut buf, 11, &[1.0, 2.0, 3.0], 987_654_321);
+        let Decoded::Frame { header, payload, consumed } =
+            decode_frame(&buf, DEFAULT_MAX_PAYLOAD).unwrap()
+        else {
+            panic!("complete flagged frame")
+        };
+        assert_eq!(header.opcode, Opcode::Search);
+        assert_eq!(header.flags, FLAG_CLIENT_TS);
+        assert!(header.has_client_ts());
+        assert_eq!(consumed, buf.len());
+        let (qbytes, ts) = split_search_ts(payload).unwrap();
+        assert_eq!(ts, 987_654_321);
+        let mut q = Vec::new();
+        decode_search_into(qbytes, &mut q).unwrap();
+        assert_eq!(q, vec![1.0, 2.0, 3.0]);
+
+        // Undefined flag bits stay rejected, on SEARCH too.
+        let mut other = buf.clone();
+        other[6] = 0x02;
+        assert_eq!(decode_frame(&other, DEFAULT_MAX_PAYLOAD), Err(DecodeError::BadFlags(2)));
+        // And the client-ts bit is SEARCH-only: flagged PING is refused.
+        let mut ping = Vec::new();
+        encode_header_flags(&mut ping, Opcode::Ping, FLAG_CLIENT_TS, 12, 0);
+        assert_eq!(decode_frame(&ping, DEFAULT_MAX_PAYLOAD), Err(DecodeError::BadFlags(1)));
+        // A flagged payload too short to hold vector + timestamp is a
+        // recoverable BadPayload, not a panic.
+        assert!(split_search_ts(&[0u8; 11]).is_err());
     }
 
     #[test]

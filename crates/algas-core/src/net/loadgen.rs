@@ -85,6 +85,11 @@ pub struct LoadReport {
     pub latency: HistogramSnapshot,
     /// Fraction of measured samples within the SLO (1.0 when no SLO).
     pub attainment: f64,
+    /// The slowest post-warm-up request as `(request_id, latency_ns)`;
+    /// `None` when nothing was measured. Requests are sent with
+    /// `FLAG_CLIENT_TS`, so this id resolves server-side: grep it in
+    /// `/traces` and `/query-log`.
+    pub slowest: Option<(u64, u64)>,
 }
 
 impl LoadReport {
@@ -190,8 +195,11 @@ pub fn run_load(
                 if at > now {
                     std::thread::sleep(at - now);
                 }
-                send_stamp[*i].store(epoch.elapsed().as_nanos().max(1) as u64, Ordering::Release);
-                if writer.send_search(*i as u64, &query).is_err() {
+                let now = epoch.elapsed();
+                send_stamp[*i].store(now.as_nanos().max(1) as u64, Ordering::Release);
+                // The send stamp also rides the wire (µs) so the
+                // server's query log can attribute wire-transit delay.
+                if writer.send_search_ts(*i as u64, &query, now.as_micros() as u64).is_err() {
                     break;
                 }
                 sent += 1;
@@ -231,6 +239,7 @@ pub fn run_load(
         achieved_qps: tally.completed as f64 / elapsed.as_secs_f64().max(1e-9),
         latency: hist.snapshot(),
         attainment,
+        slowest: tally.slowest,
     })
 }
 
@@ -241,6 +250,9 @@ struct RecvTally {
     errors: usize,
     latencies_ns: Vec<u64>,
     last_reply_at: Duration,
+    /// Slowest post-warm-up `(request_id, latency_ns)` on this
+    /// connection.
+    slowest: Option<(u64, u64)>,
 }
 
 impl RecvTally {
@@ -261,7 +273,11 @@ impl RecvTally {
                     let i = request_id as usize;
                     let sent = sent_at.get(i).map_or(0, |a| a.load(Ordering::Acquire));
                     if sent > 0 && i >= warmup {
-                        t.latencies_ns.push(now_ns.saturating_sub(sent).max(1));
+                        let l = now_ns.saturating_sub(sent).max(1);
+                        t.latencies_ns.push(l);
+                        if t.slowest.is_none_or(|(_, worst)| l > worst) {
+                            t.slowest = Some((request_id, l));
+                        }
                     }
                 }
                 Ok(Reply::RetryAfter { .. }) => t.rejected += 1,
@@ -283,6 +299,11 @@ impl RecvTally {
         self.errors += other.errors;
         self.latencies_ns.extend(other.latencies_ns);
         self.last_reply_at = self.last_reply_at.max(other.last_reply_at);
+        if let Some((id, l)) = other.slowest {
+            if self.slowest.is_none_or(|(_, worst)| l > worst) {
+                self.slowest = Some((id, l));
+            }
+        }
     }
 }
 

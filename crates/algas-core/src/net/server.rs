@@ -41,9 +41,9 @@ use crossbeam::channel::{Receiver, TryRecvError};
 
 use super::frame::{self, Decoded, ErrorCode, Opcode};
 use super::lifecycle::{IdleParker, ListenerHandle};
-use super::{NetCounters, NetStats};
+use super::{ConnCells, NetCounters, NetStats};
 use crate::obs::RuntimeStats;
-use crate::runtime::{AlgasServer, SearchReply, SubmitError};
+use crate::runtime::{AlgasServer, SearchReply, SubmitError, WireCtx};
 
 /// Tuning for the network front end.
 #[derive(Clone, Copy, Debug)]
@@ -110,10 +110,13 @@ impl NetServer {
     }
 
     /// The runtime's full telemetry snapshot with this listener's
-    /// network counters stamped in.
+    /// network counters, per-connection telemetry, and advised-backoff
+    /// histogram stamped in.
     pub fn runtime_stats(&self) -> RuntimeStats {
         let mut out = self.server.runtime_stats();
         out.net = self.counters.snapshot();
+        out.net_conns = self.counters.conn_snapshots();
+        out.retry_backoff = self.counters.backoff_snapshot();
         out
     }
 
@@ -140,6 +143,14 @@ impl crate::obs::StatsSource for NetServer {
     fn traces_json(&self) -> String {
         self.server.traces_json()
     }
+
+    fn query_log_lines(&self) -> Vec<String> {
+        self.server.qlog_lines()
+    }
+
+    fn readyz(&self) -> bool {
+        self.server.ready()
+    }
 }
 
 /// Per-pass read chunk; also the initial read-buffer headroom.
@@ -163,6 +174,10 @@ struct Conn {
     closing: bool,
     /// Guards the in-flight table against connection-slot reuse.
     gen: u64,
+    /// Shared per-connection telemetry cells; also registered with the
+    /// counters so `/stats.json` and `/metrics` can break the listener
+    /// down by connection.
+    cells: Arc<ConnCells>,
 }
 
 impl Conn {
@@ -206,7 +221,11 @@ fn event_loop(
                 match listener.accept() {
                     Ok((stream, _)) => {
                         progress = true;
-                        counters.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                        // The accept count doubles as the connection id
+                        // (monotone, starting at 1) — the label every
+                        // per-connection series carries.
+                        let conn_id =
+                            counters.connections_accepted.fetch_add(1, Ordering::Relaxed) + 1;
                         let open = conns.iter().filter(|c| c.is_some()).count();
                         if open >= cfg.max_conns || stream.set_nonblocking(true).is_err() {
                             counters.connections_closed.fetch_add(1, Ordering::Relaxed);
@@ -223,6 +242,7 @@ fn event_loop(
                             inflight: 0,
                             closing: false,
                             gen: next_gen,
+                            cells: counters.register_conn(conn_id),
                         };
                         match conns.iter_mut().position(|c| c.is_none()) {
                             Some(idx) => conns[idx] = Some(conn),
@@ -275,6 +295,7 @@ fn event_loop(
                     if let Some(conn) = conns.get_mut(p.conn).and_then(Option::as_mut) {
                         if conn.gen == p.gen {
                             conn.inflight -= 1;
+                            conn.cells.inflight.fetch_sub(1, Ordering::Relaxed);
                             frame::encode_result(
                                 &mut conn.wbuf,
                                 p.request_id,
@@ -294,6 +315,7 @@ fn event_loop(
                     if let Some(conn) = conns.get_mut(p.conn).and_then(Option::as_mut) {
                         if conn.gen == p.gen {
                             conn.inflight -= 1;
+                            conn.cells.inflight.fetch_sub(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -354,6 +376,7 @@ fn read_some(conn: &mut Conn, counters: &NetCounters) -> ReadOutcome {
             Ok(n) => {
                 conn.rlen += n;
                 counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                conn.cells.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
                 outcome = ReadOutcome::Progress;
                 if n < READ_CHUNK {
                     return outcome;
@@ -413,6 +436,7 @@ fn decode_and_handle(
                 // Framing is lost: answer once, stop reading, close
                 // after the flush.
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.cells.errors.fetch_add(1, Ordering::Relaxed);
                 frame::encode_error(&mut conn.wbuf, 0, e.error_code(), e.message());
                 counters.frames_out.fetch_add(1, Ordering::Relaxed);
                 conn.closing = true;
@@ -445,15 +469,25 @@ fn handle_frame(
     match header.opcode {
         Opcode::Search => {
             let payload = &conn.rbuf[payload_range.0..payload_range.1];
-            if payload.len() != dim * 4
-                || frame::decode_search_into(payload, scratch_query).is_err()
+            // A flagged SEARCH carries a trailing client-send
+            // timestamp (dim x f32 + u64); a plain one is dim x f32.
+            let (vector, client_ts_us) = if header.has_client_ts() {
+                match frame::split_search_ts(payload) {
+                    Ok(pair) if pair.0.len() == dim * 4 => pair,
+                    _ => (&[][..], 0),
+                }
+            } else {
+                (payload, 0u64)
+            };
+            if vector.len() != dim * 4 || frame::decode_search_into(vector, scratch_query).is_err()
             {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.cells.errors.fetch_add(1, Ordering::Relaxed);
                 frame::encode_error(
                     &mut conn.wbuf,
                     id,
                     ErrorCode::BadPayload,
-                    "SEARCH payload must be dim x f32",
+                    "SEARCH payload must be dim x f32 (+ u64 ts when flagged)",
                 );
                 counters.frames_out.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -465,9 +499,11 @@ fn handle_frame(
                 reject(conn, id, server, counters);
                 return;
             }
-            match server.submit(std::mem::take(scratch_query)) {
+            let wire = WireCtx { request_id: id, conn_id: conn.cells.id, client_ts_us };
+            match server.submit_traced(std::mem::take(scratch_query), wire) {
                 Ok((_tag, rx)) => {
                     conn.inflight += 1;
+                    conn.cells.inflight.fetch_add(1, Ordering::Relaxed);
                     pending.push(Pending { conn: conn_idx, gen: conn.gen, request_id: id, rx });
                 }
                 Err(SubmitError::QueueFull) => reject(conn, id, server, counters),
@@ -503,6 +539,7 @@ fn handle_frame(
         // connection (the frame boundary is intact).
         Opcode::Result | Opcode::Pong | Opcode::StatsReply | Opcode::Error | Opcode::RetryAfter => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            conn.cells.errors.fetch_add(1, Ordering::Relaxed);
             frame::encode_error(
                 &mut conn.wbuf,
                 id,
@@ -516,7 +553,14 @@ fn handle_frame(
 
 fn reject(conn: &mut Conn, request_id: u64, server: &AlgasServer, counters: &NetCounters) {
     counters.backpressure_rejects.fetch_add(1, Ordering::Relaxed);
-    frame::encode_retry_after(&mut conn.wbuf, request_id, suggest_delay_us(server));
+    conn.cells.retry_afters.fetch_add(1, Ordering::Relaxed);
+    let delay_us = suggest_delay_us(server);
+    // How hard we asked clients to back off, and which requests were
+    // turned away: the advised delay lands in a histogram, the wire id
+    // in the query log (status "rejected").
+    counters.retry_backoff_us.record(u64::from(delay_us));
+    server.qlog_reject(request_id, conn.cells.id);
+    frame::encode_retry_after(&mut conn.wbuf, request_id, delay_us);
     counters.frames_out.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -547,6 +591,7 @@ fn flush_some(conn: &mut Conn, counters: &NetCounters, progress: &mut bool) -> b
             Ok(n) => {
                 conn.wpos += n;
                 counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                conn.cells.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
                 *progress = true;
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -559,14 +604,19 @@ fn flush_some(conn: &mut Conn, counters: &NetCounters, progress: &mut bool) -> b
         // (steady-state encodes stay allocation-free).
         conn.wbuf.clear();
         conn.wpos = 0;
-    } else if conn.wbuf.len() - conn.wpos > MAX_WRITE_BACKLOG {
-        return false; // slow consumer
+    } else {
+        let backlog = conn.wbuf.len() - conn.wpos;
+        conn.cells.note_backlog(backlog as u64);
+        if backlog > MAX_WRITE_BACKLOG {
+            return false; // slow consumer
+        }
     }
     true
 }
 
 fn close_conn(slot: &mut Option<Conn>, counters: &NetCounters) {
-    if slot.take().is_some() {
+    if let Some(conn) = slot.take() {
+        counters.unregister_conn(conn.cells.id);
         counters.connections_closed.fetch_add(1, Ordering::Relaxed);
     }
 }

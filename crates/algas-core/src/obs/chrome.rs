@@ -46,7 +46,7 @@ fn us(ns: u64) -> Value {
     Value::Num(ns as f64 / 1_000.0)
 }
 
-fn span(name: &str, tid: u64, start_ns: u64, end_ns: u64, tag: u64) -> Value {
+fn span(name: &str, tid: u64, start_ns: u64, end_ns: u64, t: &QueryTrace) -> Value {
     obj(vec![
         ("ph", Value::Str("X".into())),
         ("name", Value::Str(name.into())),
@@ -54,7 +54,11 @@ fn span(name: &str, tid: u64, start_ns: u64, end_ns: u64, tag: u64) -> Value {
         ("tid", Value::Uint(tid)),
         ("ts", us(start_ns)),
         ("dur", us(end_ns.saturating_sub(start_ns))),
-        ("args", obj(vec![("tag", Value::Uint(tag))])),
+        // Both ids: `tag` is the server's slot-protocol tag,
+        // `request_id` the wire id the client logged — the one to
+        // search for in Perfetto when chasing a client-side slow
+        // request.
+        ("args", obj(vec![("tag", Value::Uint(t.tag)), ("request_id", Value::Uint(t.request_id))])),
     ])
 }
 
@@ -108,15 +112,15 @@ pub fn chrome_trace_json(traces: &[QueryTrace]) -> String {
         // The six lifecycle phases as nested duration events on the
         // slot track: end_to_end outermost, the five disjoint spans
         // inside it.
-        events.push(span("end_to_end", slot_tid, lc.submitted_ns, lc.delivered_ns, t.tag));
-        events.push(span("submit_to_slot", slot_tid, lc.submitted_ns, lc.slot_ns, t.tag));
-        events.push(span("slot_to_work", slot_tid, lc.slot_ns, lc.work_start_ns, t.tag));
-        events.push(span("work_to_finish", slot_tid, lc.work_start_ns, lc.finish_ns, t.tag));
-        events.push(span("finish_to_merged", slot_tid, lc.finish_ns, lc.merged_ns, t.tag));
-        events.push(span("merged_to_delivered", slot_tid, lc.merged_ns, lc.delivered_ns, t.tag));
-        events.push(span("search", worker_tid(t.worker), lc.work_start_ns, lc.finish_ns, t.tag));
-        events.push(span("merge", host_tid(t.host), lc.merge_begin_ns, lc.merged_ns, t.tag));
-        events.push(span("deliver", host_tid(t.host), lc.merged_ns, lc.delivered_ns, t.tag));
+        events.push(span("end_to_end", slot_tid, lc.submitted_ns, lc.delivered_ns, t));
+        events.push(span("submit_to_slot", slot_tid, lc.submitted_ns, lc.slot_ns, t));
+        events.push(span("slot_to_work", slot_tid, lc.slot_ns, lc.work_start_ns, t));
+        events.push(span("work_to_finish", slot_tid, lc.work_start_ns, lc.finish_ns, t));
+        events.push(span("finish_to_merged", slot_tid, lc.finish_ns, lc.merged_ns, t));
+        events.push(span("merged_to_delivered", slot_tid, lc.merged_ns, lc.delivered_ns, t));
+        events.push(span("search", worker_tid(t.worker), lc.work_start_ns, lc.finish_ns, t));
+        events.push(span("merge", host_tid(t.host), lc.merge_begin_ns, lc.merged_ns, t));
+        events.push(span("deliver", host_tid(t.host), lc.merged_ns, lc.delivered_ns, t));
         for e in &t.events {
             match e.kind {
                 EventKind::CtaStep => {
@@ -256,6 +260,8 @@ mod tests {
         };
         QueryTrace {
             tag: 11,
+            request_id: 8_811,
+            conn: 3,
             slot: 2,
             worker: 1,
             host: 0,
@@ -331,5 +337,8 @@ mod tests {
             .unwrap();
         assert_eq!(e2e.get("ts").unwrap().as_f64(), Some(1.0));
         assert_eq!(e2e.get("dur").unwrap().as_f64(), Some(8.6));
+        let args = e2e.get("args").unwrap();
+        assert_eq!(args.get("tag").and_then(Value::as_u64), Some(11));
+        assert_eq!(args.get("request_id").and_then(Value::as_u64), Some(8_811));
     }
 }

@@ -152,12 +152,38 @@ impl LifecycleNs {
     }
 }
 
+/// The identities a completed query is known by: the runtime tag plus
+/// the wire-level ids the client logged. Keying retained traces by the
+/// wire `request_id` is what lets a client grep its slow request id
+/// straight into `/traces`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryIds {
+    /// Runtime-assigned tag (echoed in the query's
+    /// [`crate::runtime::SearchReply`]).
+    pub tag: u64,
+    /// Wire request id. Equals `tag` for local (non-network) submits.
+    pub request_id: u64,
+    /// Server-side connection id (0 for local submits).
+    pub conn: u64,
+}
+
+impl QueryIds {
+    /// Identity of a local submit: the tag doubles as the request id.
+    pub fn local(tag: u64) -> Self {
+        Self { tag, request_id: tag, conn: 0 }
+    }
+}
+
 /// One retained query timeline: the lifecycle timestamps plus every
 /// ring event that survived overwriting.
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueryTrace {
     /// The query's tag (echoed in its [`crate::runtime::SearchReply`]).
     pub tag: u64,
+    /// Wire request id (equals `tag` for local submits).
+    pub request_id: u64,
+    /// Server-side connection id (0 for local submits).
+    pub conn: u64,
     /// Slot that carried the query.
     pub slot: u32,
     /// Worker that searched it (from the `WorkStart` event; 0 if that
@@ -185,6 +211,8 @@ impl QueryTrace {
         let lc = &self.lifecycle;
         obj(vec![
             ("tag", Value::Uint(self.tag)),
+            ("request_id", Value::Uint(self.request_id)),
+            ("conn", Value::Uint(self.conn)),
             ("slot", Value::Uint(u64::from(self.slot))),
             ("worker", Value::Uint(u64::from(self.worker))),
             ("host", Value::Uint(u64::from(self.host))),
@@ -269,7 +297,9 @@ pub use disabled::FlightRecorder;
 
 #[cfg(feature = "obs")]
 mod enabled {
-    use super::{EventKind, FlightConfig, FlightTotals, LifecycleNs, QueryTrace, TraceEvent};
+    use super::{
+        EventKind, FlightConfig, FlightTotals, LifecycleNs, QueryIds, QueryTrace, TraceEvent,
+    };
     use crate::obs::counters::CachePadded;
     use parking_lot::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -398,7 +428,7 @@ mod enabled {
         /// retained) is a few relaxed atomic ops and never allocates;
         /// capturing a retained trace allocates its [`QueryTrace`]
         /// (acceptable: retention is rare by construction).
-        pub fn on_complete(&self, slot: usize, tag: u64, host: u32, lifecycle: &LifecycleNs) {
+        pub fn on_complete(&self, slot: usize, ids: QueryIds, host: u32, lifecycle: &LifecycleNs) {
             let n = self.completions.fetch_add(1, Ordering::Relaxed) + 1;
             let e2e = lifecycle.e2e_ns();
             let slow = e2e >= self.cfg.slow_threshold_ns;
@@ -409,7 +439,7 @@ mod enabled {
             if !(slow || sampled || top) {
                 return;
             }
-            let trace = self.capture(slot, tag, host, lifecycle);
+            let trace = self.capture(slot, ids, host, lifecycle);
             let mut r = self.retained.lock();
             if top {
                 if r.top.len() < self.cfg.top_k {
@@ -442,7 +472,13 @@ mod enabled {
         }
 
         /// Drains `slot`'s ring into an owned trace (cold path).
-        fn capture(&self, slot: usize, tag: u64, host: u32, lifecycle: &LifecycleNs) -> QueryTrace {
+        fn capture(
+            &self,
+            slot: usize,
+            ids: QueryIds,
+            host: u32,
+            lifecycle: &LifecycleNs,
+        ) -> QueryTrace {
             let ring = &self.rings[slot];
             let hi = ring.cursor.load(Ordering::Relaxed);
             let mark = ring.mark.load(Ordering::Relaxed);
@@ -464,7 +500,9 @@ mod enabled {
             let worker =
                 events.iter().find(|e| e.kind == EventKind::WorkStart).map_or(0, |e| e.lane);
             QueryTrace {
-                tag,
+                tag: ids.tag,
+                request_id: ids.request_id,
+                conn: ids.conn,
                 slot: slot as u32,
                 worker,
                 host,
@@ -505,7 +543,7 @@ mod enabled {
 
 #[cfg(not(feature = "obs"))]
 mod disabled {
-    use super::{EventKind, FlightConfig, FlightTotals, LifecycleNs, QueryTrace};
+    use super::{EventKind, FlightConfig, FlightTotals, LifecycleNs, QueryIds, QueryTrace};
 
     /// Zero-sized no-op stand-in for the flight recorder.
     pub struct FlightRecorder;
@@ -545,7 +583,14 @@ mod disabled {
         }
 
         /// No-op.
-        pub fn on_complete(&self, _slot: usize, _tag: u64, _host: u32, _lifecycle: &LifecycleNs) {}
+        pub fn on_complete(
+            &self,
+            _slot: usize,
+            _ids: QueryIds,
+            _host: u32,
+            _lifecycle: &LifecycleNs,
+        ) {
+        }
 
         /// Always empty.
         pub fn retained(&self) -> Vec<QueryTrace> {
@@ -587,7 +632,7 @@ mod tests {
         fr.record(1, EventKind::Assigned, 0, 0, 0, 110);
         fr.record(1, EventKind::WorkStart, 3, 0, 0, 120);
         fr.record(1, EventKind::Delivered, 0, 0, 0, 160);
-        fr.on_complete(1, 42, 0, &lifecycle(60));
+        fr.on_complete(1, QueryIds::local(42), 0, &lifecycle(60));
         let traces = fr.retained();
         assert_eq!(traces.len(), 1);
         let t = &traces[0];
@@ -606,7 +651,7 @@ mod tests {
         for i in 0..20u32 {
             fr.record(0, EventKind::CtaStep, 0, i, 0, u64::from(i));
         }
-        fr.on_complete(0, 7, 0, &lifecycle(50));
+        fr.on_complete(0, QueryIds::local(7), 0, &lifecycle(50));
         let t = &fr.retained()[0];
         assert_eq!(t.events.len(), 8, "ring keeps exactly its capacity");
         assert_eq!(t.dropped, 12, "overwritten events are counted");
@@ -620,10 +665,10 @@ mod tests {
         let fr = FlightRecorder::new(1, capture_all());
         fr.begin_query(0);
         fr.record(0, EventKind::WorkStart, 9, 0, 0, 10);
-        fr.on_complete(0, 1, 0, &lifecycle(30));
+        fr.on_complete(0, QueryIds::local(1), 0, &lifecycle(30));
         fr.begin_query(0);
         fr.record(0, EventKind::WorkStart, 5, 0, 0, 50);
-        fr.on_complete(0, 2, 0, &lifecycle(40));
+        fr.on_complete(0, QueryIds::local(2), 0, &lifecycle(40));
         let traces = fr.retained();
         let second = traces.iter().find(|t| t.tag == 2).unwrap();
         assert_eq!(second.events.len(), 1, "previous query's events excluded");
@@ -636,10 +681,10 @@ mod tests {
             FlightConfig { ring_capacity: 16, slow_threshold_ns: 1_000, top_k: 0, sample_every: 0 };
         let fr = FlightRecorder::new(1, cfg);
         fr.begin_query(0);
-        fr.on_complete(0, 1, 0, &lifecycle(999));
+        fr.on_complete(0, QueryIds::local(1), 0, &lifecycle(999));
         assert!(fr.retained().is_empty(), "fast query must not be retained");
         fr.begin_query(0);
-        fr.on_complete(0, 2, 0, &lifecycle(1_000));
+        fr.on_complete(0, QueryIds::local(2), 0, &lifecycle(1_000));
         assert_eq!(fr.retained().len(), 1);
         assert_eq!(fr.retained()[0].tag, 2);
     }
@@ -655,7 +700,7 @@ mod tests {
         let fr = FlightRecorder::new(1, cfg);
         for (tag, e2e) in [(1u64, 500u64), (2, 300), (3, 800), (4, 100), (5, 600)] {
             fr.begin_query(0);
-            fr.on_complete(0, tag, 0, &lifecycle(e2e));
+            fr.on_complete(0, QueryIds::local(tag), 0, &lifecycle(e2e));
         }
         let tags: Vec<u64> = fr.retained().iter().map(|t| t.tag).collect();
         assert_eq!(tags, vec![3, 5], "slowest two, slowest first");
@@ -672,7 +717,7 @@ mod tests {
         let fr = FlightRecorder::new(1, cfg);
         for tag in 1..=9u64 {
             fr.begin_query(0);
-            fr.on_complete(0, tag, 0, &lifecycle(50));
+            fr.on_complete(0, QueryIds::local(tag), 0, &lifecycle(50));
         }
         let mut tags: Vec<u64> = fr.retained().iter().map(|t| t.tag).collect();
         tags.sort_unstable();
@@ -688,7 +733,7 @@ mod tests {
             FlightConfig { ring_capacity: 16, slow_threshold_ns: 10, top_k: 4, sample_every: 1 };
         let fr = FlightRecorder::new(1, cfg);
         fr.begin_query(0);
-        fr.on_complete(0, 77, 0, &lifecycle(999));
+        fr.on_complete(0, QueryIds::local(77), 0, &lifecycle(999));
         assert_eq!(fr.retained().len(), 1);
         assert_eq!(fr.totals().retained, 1);
     }
@@ -698,11 +743,13 @@ mod tests {
         let fr = FlightRecorder::new(1, capture_all());
         fr.begin_query(0);
         fr.record(0, EventKind::BeamSwitch, 2, 14, 0, 130);
-        fr.on_complete(0, 5, 1, &lifecycle(60));
+        fr.on_complete(0, QueryIds { tag: 5, request_id: 9_001, conn: 3 }, 1, &lifecycle(60));
         let text = traces_json(&fr.retained());
         let doc = Value::parse(&text).unwrap();
         let t = &doc.get("traces").unwrap().as_arr().unwrap()[0];
         assert_eq!(t.get("tag").unwrap().as_u64(), Some(5));
+        assert_eq!(t.get("request_id").unwrap().as_u64(), Some(9_001));
+        assert_eq!(t.get("conn").unwrap().as_u64(), Some(3));
         assert_eq!(t.get("host").unwrap().as_u64(), Some(1));
         assert_eq!(t.get("e2e_ns").unwrap().as_u64(), Some(60));
         let ev = &t.get("events").unwrap().as_arr().unwrap()[0];

@@ -1,11 +1,15 @@
 //! A dependency-free HTTP/1.1 stats server over `std::net`.
 //!
-//! [`StatsServer`] binds a `TcpListener` and serves three read-only
+//! [`StatsServer`] binds a `TcpListener` and serves read-only
 //! endpoints from a [`StatsSource`]:
 //!
 //! * `GET /metrics` — Prometheus text exposition (v0.0.4),
 //! * `GET /stats.json` — the [`super::RuntimeStats`] JSON snapshot,
-//! * `GET /traces` — retained flight-recorder traces as JSON.
+//! * `GET /traces` — retained flight-recorder traces as JSON,
+//! * `GET /query-log` — retained wide-event query-log records as
+//!   newline-delimited JSON,
+//! * `GET /healthz` / `GET /readyz` — liveness and readiness probes
+//!   (`200 ok` / `503 unavailable`).
 //!
 //! One accept-loop thread handles connections serially with
 //! `Connection: close` semantics — this is an operator scrape surface
@@ -35,6 +39,21 @@ pub trait StatsSource: Send + Sync {
     fn stats_json(&self) -> String;
     /// The `/traces` body.
     fn traces_json(&self) -> String;
+    /// The `/query-log` lines (one JSON record per line). Default:
+    /// empty — sources without a query log serve an empty body.
+    fn query_log_lines(&self) -> Vec<String> {
+        Vec::new()
+    }
+    /// Liveness: the process is up and the scrape surface responds.
+    /// Default `true` — reaching the handler at all is the signal.
+    fn healthz(&self) -> bool {
+        true
+    }
+    /// Readiness: the index is loaded and queries are being accepted.
+    /// Default `true`; the runtime overrides this with its real state.
+    fn readyz(&self) -> bool {
+        true
+    }
 }
 
 /// A running stats server; [`StatsServer::stop`] (or drop) shuts it
@@ -94,6 +113,14 @@ fn accept_loop(
     }
 }
 
+fn probe(up: bool) -> (&'static str, &'static str, String) {
+    if up {
+        ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
+    } else {
+        ("503 Service Unavailable", "text/plain; charset=utf-8", "unavailable\n".to_string())
+    }
+}
+
 fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()> {
     // Read until the end of the request head (no bodies on GETs; a
     // small fixed cap bounds a misbehaving client).
@@ -123,10 +150,22 @@ fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()
             }
             "/stats.json" => ("200 OK", "application/json", source.stats_json()),
             "/traces" => ("200 OK", "application/json", source.traces_json()),
+            "/query-log" => {
+                let lines = source.query_log_lines();
+                let mut body = String::new();
+                for line in &lines {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                ("200 OK", "application/x-ndjson", body)
+            }
+            "/healthz" => probe(source.healthz()),
+            "/readyz" => probe(source.readyz()),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /stats.json, /traces\n".to_string(),
+                "not found; try /metrics, /stats.json, /traces, /query-log, /healthz, /readyz\n"
+                    .to_string(),
             ),
         }
     };
@@ -188,6 +227,52 @@ mod tests {
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
+        server.stop();
+    }
+
+    #[test]
+    fn serves_query_log_and_probes() {
+        // FixedSource takes the trait defaults: empty log, both probes
+        // up.
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(FixedSource)).unwrap();
+        let addr = server.local_addr();
+        let (head, body) = get(addr, "/query-log");
+        assert!(head.contains("application/x-ndjson"), "{head}");
+        assert_eq!(body, "");
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (head, _) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        server.stop();
+
+        struct Draining;
+        impl StatsSource for Draining {
+            fn metrics_text(&self) -> String {
+                String::new()
+            }
+            fn stats_json(&self) -> String {
+                String::new()
+            }
+            fn traces_json(&self) -> String {
+                String::new()
+            }
+            fn query_log_lines(&self) -> Vec<String> {
+                vec!["{\"request_id\":1}".to_string(), "{\"request_id\":2}".to_string()]
+            }
+            fn readyz(&self) -> bool {
+                false
+            }
+        }
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(Draining)).unwrap();
+        let addr = server.local_addr();
+        let (_, body) = get(addr, "/query-log");
+        assert_eq!(body, "{\"request_id\":1}\n{\"request_id\":2}\n");
+        let (head, body) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert_eq!(body, "unavailable\n");
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "draining is alive, not ready: {head}");
         server.stop();
     }
 

@@ -21,8 +21,12 @@
 //! * [`chrome`] — Chrome trace-event JSON export of retained traces
 //!   (viewable in Perfetto) plus the validator CI runs on emitted
 //!   files.
+//! * [`qlog`] — the wide-event query log ([`QueryLog`]): one
+//!   structured record per completed query, written allocation-free
+//!   into a lock-free ring and drained as JSON lines.
 //! * [`http`] — a dependency-free `std::net` stats server exposing
-//!   `/metrics`, `/stats.json`, and `/traces` from a live server.
+//!   `/metrics`, `/stats.json`, `/traces`, `/query-log`, and
+//!   health/readiness probes from a live server.
 //! * [`json`] / [`prom`] — the self-contained wire formats (the
 //!   hermetic workspace has no `serde_json`).
 
@@ -33,16 +37,18 @@ pub mod hist;
 pub mod http;
 pub mod json;
 pub mod prom;
+pub mod qlog;
 pub mod recorder;
 pub mod snapshot;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use counters::{CachePadded, Counter};
 pub use flight::{
-    traces_json, EventKind, FlightConfig, FlightRecorder, FlightTotals, LifecycleNs, QueryTrace,
-    TraceEvent,
+    traces_json, EventKind, FlightConfig, FlightRecorder, FlightTotals, LifecycleNs, QueryIds,
+    QueryTrace, TraceEvent,
 };
 pub use hist::{Histogram, HistogramSnapshot};
 pub use http::{StatsServer, StatsSource};
+pub use qlog::{DeliveryCtx, QlogConfig, QlogRecord, QlogTotals, QueryLog};
 pub use recorder::{stamp, JobStamps, RuntimeObs, Stamp};
-pub use snapshot::{HostStats, PhaseStats, RuntimeStats, SlotStats, WorkerStats};
+pub use snapshot::{HostStats, PhaseStats, RuntimeStats, SlotStats, TailExemplar, WorkerStats};

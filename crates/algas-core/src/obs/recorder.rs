@@ -24,12 +24,22 @@ mod enabled {
     use crate::merge::MergeStats;
     use crate::obs::counters::{CachePadded, Counter};
     use crate::obs::flight::{
-        EventKind, FlightConfig, FlightRecorder, FlightTotals, LifecycleNs, QueryTrace,
+        EventKind, FlightConfig, FlightRecorder, FlightTotals, LifecycleNs, QueryIds, QueryTrace,
     };
     use crate::obs::hist::Histogram;
-    use crate::obs::snapshot::{HostStats, RuntimeStats, SlotStats, WorkerStats};
+    use crate::obs::qlog::{
+        DeliveryCtx, QlogConfig, QlogRecord, QlogTotals, QueryLog, STATUS_REJECTED,
+    };
+    use crate::obs::snapshot::{HostStats, RuntimeStats, SlotStats, TailExemplar, WorkerStats};
     use crate::tracer::StepTotals;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Instant;
+
+    /// Deliveries between tail-exemplar resets: the exemplar tracks the
+    /// slowest end-to-end latency (and its request id) within the
+    /// current window, so it stays recent instead of pinning the
+    /// all-time maximum forever.
+    const EXEMPLAR_WINDOW: u64 = 4096;
 
     /// A point in time on the serving path (an `Instant` when `obs` is
     /// on, a zero-sized unit when off).
@@ -143,6 +153,13 @@ mod enabled {
         merged_to_delivered: Histogram,
         end_to_end: Histogram,
         flight: FlightRecorder,
+        qlog: QueryLog,
+        /// Deliveries since startup (drives the exemplar window reset).
+        exemplar_count: AtomicU64,
+        /// Slowest end-to-end latency in the current exemplar window.
+        exemplar_e2e_ns: AtomicU64,
+        /// Wire request id of that slowest delivery.
+        exemplar_request_id: AtomicU64,
     }
 
     impl RuntimeObs {
@@ -154,12 +171,24 @@ mod enabled {
         }
 
         /// [`RuntimeObs::new`] with an explicit flight-recorder
-        /// configuration.
+        /// configuration (and the query log disabled).
         pub fn with_flight(
             n_slots: usize,
             n_workers: usize,
             n_host_threads: usize,
             flight_cfg: FlightConfig,
+        ) -> Self {
+            Self::with_config(n_slots, n_workers, n_host_threads, flight_cfg, QlogConfig::default())
+        }
+
+        /// [`RuntimeObs::new`] with explicit flight-recorder and
+        /// query-log configurations.
+        pub fn with_config(
+            n_slots: usize,
+            n_workers: usize,
+            n_host_threads: usize,
+            flight_cfg: FlightConfig,
+            qlog_cfg: QlogConfig,
         ) -> Self {
             Self {
                 workers: (0..n_workers).map(|_| CachePadded::default()).collect(),
@@ -172,6 +201,10 @@ mod enabled {
                 merged_to_delivered: Histogram::new(),
                 end_to_end: Histogram::new(),
                 flight: FlightRecorder::new(n_slots, flight_cfg),
+                qlog: QueryLog::new(qlog_cfg),
+                exemplar_count: AtomicU64::new(0),
+                exemplar_e2e_ns: AtomicU64::new(0),
+                exemplar_request_id: AtomicU64::new(0),
             }
         }
 
@@ -189,6 +222,49 @@ mod enabled {
         /// The active flight-recorder configuration.
         pub fn flight_config(&self) -> FlightConfig {
             self.flight.config()
+        }
+
+        /// Drains ring records into the query-log retention buffer
+        /// (off the serving path); returns how many were drained.
+        pub fn qlog_drain(&self) -> usize {
+            self.qlog.drain()
+        }
+
+        /// The retained query-log lines, oldest first. Drains the ring
+        /// first so the view is current.
+        pub fn qlog_lines(&self) -> Vec<String> {
+            self.qlog.drain();
+            self.qlog.lines()
+        }
+
+        /// Retained query-log lines past `cursor`, plus the new cursor
+        /// (the file-writer thread's tailing interface). Drains the
+        /// ring first so the view is current.
+        pub fn qlog_lines_since(&self, cursor: u64) -> (Vec<String>, u64) {
+            self.qlog.drain();
+            self.qlog.lines_since(cursor)
+        }
+
+        /// Query-log totals.
+        pub fn qlog_totals(&self) -> QlogTotals {
+            self.qlog.totals()
+        }
+
+        /// The active query-log configuration.
+        pub fn qlog_config(&self) -> QlogConfig {
+            self.qlog.config()
+        }
+
+        /// Logs a backpressure reject as a wide-event record (rejects
+        /// always log, regardless of sampling). Allocation-free.
+        #[inline]
+        pub fn qlog_reject(&self, request_id: u64, conn_id: u64) {
+            self.qlog.log(&QlogRecord {
+                request_id,
+                conn_id,
+                status: STATUS_REJECTED,
+                ..QlogRecord::default()
+            });
         }
 
         /// Writes one raw flight-recorder event, stamped now (test and
@@ -338,15 +414,16 @@ mod enabled {
 
         /// Accounts one delivered result: bumps host/slot counters,
         /// folds the merge delta in, records all six phase spans,
-        /// writes the merge/delivery trace events, and hands the
-        /// completed query to the flight recorder's tail sampler.
+        /// writes the merge/delivery trace events, hands the completed
+        /// query to the flight recorder's tail sampler, writes its
+        /// wide-event query-log record, and updates the tail exemplar.
         #[inline]
         #[allow(clippy::too_many_arguments)]
         pub fn record_delivery(
             &self,
             h: usize,
             s: usize,
-            tag: u64,
+            ctx: &DeliveryCtx,
             stamps: &JobStamps,
             picked_up: Stamp,
             merged_at: Stamp,
@@ -372,7 +449,8 @@ mod enabled {
                 self.finish_to_merged.record(ns_between(fin, merged_at));
             }
             self.merged_to_delivered.record(ns_between(merged_at, delivered_at));
-            self.end_to_end.record(ns_between(stamps.submitted, delivered_at));
+            let e2e_ns = ns_between(stamps.submitted, delivered_at);
+            self.end_to_end.record(e2e_ns);
 
             let lifecycle = LifecycleNs {
                 submitted_ns: self.flight.ns_of(stamps.submitted),
@@ -386,7 +464,40 @@ mod enabled {
             self.flight.record(s, EventKind::MergeBegin, h as u32, 0, 0, lifecycle.merge_begin_ns);
             self.flight.record(s, EventKind::MergeEnd, h as u32, 0, 0, lifecycle.merged_ns);
             self.flight.record(s, EventKind::Delivered, h as u32, 0, 0, lifecycle.delivered_ns);
-            self.flight.on_complete(s, tag, h as u32, &lifecycle);
+            let ids = QueryIds { tag: ctx.tag, request_id: ctx.request_id, conn: ctx.conn_id };
+            self.flight.on_complete(s, ids, h as u32, &lifecycle);
+
+            self.qlog.log(&QlogRecord {
+                request_id: ctx.request_id,
+                tag: ctx.tag,
+                conn_id: ctx.conn_id,
+                client_ts_us: ctx.client_ts_us,
+                queue_ns: lifecycle.slot_ns.saturating_sub(lifecycle.submitted_ns),
+                dispatch_ns: lifecycle.work_start_ns.saturating_sub(lifecycle.slot_ns),
+                search_ns: lifecycle.finish_ns.saturating_sub(lifecycle.work_start_ns),
+                merge_ns: lifecycle.merged_ns.saturating_sub(lifecycle.finish_ns),
+                deliver_ns: lifecycle.delivered_ns.saturating_sub(lifecycle.merged_ns),
+                e2e_ns,
+                slot: s as u64,
+                worker: u64::from(ctx.worker),
+                host: h as u64,
+                hops: u64::from(ctx.hops),
+                slo_level: u64::from(ctx.slo_level),
+                rerank_depth: u64::from(ctx.rerank_depth),
+                entry_code: u64::from(ctx.entry_code),
+                status: crate::obs::qlog::STATUS_OK,
+            });
+
+            let n = self.exemplar_count.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(EXEMPLAR_WINDOW) {
+                self.exemplar_e2e_ns.store(0, Ordering::Relaxed);
+            }
+            // Racy max-update pair (both relaxed): an exemplar only has
+            // to point at *a* recent slow request, not *the* slowest.
+            if e2e_ns > self.exemplar_e2e_ns.load(Ordering::Relaxed) {
+                self.exemplar_e2e_ns.store(e2e_ns, Ordering::Relaxed);
+                self.exemplar_request_id.store(ctx.request_id, Ordering::Relaxed);
+            }
         }
 
         /// Copies every cell into `out` (per-thread blocks, phase
@@ -459,6 +570,11 @@ mod enabled {
             out.phases.merged_to_delivered = self.merged_to_delivered.snapshot();
             out.phases.end_to_end = self.end_to_end.snapshot();
             out.flight = self.flight.totals();
+            out.qlog = self.qlog.totals();
+            out.exemplar = TailExemplar {
+                e2e_ns: self.exemplar_e2e_ns.load(Ordering::Relaxed),
+                request_id: self.exemplar_request_id.load(Ordering::Relaxed),
+            };
         }
     }
 }
@@ -467,6 +583,7 @@ mod enabled {
 mod disabled {
     use crate::merge::MergeStats;
     use crate::obs::flight::{EventKind, FlightConfig, FlightTotals, QueryTrace};
+    use crate::obs::qlog::{DeliveryCtx, QlogConfig, QlogTotals};
     use crate::obs::snapshot::RuntimeStats;
 
     /// Zero-sized stand-in for `Instant` when `obs` is compiled out.
@@ -514,6 +631,46 @@ mod disabled {
         ) -> Self {
             Self
         }
+
+        /// No-op.
+        pub fn with_config(
+            _n_slots: usize,
+            _n_workers: usize,
+            _n_host_threads: usize,
+            _flight_cfg: FlightConfig,
+            _qlog_cfg: QlogConfig,
+        ) -> Self {
+            Self
+        }
+
+        /// No-op; nothing to drain.
+        pub fn qlog_drain(&self) -> usize {
+            0
+        }
+
+        /// Always empty.
+        pub fn qlog_lines(&self) -> Vec<String> {
+            Vec::new()
+        }
+
+        /// Always empty.
+        pub fn qlog_lines_since(&self, _cursor: u64) -> (Vec<String>, u64) {
+            (Vec::new(), 0)
+        }
+
+        /// Always zero.
+        pub fn qlog_totals(&self) -> QlogTotals {
+            QlogTotals::default()
+        }
+
+        /// No-op: the default configuration.
+        pub fn qlog_config(&self) -> QlogConfig {
+            QlogConfig::default()
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn qlog_reject(&self, _request_id: u64, _conn_id: u64) {}
 
         /// No-op: nothing is ever retained.
         pub fn flight_retained(&self) -> Vec<QueryTrace> {
@@ -579,7 +736,7 @@ mod disabled {
             &self,
             _h: usize,
             _s: usize,
-            _tag: u64,
+            _ctx: &DeliveryCtx,
             _stamps: &JobStamps,
             _picked_up: Stamp,
             _merged_at: Stamp,
@@ -602,7 +759,11 @@ mod tests {
 
     #[test]
     fn recorder_populates_snapshot() {
-        let obs = RuntimeObs::new(2, 2, 1);
+        use crate::obs::flight::FlightConfig;
+        use crate::obs::json::Value;
+        use crate::obs::qlog::{DeliveryCtx, QlogConfig};
+        let qcfg = QlogConfig { enabled: true, sample_every: 1, ..QlogConfig::default() };
+        let obs = RuntimeObs::with_config(2, 2, 1, FlightConfig::default(), qcfg);
         let mut stamps = JobStamps::new();
         stamps.mark_slot();
         stamps.mark_work_start();
@@ -627,7 +788,18 @@ mod tests {
         let merged_at = stamp();
         let delivered_at = stamp();
         let delta = MergeStats { merges: 1, elements: 16, dupes_dropped: 2 };
-        obs.record_delivery(0, 1, 7, &stamps, picked_up, merged_at, delivered_at, &delta);
+        let ctx = DeliveryCtx {
+            tag: 7,
+            request_id: 907,
+            conn_id: 2,
+            client_ts_us: 0,
+            worker: 0,
+            hops: 10,
+            slo_level: 1,
+            rerank_depth: 32,
+            entry_code: 1,
+        };
+        obs.record_delivery(0, 1, &ctx, &stamps, picked_up, merged_at, delivered_at, &delta);
 
         let mut s = RuntimeStats::empty(2, 2, 1);
         obs.populate(&mut s);
@@ -648,6 +820,23 @@ mod tests {
         assert_eq!(s.flight.completions, 1);
         // enqueued/assigned + merge_begin/merge_end/delivered events.
         assert_eq!(s.flight.events, 5);
+        assert_eq!(s.qlog.logged, 1);
+        assert_eq!(s.exemplar.request_id, 907, "exemplar points at the slowest request");
+        assert!(s.exemplar.e2e_ns > 0);
+
+        // The wide event carries the per-query context verbatim.
+        assert_eq!(obs.qlog_drain(), 1);
+        let lines = obs.qlog_lines();
+        let doc = Value::parse(&lines[0]).expect("query-log line parses");
+        assert_eq!(doc.get("request_id").unwrap().as_u64(), Some(907));
+        assert_eq!(doc.get("tag").unwrap().as_u64(), Some(7));
+        assert_eq!(doc.get("conn").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("hops").unwrap().as_u64(), Some(10));
+        assert_eq!(doc.get("entry").unwrap().as_str(), Some("medoid"));
+        assert_eq!(doc.get("slo_level").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("rerank_depth").unwrap().as_u64(), Some(32));
+        assert_eq!(doc.get("slot").unwrap().as_u64(), Some(1));
     }
 
     #[test]
@@ -666,12 +855,15 @@ mod tests {
         let merged_at = stamp();
         let delivered_at = stamp();
         let delta = MergeStats { merges: 1, elements: 8, dupes_dropped: 0 };
-        obs.record_delivery(0, 0, 42, &stamps, picked_up, merged_at, delivered_at, &delta);
+        let ctx = crate::obs::qlog::DeliveryCtx::local(42);
+        obs.record_delivery(0, 0, &ctx, &stamps, picked_up, merged_at, delivered_at, &delta);
 
         let traces = obs.flight_retained();
         assert_eq!(traces.len(), 1);
         let t = &traces[0];
         assert_eq!(t.tag, 42);
+        assert_eq!(t.request_id, 42, "local submits key traces by tag");
+        assert_eq!(t.conn, 0);
         assert_eq!(t.slot, 0);
         assert_eq!(t.worker, 3, "worker id comes from the work_start event lane");
         assert_eq!(t.host, 0);

@@ -18,12 +18,25 @@ use super::flight::FlightTotals;
 use super::hist::HistogramSnapshot;
 use super::json::{obj, Value};
 use super::prom::PromWriter;
+use super::qlog::QlogTotals;
 use crate::control::ControlStats;
 use crate::engine::RerankStats;
 use crate::merge::MergeStats;
-use crate::net::NetStats;
+use crate::net::{ConnStats, NetStats};
 use crate::tracer::StepTotals;
 use algas_gpu_sim::sched::SimReport;
+
+/// The tail exemplar: the slowest end-to-end latency within the
+/// recorder's current exemplar window, plus the wire request id that
+/// produced it — a direct bridge from the p99 to a greppable id in
+/// `/traces` and the query log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TailExemplar {
+    /// Slowest end-to-end latency in the window (ns).
+    pub e2e_ns: u64,
+    /// Wire request id of that delivery.
+    pub request_id: u64,
+}
 
 /// Per-worker ("CTA group" thread) counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -160,6 +173,15 @@ pub struct RuntimeStats {
     /// Network front-end counters (all zero when no query listener is
     /// running — the library/CLI paths never touch a socket).
     pub net: NetStats,
+    /// Per-connection telemetry of the currently open connections
+    /// (empty when no listener is running).
+    pub net_conns: Vec<ConnStats>,
+    /// Advised RETRY_AFTER backoff delays (µs).
+    pub retry_backoff: HistogramSnapshot,
+    /// Wide-event query-log totals.
+    pub qlog: QlogTotals,
+    /// Tail exemplar: the slowest recent delivery and its request id.
+    pub exemplar: TailExemplar,
 }
 
 impl RuntimeStats {
@@ -384,6 +406,41 @@ impl RuntimeStats {
                     ("backpressure_rejects", Value::Uint(self.net.backpressure_rejects)),
                 ]),
             ),
+            (
+                "net_conns",
+                Value::Arr(
+                    self.net_conns
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("id", Value::Uint(c.id)),
+                                ("inflight", Value::Uint(c.inflight)),
+                                ("bytes_in", Value::Uint(c.bytes_in)),
+                                ("bytes_out", Value::Uint(c.bytes_out)),
+                                ("backlog_high_water", Value::Uint(c.backlog_high_water)),
+                                ("errors", Value::Uint(c.errors)),
+                                ("retry_afters", Value::Uint(c.retry_afters)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("retry_backoff_us", hist(&self.retry_backoff)),
+            (
+                "qlog",
+                obj(vec![
+                    ("logged", Value::Uint(self.qlog.logged)),
+                    ("dropped", Value::Uint(self.qlog.dropped)),
+                    ("drained", Value::Uint(self.qlog.drained)),
+                ]),
+            ),
+            (
+                "exemplar",
+                obj(vec![
+                    ("e2e_ns", Value::Uint(self.exemplar.e2e_ns)),
+                    ("request_id", Value::Uint(self.exemplar.request_id)),
+                ]),
+            ),
         ]);
         doc.render()
     }
@@ -539,6 +596,35 @@ impl RuntimeStats {
                 protocol_errors: u(n, "protocol_errors")?,
                 backpressure_rejects: u(n, "backpressure_rejects")?,
             };
+        }
+        // Everything below is absent in snapshots written before the
+        // cross-layer observability work; those parse with defaults.
+        if let Some(conns) = doc.get("net_conns").and_then(Value::as_arr) {
+            for c in conns {
+                out.net_conns.push(ConnStats {
+                    id: u(c, "id")?,
+                    inflight: u(c, "inflight")?,
+                    bytes_in: u(c, "bytes_in")?,
+                    bytes_out: u(c, "bytes_out")?,
+                    backlog_high_water: u(c, "backlog_high_water")?,
+                    errors: u(c, "errors")?,
+                    retry_afters: u(c, "retry_afters")?,
+                });
+            }
+        }
+        if let Some(b) = doc.get("retry_backoff_us") {
+            out.retry_backoff = hist(b)?;
+        }
+        if let Some(q) = doc.get("qlog") {
+            out.qlog = QlogTotals {
+                logged: u(q, "logged")?,
+                dropped: u(q, "dropped")?,
+                drained: u(q, "drained")?,
+            };
+        }
+        if let Some(e) = doc.get("exemplar") {
+            out.exemplar =
+                TailExemplar { e2e_ns: u(e, "e2e_ns")?, request_id: u(e, "request_id")? };
         }
         Ok(out)
     }
@@ -827,6 +913,91 @@ impl RuntimeStats {
         ] {
             w.family(name, "counter", help).scalar(name, v);
         }
+        let conn_series = |w: &mut PromWriter,
+                           name: &str,
+                           kind: &str,
+                           help: &str,
+                           vals: &mut dyn Iterator<Item = (u64, u64)>| {
+            w.family(name, kind, help);
+            for (id, v) in vals {
+                w.sample(name, &[("conn", &id.to_string())], v as f64);
+            }
+        };
+        conn_series(
+            &mut w,
+            "algas_net_conn_inflight",
+            "gauge",
+            "Requests in flight, per open connection.",
+            &mut self.net_conns.iter().map(|c| (c.id, c.inflight)),
+        );
+        conn_series(
+            &mut w,
+            "algas_net_conn_bytes_in_total",
+            "counter",
+            "Bytes read, per open connection.",
+            &mut self.net_conns.iter().map(|c| (c.id, c.bytes_in)),
+        );
+        conn_series(
+            &mut w,
+            "algas_net_conn_bytes_out_total",
+            "counter",
+            "Bytes written, per open connection.",
+            &mut self.net_conns.iter().map(|c| (c.id, c.bytes_out)),
+        );
+        conn_series(
+            &mut w,
+            "algas_net_conn_backlog_high_water_bytes",
+            "gauge",
+            "Largest pending-write backlog seen, per open connection.",
+            &mut self.net_conns.iter().map(|c| (c.id, c.backlog_high_water)),
+        );
+        conn_series(
+            &mut w,
+            "algas_net_conn_errors_total",
+            "counter",
+            "Protocol errors answered, per open connection.",
+            &mut self.net_conns.iter().map(|c| (c.id, c.errors)),
+        );
+        conn_series(
+            &mut w,
+            "algas_net_conn_retry_afters_total",
+            "counter",
+            "RETRY_AFTER responses sent, per open connection.",
+            &mut self.net_conns.iter().map(|c| (c.id, c.retry_afters)),
+        );
+        w.family(
+            "algas_net_retry_backoff_us",
+            "summary",
+            "Advised RETRY_AFTER backoff delay, microseconds.",
+        );
+        for (q, v) in
+            [("0.5", self.retry_backoff.quantile(0.5)), ("0.99", self.retry_backoff.quantile(0.99))]
+        {
+            w.sample("algas_net_retry_backoff_us", &[("quantile", q)], v as f64);
+        }
+        w.sample("algas_net_retry_backoff_us_sum", &[], self.retry_backoff.sum as f64);
+        w.sample("algas_net_retry_backoff_us_count", &[], self.retry_backoff.count as f64);
+        for (name, help, v) in [
+            ("algas_qlog_records_total", "Wide-event records accepted.", self.qlog.logged),
+            ("algas_qlog_dropped_total", "Records dropped (ring full).", self.qlog.dropped),
+            ("algas_qlog_drained_total", "Records drained as JSON lines.", self.qlog.drained),
+        ] {
+            w.family(name, "counter", help).scalar(name, v);
+        }
+        for (name, help, v) in [
+            (
+                "algas_tail_exemplar_e2e_ns",
+                "Slowest end-to-end latency in the current exemplar window.",
+                self.exemplar.e2e_ns,
+            ),
+            (
+                "algas_tail_exemplar_request_id",
+                "Wire request id of the exemplar delivery (grep it in /traces).",
+                self.exemplar.request_id,
+            ),
+        ] {
+            w.family(name, "gauge", help).scalar(name, v);
+        }
         w.finish()
     }
 
@@ -927,6 +1098,33 @@ mod tests {
             protocol_errors: 2,
             backpressure_rejects: 7,
         };
+        s.net_conns = vec![
+            ConnStats {
+                id: 5,
+                inflight: 3,
+                bytes_in: 5_280,
+                bytes_out: 6_608,
+                backlog_high_water: 4_096,
+                errors: 1,
+                retry_afters: 4,
+            },
+            ConnStats {
+                id: 6,
+                inflight: 0,
+                bytes_in: 5_280,
+                bytes_out: 6_608,
+                backlog_high_water: 512,
+                errors: 1,
+                retry_afters: 3,
+            },
+        ];
+        let b = Histogram::new();
+        for v in [150u64, 220, 900, 12_000] {
+            b.record(v);
+        }
+        s.retry_backoff = b.snapshot();
+        s.qlog = QlogTotals { logged: 30, dropped: 2, drained: 28 };
+        s.exemplar = TailExemplar { e2e_ns: 100_000, request_id: 777 };
         s
     }
 
@@ -969,6 +1167,21 @@ mod tests {
         assert_eq!(find("algas_control_level").value, 2.0);
         assert_eq!(find("algas_control_sheds_total").value, 3.0);
         assert_eq!(find("algas_control_last_p99_ns").value, 1_900_000.0);
+        assert_eq!(find("algas_qlog_records_total").value, 30.0);
+        assert_eq!(find("algas_qlog_dropped_total").value, 2.0);
+        assert_eq!(find("algas_tail_exemplar_e2e_ns").value, 100_000.0);
+        assert_eq!(find("algas_tail_exemplar_request_id").value, 777.0);
+        assert_eq!(find("algas_net_retry_backoff_us_count").value, 4.0);
+        let conn5 = samples
+            .iter()
+            .find(|x| x.name == "algas_net_conn_retry_afters_total" && x.label("conn") == Some("5"))
+            .unwrap();
+        assert_eq!(conn5.value, 4.0);
+        let conn6 = samples
+            .iter()
+            .find(|x| x.name == "algas_net_conn_inflight" && x.label("conn") == Some("6"))
+            .unwrap();
+        assert_eq!(conn6.value, 0.0);
         let hops = find("algas_search_hops_per_query").value;
         assert!((hops - s.hops_per_query()).abs() < 1e-12);
         let ed = find("algas_entry_distance_mean").value;

@@ -17,7 +17,10 @@
 
 use crate::engine::{AlgasEngine, SearchScratch};
 use crate::merge::{merge_topk_into, MergeScratch};
-use crate::obs::{self, FlightConfig, JobStamps, QueryTrace, RuntimeObs, RuntimeStats};
+use crate::obs::{
+    self, DeliveryCtx, FlightConfig, JobStamps, QlogConfig, QlogTotals, QueryTrace, RuntimeObs,
+    RuntimeStats,
+};
 use crate::state::{AtomicSlotState, SlotState};
 use algas_vector::metric::DistValue;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
@@ -43,6 +46,10 @@ pub struct RuntimeConfig {
     /// queries are retained for trace export (ignored when the `obs`
     /// feature is compiled out).
     pub flight: FlightConfig,
+    /// Wide-event query-log policy: sampling, slow-query threshold,
+    /// ring and retention sizes (ignored when the `obs` feature is
+    /// compiled out; the log is off by default).
+    pub qlog: QlogConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -53,8 +60,25 @@ impl Default for RuntimeConfig {
             n_host_threads: 1,
             queue_capacity: 1024,
             flight: FlightConfig::default(),
+            qlog: QlogConfig::default(),
         }
     }
+}
+
+/// Wire-level identity a network front end attaches to a submission so
+/// every observability surface (flight traces, Chrome export, the query
+/// log) is keyed by the id the *client* logged, not a server-private
+/// tag. Plain [`AlgasServer::submit`] defaults the request id to the
+/// server tag, so local callers trace by tag as before.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireCtx {
+    /// The client-chosen request id from the frame header.
+    pub request_id: u64,
+    /// Server connection id (monotone accept order; 0 = local).
+    pub conn_id: u64,
+    /// Client send timestamp (µs since the client's epoch) from the
+    /// `FLAG_CLIENT_TS` payload extension; 0 when absent.
+    pub client_ts_us: u64,
 }
 
 /// A search result delivered to the submitting client.
@@ -76,6 +100,14 @@ struct Job {
     /// Lifecycle timestamps for the phase histograms (zero-sized no-op
     /// when the `obs` feature is off).
     stamps: JobStamps,
+    /// Wire identity for trace/query-log keying (request id = tag for
+    /// local submissions).
+    wire: WireCtx,
+    /// Graph hops the search took; written by the worker under the
+    /// payload lock, read at delivery for the query log.
+    hops: u32,
+    /// Worker thread that executed the search.
+    worker: u32,
 }
 
 /// Per-slot payload cell. The state machine serializes access: the
@@ -195,11 +227,12 @@ impl AlgasServer {
             submissions: submit_rx,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
-            obs: RuntimeObs::with_flight(
+            obs: RuntimeObs::with_config(
                 cfg.n_slots,
                 cfg.n_workers,
                 cfg.n_host_threads,
                 cfg.flight,
+                cfg.qlog,
             ),
         });
 
@@ -243,6 +276,32 @@ impl AlgasServer {
     /// # Panics
     /// Panics if the query dimension doesn't match the index.
     pub fn submit(&self, query: Vec<f32>) -> Result<PendingReply, SubmitError> {
+        self.submit_inner(query, None)
+    }
+
+    /// [`Self::submit`] with a wire identity attached: flight traces
+    /// and query-log records for this query carry `wire.request_id` /
+    /// `wire.conn_id` instead of tag-as-request-id, so a client can
+    /// grep the id it logged straight into `/traces` and `/query-log`.
+    ///
+    /// # Errors
+    /// Same as [`Self::submit`].
+    ///
+    /// # Panics
+    /// Panics if the query dimension doesn't match the index.
+    pub fn submit_traced(
+        &self,
+        query: Vec<f32>,
+        wire: WireCtx,
+    ) -> Result<PendingReply, SubmitError> {
+        self.submit_inner(query, Some(wire))
+    }
+
+    fn submit_inner(
+        &self,
+        query: Vec<f32>,
+        wire: Option<WireCtx>,
+    ) -> Result<PendingReply, SubmitError> {
         assert_eq!(query.len(), self.shared.engine.index().base.dim(), "query dimension mismatch");
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
@@ -255,6 +314,9 @@ impl AlgasServer {
             reply_to: reply_tx,
             submitted_at: std::time::Instant::now(),
             stamps: JobStamps::new(),
+            wire: wire.unwrap_or(WireCtx { request_id: tag, conn_id: 0, client_ts_us: 0 }),
+            hops: 0,
+            worker: 0,
         };
         match self.submit_tx.try_send(job) {
             Ok(()) => {
@@ -339,6 +401,46 @@ impl AlgasServer {
         obs::chrome_trace_json(&self.flight_traces())
     }
 
+    /// Drains newly completed query-log records into the bounded
+    /// retained-lines buffer. Call periodically (the CLI's writer
+    /// thread does) or rely on [`Self::qlog_lines`] draining lazily.
+    pub fn qlog_drain(&self) -> usize {
+        self.shared.obs.qlog_drain()
+    }
+
+    /// The retained wide-event query-log lines (JSON, one per record),
+    /// oldest first. Drains the ring first so the view is current.
+    pub fn qlog_lines(&self) -> Vec<String> {
+        self.shared.obs.qlog_lines()
+    }
+
+    /// Query-log lines at sequence `cursor` onward plus the next
+    /// cursor — the writer-thread tailing interface. Records that
+    /// rotated out of retention before the cursor are skipped.
+    pub fn qlog_lines_since(&self, cursor: u64) -> (Vec<String>, u64) {
+        self.shared.obs.qlog_lines_since(cursor)
+    }
+
+    /// The query log's lifetime counters.
+    pub fn qlog_totals(&self) -> QlogTotals {
+        self.shared.obs.qlog_totals()
+    }
+
+    /// Records a rejected (backpressured) query in the query log under
+    /// its wire identity. Called by the network front end when it
+    /// answers RETRY_AFTER instead of submitting.
+    pub fn qlog_reject(&self, request_id: u64, conn_id: u64) {
+        self.shared.obs.qlog_reject(request_id, conn_id);
+    }
+
+    /// Readiness: the index is loaded and the runtime is accepting
+    /// submissions (i.e. shutdown has not begun). The engine exists
+    /// before `start` returns, so a constructed server is ready until
+    /// told to stop.
+    pub fn ready(&self) -> bool {
+        !self.shared.shutdown.load(Ordering::Acquire)
+    }
+
     /// Convenience: submit and block for the reply.
     pub fn search_blocking(&self, query: Vec<f32>) -> Result<SearchReply, SubmitError> {
         let (_, rx) = self.submit(query)?;
@@ -411,6 +513,14 @@ impl crate::obs::StatsSource for AlgasServer {
 
     fn traces_json(&self) -> String {
         AlgasServer::traces_json(self)
+    }
+
+    fn query_log_lines(&self) -> Vec<String> {
+        self.qlog_lines()
+    }
+
+    fn readyz(&self) -> bool {
+        self.ready()
     }
 }
 
@@ -509,6 +619,12 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                         }
                         let job = payload.job.as_mut().expect("Work implies a job");
                         job.stamps.mark_finish();
+                        // Stash the per-query facts only this thread
+                        // knows (hop count, worker id) for the query
+                        // log; the host reads them at delivery.
+                        job.hops =
+                            scratch.multi.step_totals().steps.min(u64::from(u32::MAX)) as u32;
+                        job.worker = first as u32;
                         job.stamps
                     };
                     let rerank_delta = scratch.rerank.since(&rerank_before);
@@ -539,6 +655,9 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
 /// shutting down with an empty queue, retires the slot to `Quit`.
 fn host_loop(shared: &Shared, first: usize, stride: usize) {
     let k = shared.engine.config().k;
+    // The entry policy is fixed for the engine's lifetime; encode it
+    // once rather than per delivery.
+    let entry_code = obs::qlog::entry_policy_code(&shared.engine.config().entry_policy);
     // Per-poller reusable merge state; the reply's own vectors still
     // allocate because they are handed to the client.
     let mut merge = MergeScratch::new();
@@ -595,10 +714,21 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                     // Telemetry lands before the reply too, so a client
                     // observing its reply sees its query fully recorded
                     // (the delivery stamp marks the send boundary).
+                    let ctx = DeliveryCtx {
+                        tag: job.tag,
+                        request_id: job.wire.request_id,
+                        conn_id: job.wire.conn_id,
+                        client_ts_us: job.wire.client_ts_us,
+                        worker: job.worker,
+                        hops: job.hops,
+                        slo_level: shared.engine.controller().level(),
+                        rerank_depth: shared.engine.rerank_depth().min(u32::MAX as usize) as u32,
+                        entry_code,
+                    };
                     shared.obs.record_delivery(
                         first,
                         s,
-                        job.tag,
+                        &ctx,
                         &job.stamps,
                         picked_up,
                         merged_at,
@@ -909,6 +1039,7 @@ mod tests {
                 queue_capacity: 64,
                 // Retain everything: threshold 0 marks every query slow.
                 flight: FlightConfig { slow_threshold_ns: 0, ..Default::default() },
+                qlog: QlogConfig::default(),
             },
         );
         for i in 0..6 {
@@ -942,6 +1073,65 @@ mod tests {
         let stats = server.runtime_stats();
         assert_eq!(stats.flight.completions, 6);
         assert!(stats.flight.retained >= traces.len() as u64);
+        server.shutdown();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn wire_identity_threads_into_traces_and_query_log() {
+        use crate::obs::json::Value;
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg =
+            EngineConfig { k: 8, l: 32, slots: 2, beam: BeamMode::Auto, ..Default::default() };
+        let server = AlgasServer::start(
+            AlgasEngine::new(index, cfg).unwrap(),
+            RuntimeConfig {
+                n_slots: 2,
+                n_workers: 1,
+                n_host_threads: 1,
+                queue_capacity: 64,
+                // Retain + log everything: threshold 0 marks all slow.
+                flight: FlightConfig { slow_threshold_ns: 0, ..Default::default() },
+                qlog: QlogConfig { enabled: true, ..Default::default() },
+            },
+        );
+        for i in 0..4u64 {
+            let wire = WireCtx { request_id: 5_000 + i, conn_id: 7, client_ts_us: 1_000 + i };
+            let q = ds.queries.get(i as usize % ds.queries.len()).to_vec();
+            let (_, rx) = server.submit_traced(q, wire).unwrap();
+            let _ = rx.recv().unwrap();
+        }
+        // Flight traces are keyed by the wire request id, not the tag.
+        let traces = server.flight_traces();
+        assert!(!traces.is_empty());
+        for t in &traces {
+            assert!((5_000..5_004).contains(&t.request_id), "trace keyed by {}", t.request_id);
+            assert_eq!(t.conn, 7);
+        }
+        // So is every query-log line, with real phase spans.
+        let lines = server.qlog_lines();
+        assert_eq!(lines.len(), 4);
+        let mut seen: Vec<u64> = Vec::new();
+        for line in &lines {
+            let v = Value::parse(line).expect("query-log line parses as JSON");
+            seen.push(v.get("request_id").and_then(Value::as_u64).unwrap());
+            assert_eq!(v.get("conn").and_then(Value::as_u64), Some(7));
+            assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+            assert!(v.get("e2e_ns").and_then(Value::as_u64).unwrap() > 0);
+            assert!(v.get("hops").and_then(Value::as_u64).unwrap() > 0);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![5_000, 5_001, 5_002, 5_003]);
+        assert_eq!(server.qlog_totals().logged, 4);
+        // Plain submissions keep tracing by tag (request id == tag).
+        let q = ds.queries.get(0).to_vec();
+        let (tag, rx) = server.submit(q).unwrap();
+        let _ = rx.recv().unwrap();
+        let line = server.qlog_lines().pop().unwrap();
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("request_id").and_then(Value::as_u64), Some(tag));
+        assert_eq!(v.get("conn").and_then(Value::as_u64), Some(0));
         server.shutdown();
     }
 

@@ -14,7 +14,9 @@
 //!              [--net 127.0.0.1:7700] [--max-inflight 256] [--repeat N]
 //!              [--linger-ms 0] [--trace-out trace.json] [--trace-threshold-us N]
 //!              [--trace-top 8] [--trace-sample N] [--trace-ring 1024]
-//! algas bench-net --addr 127.0.0.1:7700 --queries q.fvecs [--qps 1000]
+//!              [--query-log qlog.ndjson] [--qlog-sample N] [--qlog-slow-us N]
+//!              [--qlog-retain 1024]
+//! algas bench-net --addr 127.0.0.1:7700 --queries q.fvecs [--qps 1000|500,1000,2000]
 //!              [--requests 1000] [--connections 1] [--seed 42] [--warmup 0.2]
 //!              [--slo-us 2000] [--normalize true] [--recv-timeout-ms 10000]
 //! algas stats  --index index.algas --queries q.fvecs [--format json|prom]
@@ -53,11 +55,25 @@
 //! RETRY_AFTER backpressure beyond `--max-inflight` outstanding
 //! requests); `--repeat 0` skips the local closed-loop drive entirely
 //! so the process serves network clients only, for `--linger-ms`.
+//! `--query-log` arms the wide-event query log and tails it to a file
+//! as JSON lines (one structured record per completed query — wire
+//! request id, connection, queue delay, phase spans, hops, entry
+//! policy, SLO rung, rerank depth, status); `--qlog-sample N` keeps
+//! every Nth completion, `--qlog-slow-us` always keeps queries at
+//! least that slow, and the retained tail is also served live at
+//! `/query-log` on the `--listen` endpoint (next to `/healthz` and
+//! `/readyz` probes).
 //! `bench-net` is the matching open-loop client: seeded Poisson
 //! arrivals at `--qps` replayed against `--addr` regardless of reply
 //! progress (no coordinated omission), reporting completed/rejected
 //! counts, client-side p50/p99, and — with `--slo-us` — SLO
-//! attainment over the post-`--warmup` fraction of requests. `stats` runs the same
+//! attainment over the post-`--warmup` fraction of requests. `--qps`
+//! also takes a comma-separated list of rates: each runs as its own
+//! open-loop pass and a latency-vs-offered-load summary closes the
+//! report. Every SEARCH carries a client-send timestamp
+//! (`FLAG_CLIENT_TS`) and the slowest post-warmup request id is
+//! printed so it can be cross-referenced against the server's
+//! `/traces` and `/query-log`. `stats` runs the same
 //! serving session and emits only the snapshot, as JSON or Prometheus
 //! text exposition. `trace` runs a session purely to capture flight
 //! traces (open the output at <https://ui.perfetto.dev>); `trace-check`
@@ -67,7 +83,7 @@
 
 use algas_core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
 use algas_core::net::{loadgen, NetConfig, NetServer};
-use algas_core::obs::{FlightConfig, StatsServer, StatsSource};
+use algas_core::obs::{FlightConfig, QlogConfig, StatsServer, StatsSource};
 use algas_core::runtime::{AlgasServer, RuntimeConfig};
 use algas_graph::cagra::CagraParams;
 use algas_graph::nsw::NswParams;
@@ -429,6 +445,7 @@ fn start_server_from_flags(
             n_host_threads: opt_parse(flags, "hosts", 1usize)?,
             queue_capacity: 4096,
             flight: flight_from_flags(flags)?,
+            qlog: qlog_from_flags(flags)?,
         },
     );
     Ok((server, queries))
@@ -451,6 +468,32 @@ fn flight_from_flags(flags: &HashMap<String, String>) -> Result<FlightConfig, St
         },
         top_k: opt_parse(flags, "trace-top", 8usize)?,
         sample_every: opt_parse(flags, "trace-sample", 0u64)?,
+    })
+}
+
+/// The wide-event query-log policy from the `--query-log` /
+/// `--qlog-*` flags. The log arms when any of them is present:
+/// `--qlog-sample N` keeps every Nth completed query (default every
+/// one), `--qlog-slow-us` always keeps queries at least that slow
+/// (rejects and errors always log), `--qlog-retain` bounds the
+/// rendered lines kept in memory for `/query-log`.
+fn qlog_from_flags(flags: &HashMap<String, String>) -> Result<QlogConfig, String> {
+    let armed = ["query-log", "qlog-sample", "qlog-slow-us", "qlog-retain"]
+        .iter()
+        .any(|f| flags.contains_key(*f));
+    let defaults = QlogConfig::default();
+    Ok(QlogConfig {
+        enabled: armed,
+        sample_every: opt_parse(flags, "qlog-sample", defaults.sample_every)?,
+        slow_threshold_ns: match flags.get("qlog-slow-us") {
+            None => u64::MAX,
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("--qlog-slow-us: cannot parse `{v}`"))?
+                .saturating_mul(1000),
+        },
+        retain: opt_parse(flags, "qlog-retain", defaults.retain)?,
+        ..defaults
     })
 }
 
@@ -483,6 +526,39 @@ fn drive_serve_session(
 fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
     let (server, queries) = start_server_from_flags(flags)?;
     let server = std::sync::Arc::new(server);
+    // `--query-log`: a writer thread tails the wide-event ring to the
+    // file as JSON lines, so the serving threads never touch the
+    // filesystem. Joined (after a final drain) before teardown.
+    let qlog_writer = match flags.get("query-log") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let handle = {
+                let server = server.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || -> std::io::Result<u64> {
+                    let mut w = std::io::BufWriter::new(file);
+                    let (mut cursor, mut written) = (0u64, 0u64);
+                    loop {
+                        let done = stop.load(std::sync::atomic::Ordering::Acquire);
+                        let (lines, next) = server.qlog_lines_since(cursor);
+                        cursor = next;
+                        for line in &lines {
+                            writeln!(w, "{line}")?;
+                            written += 1;
+                        }
+                        if done {
+                            w.flush()?;
+                            return Ok(written);
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                })
+            };
+            Some((path.clone(), stop, handle))
+        }
+        None => None,
+    };
     let net_server = match flags.get("net") {
         Some(addr) => {
             let cfg = NetConfig {
@@ -593,6 +669,48 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         )
         .map_err(io_err)?;
     }
+    for c in &stats.net_conns {
+        writeln!(
+            out,
+            "conn {}: {} in flight, {} bytes in / {} out, backlog high-water {}, \
+             {} errors, {} retry-afters",
+            c.id,
+            c.inflight,
+            c.bytes_in,
+            c.bytes_out,
+            c.backlog_high_water,
+            c.errors,
+            c.retry_afters,
+        )
+        .map_err(io_err)?;
+    }
+    if !stats.retry_backoff.is_empty() {
+        writeln!(
+            out,
+            "retry backoff advised over {} rejects: p50 {} µs, p99 {} µs",
+            stats.retry_backoff.count,
+            stats.retry_backoff.quantile(0.5),
+            stats.retry_backoff.quantile(0.99),
+        )
+        .map_err(io_err)?;
+    }
+    if stats.qlog.logged > 0 {
+        writeln!(
+            out,
+            "query log: {} logged, {} dropped, {} drained",
+            stats.qlog.logged, stats.qlog.dropped, stats.qlog.drained,
+        )
+        .map_err(io_err)?;
+    }
+    if stats.exemplar.e2e_ns > 0 {
+        writeln!(
+            out,
+            "tail exemplar: request {} at {:.1} µs end-to-end",
+            stats.exemplar.request_id,
+            stats.exemplar.e2e_ns as f64 / 1000.0,
+        )
+        .map_err(io_err)?;
+    }
     if let Some(path) = flags.get("stats-json") {
         std::fs::write(path, stats.to_json()).map_err(|e| format!("{path}: {e}"))?;
         writeln!(out, "wrote runtime stats to {path}").map_err(io_err)?;
@@ -601,6 +719,14 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         let traces = server.flight_traces();
         std::fs::write(path, server.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
         writeln!(out, "wrote {} flight trace(s) to {path}", traces.len()).map_err(io_err)?;
+    }
+    if let Some((path, stop, handle)) = qlog_writer {
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let written = handle
+            .join()
+            .map_err(|_| "query-log writer panicked".to_string())?
+            .map_err(|e| format!("{path}: {e}"))?;
+        writeln!(out, "wrote {written} query-log line(s) to {path}").map_err(io_err)?;
     }
     // Teardown order matters for the Arc unwraps: the stats listener
     // may hold the net server, and both listeners hold the runtime.
@@ -633,8 +759,21 @@ fn cmd_bench_net(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result
     if parse_bool(flags, "normalize")? {
         queries.normalize_l2();
     }
-    let cfg = loadgen::LoadConfig {
-        target_qps: opt_parse(flags, "qps", 1000.0f64)?,
+    // `--qps` takes a single rate or a comma-separated list; each rate
+    // is its own open-loop pass and a latency-vs-offered-load summary
+    // closes a multi-rate report.
+    let rates: Vec<f64> = flags
+        .get("qps")
+        .map(|s| s.as_str())
+        .unwrap_or("1000")
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            v.parse::<f64>().map_err(|_| format!("--qps: cannot parse `{v}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let base_cfg = loadgen::LoadConfig {
+        target_qps: 0.0,
         requests: opt_parse(flags, "requests", 1000usize)?,
         connections: opt_parse(flags, "connections", 1usize)?,
         seed: opt_parse(flags, "seed", 42u64)?,
@@ -652,39 +791,72 @@ fn cmd_bench_net(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result
         )?),
     };
     let query_vecs: Vec<Vec<f32>> = (0..queries.len()).map(|i| queries.get(i).to_vec()).collect();
-    let report =
-        loadgen::run_load(addr, &query_vecs, &cfg).map_err(|e| format!("bench-net {addr}: {e}"))?;
-    writeln!(
-        out,
-        "offered {} requests at target {:.0} q/s over {} connection(s), seed {}: \
-         {} completed, {} rejected (RETRY_AFTER), {} errors in {:.2?} ({:.0} q/s achieved)",
-        report.offered,
-        cfg.target_qps,
-        cfg.connections,
-        cfg.seed,
-        report.completed,
-        report.rejected,
-        report.errors,
-        report.elapsed,
-        report.achieved_qps,
-    )
-    .map_err(io_err)?;
-    writeln!(
-        out,
-        "client latency over {} post-warmup samples: p50 {:.1} µs, p99 {:.1} µs",
-        report.measured,
-        report.p50_us(),
-        report.p99_us(),
-    )
-    .map_err(io_err)?;
-    if let Some(slo) = cfg.slo {
+    let mut curve = Vec::with_capacity(rates.len());
+    for &target_qps in &rates {
+        let cfg = loadgen::LoadConfig { target_qps, ..base_cfg.clone() };
+        let report = loadgen::run_load(addr, &query_vecs, &cfg)
+            .map_err(|e| format!("bench-net {addr}: {e}"))?;
         writeln!(
             out,
-            "slo attainment: {:.4} of measured requests within {} µs",
-            report.attainment,
-            slo.as_micros(),
+            "offered {} requests at target {:.0} q/s over {} connection(s), seed {}: \
+             {} completed, {} rejected (RETRY_AFTER), {} errors in {:.2?} ({:.0} q/s achieved)",
+            report.offered,
+            cfg.target_qps,
+            cfg.connections,
+            cfg.seed,
+            report.completed,
+            report.rejected,
+            report.errors,
+            report.elapsed,
+            report.achieved_qps,
         )
         .map_err(io_err)?;
+        writeln!(
+            out,
+            "client latency over {} post-warmup samples: p50 {:.1} µs, p99 {:.1} µs",
+            report.measured,
+            report.p50_us(),
+            report.p99_us(),
+        )
+        .map_err(io_err)?;
+        if let Some(slo) = cfg.slo {
+            writeln!(
+                out,
+                "slo attainment: {:.4} of measured requests within {} µs",
+                report.attainment,
+                slo.as_micros(),
+            )
+            .map_err(io_err)?;
+        }
+        // Every SEARCH carried a client-send timestamp, so this id is
+        // resolvable on the server: grep it in /traces (flight trace)
+        // and /query-log (wide event) when qlog/tracing are armed.
+        if let Some((id, latency_ns)) = report.slowest {
+            writeln!(
+                out,
+                "slowest post-warmup request: id {id} at {:.1} µs \
+                 — grep this id in the server's /traces and /query-log",
+                latency_ns as f64 / 1000.0,
+            )
+            .map_err(io_err)?;
+        }
+        curve.push((target_qps, report));
+    }
+    if curve.len() > 1 {
+        writeln!(out, "latency vs offered load:").map_err(io_err)?;
+        for (target_qps, report) in &curve {
+            writeln!(
+                out,
+                "  target {:.0} q/s: achieved {:.0} q/s, p50 {:.1} µs, p99 {:.1} µs, \
+                 {} rejected",
+                target_qps,
+                report.achieved_qps,
+                report.p50_us(),
+                report.p99_us(),
+                report.rejected,
+            )
+            .map_err(io_err)?;
+        }
     }
     Ok(())
 }
@@ -1218,6 +1390,120 @@ mod tests {
         assert!(text.contains("0 protocol errors"), "{text}");
 
         for p in [base, queries, index] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn query_log_file_and_rate_sweep() {
+        let base = tmp("ql-base.fvecs");
+        let queries = tmp("ql-q.fvecs");
+        let index = tmp("ql-index.algas");
+        let qlog = tmp("ql-queries.ndjson");
+        run_ok(&[
+            "gen",
+            "--out",
+            &base,
+            "--queries",
+            &queries,
+            "--n",
+            "500",
+            "--nq",
+            "32",
+            "--dim",
+            "12",
+            "--seed",
+            "13",
+        ]);
+        run_ok(&["build", "--base", &base, "--graph", "cagra", "--out", &index]);
+
+        // Network-only serve with the wide-event query log tailing to
+        // a file.
+        let serve_out = SharedOut::default();
+        let serve_thread = {
+            let mut out = serve_out.clone();
+            let args: Vec<String> = [
+                "serve",
+                "--index",
+                &index,
+                "--queries",
+                &queries,
+                "--slots",
+                "4",
+                "--net",
+                "127.0.0.1:0",
+                "--repeat",
+                "0",
+                "--linger-ms",
+                "4000",
+                "--query-log",
+                &qlog,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || run(&args, &mut out))
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            let text = serve_out.text();
+            if let Some(line) = text.lines().find(|l| l.starts_with("query protocol listening on"))
+            {
+                break line.rsplit(' ').next().unwrap().to_string();
+            }
+            assert!(std::time::Instant::now() < deadline, "serve never bound: {text}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        // A comma-separated --qps list runs one open-loop pass per
+        // rate and closes with the latency-vs-offered-load summary.
+        let msg = run_ok(&[
+            "bench-net",
+            "--addr",
+            &addr,
+            "--queries",
+            &queries,
+            "--qps",
+            "500,1500",
+            "--requests",
+            "40",
+            "--connections",
+            "1",
+            "--seed",
+            "5",
+        ]);
+        assert_eq!(msg.matches("40 completed, 0 rejected (RETRY_AFTER), 0 errors").count(), 2);
+        assert!(msg.contains("latency vs offered load:"), "{msg}");
+        assert!(msg.contains("  target 500 q/s:"), "{msg}");
+        assert!(msg.contains("  target 1500 q/s:"), "{msg}");
+        assert!(msg.contains("slowest post-warmup request: id "), "{msg}");
+
+        serve_thread.join().unwrap().expect("serve exits cleanly");
+        let text = serve_out.text();
+        assert!(text.contains("query-log line(s) to"), "{text}");
+        let lines: Vec<String> = std::fs::read_to_string(&qlog)
+            .expect("query log written")
+            .lines()
+            .map(|l| l.to_string())
+            .collect();
+        if cfg!(feature = "obs") {
+            // Every completed request (40 per rate) landed as one
+            // wide-event JSON line carrying its wire identity.
+            assert_eq!(lines.len(), 80, "{text}");
+            assert!(text.contains("query log: 80 logged, 0 dropped"), "{text}");
+            for line in &lines {
+                assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+                for key in ["\"request_id\":", "\"conn\":", "\"queue_ns\":", "\"status\":\"ok\""] {
+                    assert!(line.contains(key), "{key} missing in {line}");
+                }
+            }
+            // The loadgen stamped client-send times on every SEARCH.
+            assert!(lines.iter().all(|l| !l.contains("\"client_ts_us\":0,")), "{:?}", lines[0]);
+        } else {
+            assert!(lines.is_empty(), "{lines:?}");
+        }
+
+        for p in [base, queries, index, qlog] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -8,7 +8,8 @@ use std::time::{Duration, Instant};
 
 use algas::core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
 use algas::core::net::{frame, NetClient, NetConfig, NetServer, Reply};
-use algas::core::obs::RuntimeStats;
+use algas::core::obs::json::Value;
+use algas::core::obs::{traces_json, FlightConfig, QlogConfig, RuntimeStats};
 use algas::core::runtime::{AlgasServer, RuntimeConfig};
 use algas::graph::cagra::CagraParams;
 use algas::vector::datasets::DatasetSpec;
@@ -107,6 +108,99 @@ fn pipelined_requests_complete_out_of_order_matched_by_request_id() {
     let net = stack.net.net_stats();
     assert!(net.frames_in >= (IN_FLIGHT * rounds) as u64);
     assert_eq!(net.protocol_errors, 0);
+}
+
+/// Acceptance pin: a wire request id the client logged resolves to a
+/// server flight trace AND a query-log line carrying the same id plus
+/// queue delay, hops, and the SLO rung — the cross-layer join the
+/// observability stack exists for.
+#[test]
+fn wire_request_ids_resolve_to_flight_traces_and_query_log_lines() {
+    let runtime = RuntimeConfig {
+        n_slots: 4,
+        n_workers: 2,
+        n_host_threads: 2,
+        queue_capacity: 256,
+        // Threshold 0: every completion is "slow", so all N timelines
+        // are retained; the query log keeps every completion too.
+        flight: FlightConfig { slow_threshold_ns: 0, ..Default::default() },
+        qlog: QlogConfig { enabled: true, ..Default::default() },
+    };
+    let stack = start_stack(runtime, NetConfig::default());
+    let mut client = stack.client();
+
+    const N: usize = 12;
+    const BASE_ID: u64 = 0xC0FF_EE00;
+    for i in 0..N {
+        // FLAG_CLIENT_TS sends: the client-send stamp rides the wire
+        // and must come back out in the query log untouched.
+        client
+            .send_search_ts(BASE_ID + i as u64, stack.queries.get(i), 1_000 + i as u64)
+            .expect("send");
+    }
+    for _ in 0..N {
+        match client.recv().expect("recv") {
+            Reply::Result { request_id, .. } => {
+                assert!(
+                    (BASE_ID..BASE_ID + N as u64).contains(&request_id),
+                    "stray reply id {request_id:#x}"
+                );
+            }
+            other => panic!("expected RESULT, got {other:?}"),
+        }
+    }
+    if !cfg!(feature = "obs") {
+        return; // recorders are zero-sized no-ops without obs
+    }
+
+    // Every wire id keys a retained flight trace attributed to this
+    // connection (the first accepted: id 1), and the /traces JSON is
+    // greppable by the id the client logged.
+    let traces = stack.server.flight_traces();
+    let doc = traces_json(&traces);
+    for i in 0..N {
+        let id = BASE_ID + i as u64;
+        let t = traces
+            .iter()
+            .find(|t| t.request_id == id)
+            .unwrap_or_else(|| panic!("request {id:#x} has no flight trace"));
+        assert_eq!(t.conn, 1, "trace attributed to the accepting connection");
+        assert!(t.e2e_ns() > 0);
+        assert!(doc.contains(&format!("\"request_id\":{id}")), "{id} missing from /traces");
+    }
+
+    // One wide-event line per completion, joinable on the same id.
+    let lines = stack.server.qlog_lines();
+    assert_eq!(lines.len(), N, "{lines:?}");
+    let mut seen_ids = Vec::new();
+    for line in &lines {
+        let doc = Value::parse(line).expect("query-log line parses as JSON");
+        let id = doc.get("request_id").unwrap().as_u64().unwrap();
+        let i = (id - BASE_ID) as usize;
+        assert!(i < N, "stray query-log id {id:#x}");
+        seen_ids.push(id);
+        assert_eq!(doc.get("conn").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("client_ts_us").unwrap().as_u64(), Some(1_000 + i as u64));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert!(doc.get("queue_ns").unwrap().as_u64().is_some(), "queue delay present");
+        assert!(doc.get("hops").unwrap().as_u64().unwrap() > 0, "graph hops recorded");
+        assert!(doc.get("slo_level").unwrap().as_u64().is_some(), "SLO rung present");
+        assert!(doc.get("e2e_ns").unwrap().as_u64().unwrap() > 0);
+    }
+    seen_ids.sort_unstable();
+    let expected: Vec<u64> = (0..N as u64).map(|i| BASE_ID + i).collect();
+    assert_eq!(seen_ids, expected, "every request logged exactly once");
+
+    // The tail exemplar in the stats snapshot points at one of the
+    // wire ids this session actually served.
+    let stats = stack.server.runtime_stats();
+    assert!(stats.exemplar.e2e_ns > 0);
+    assert!(
+        (BASE_ID..BASE_ID + N as u64).contains(&stats.exemplar.request_id),
+        "exemplar id {:#x} is not one of ours",
+        stats.exemplar.request_id
+    );
+    assert_eq!(stats.qlog.logged, N as u64);
 }
 
 #[test]

@@ -93,6 +93,21 @@ fn codec_round(i: usize, query: &[f32], ids: &[u32], distances: &[f32], s: &mut 
         other => panic!("expected a frame, got {other:?}"),
     }
 
+    // SEARCH with a client-send timestamp (FLAG_CLIENT_TS): the tail
+    // split borrows from the payload — the tracing extension must stay
+    // as allocation-free as the plain request.
+    s.wire.clear();
+    frame::encode_search_ts(&mut s.wire, id, query, 77);
+    match frame::decode_frame(&s.wire, frame::DEFAULT_MAX_PAYLOAD) {
+        Ok(Decoded::Frame { header, payload, .. }) => {
+            assert!(header.has_client_ts());
+            let (vec_bytes, ts) = frame::split_search_ts(payload).expect("flagged payload");
+            frame::decode_search_into(vec_bytes, &mut s.q_out).expect("search payload");
+            checksum += s.q_out.len() as u64 + ts;
+        }
+        other => panic!("expected a frame, got {other:?}"),
+    }
+
     // A split read: the partial-frame (NeedMore) path must not
     // allocate either — resumability is free.
     s.wire.clear();
@@ -126,7 +141,7 @@ fn steady_state_codec_allocates_nothing_after_warmup() {
     }
     let after = ALLOC_CALLS.load(Ordering::Relaxed);
 
-    assert_eq!(checksum, ((ROUNDS + 4) as u64) * (DIM + K + 1234) as u64);
+    assert_eq!(checksum, ((ROUNDS + 4) as u64) * (2 * DIM + K + 1234 + 77) as u64);
     assert_eq!(
         after - before,
         0,

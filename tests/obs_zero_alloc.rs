@@ -2,11 +2,12 @@
 //! every operation the hot path performs — phase stamps, histogram
 //! records, per-worker/host/slot counter bumps, flight-recorder event
 //! writes (including ring overwrite), and the full delivery-accounting
-//! call — must never touch the heap. Snapshotting
-//! ([`RuntimeObs::populate`]) and trace capture (retention) allocate
-//! and are deliberately outside the measured region: they run on the
-//! control path, not per query, so the recorder here is configured to
-//! retain nothing.
+//! call including its wide-event query-log write (both the accepted
+//! and the ring-full drop path) — must never touch the heap.
+//! Snapshotting ([`RuntimeObs::populate`]), trace capture (retention),
+//! and query-log draining/rendering allocate and are deliberately
+//! outside the measured region: they run on the control path, not per
+//! query, so the recorder here is configured to retain nothing.
 //!
 //! Like `zero_alloc.rs`, this binary holds exactly one test so no
 //! concurrent test can perturb the counting `#[global_allocator]`
@@ -15,7 +16,9 @@
 #![cfg(feature = "obs")]
 
 use algas::core::merge::MergeStats;
-use algas::core::obs::{stamp, EventKind, FlightConfig, Histogram, JobStamps, RuntimeObs};
+use algas::core::obs::{
+    stamp, DeliveryCtx, EventKind, FlightConfig, Histogram, JobStamps, QlogConfig, RuntimeObs,
+};
 use algas::core::tracer::{StepStats, StepTotals};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,7 +68,21 @@ fn instrument_one_query(obs: &RuntimeObs, hist: &Histogram, totals: &StepTotals,
     let picked_up = stamp();
     let merged_at = stamp();
     let delta = MergeStats { merges: 1, elements: 64, dupes_dropped: 3 };
-    obs.record_delivery(0, s, q, &stamps, picked_up, merged_at, stamp(), &delta);
+    // Delivery accounting now also writes the wide-event query-log
+    // record (wire identity + per-query facts) into its ring — that
+    // write rides the same zero-allocation budget.
+    let ctx = DeliveryCtx {
+        request_id: q + 0x1000,
+        conn_id: 1 + q % 3,
+        client_ts_us: 40 + q,
+        worker: (q % 2) as u32,
+        hops: 17,
+        slo_level: 1,
+        rerank_depth: 32,
+        entry_code: 2,
+        ..DeliveryCtx::local(q)
+    };
+    obs.record_delivery(0, s, &ctx, &stamps, picked_up, merged_at, stamp(), &delta);
     obs.host_pass(0, q.is_multiple_of(3));
     hist.record(1 + q * 17);
 }
@@ -77,7 +94,12 @@ fn telemetry_hot_path_allocates_nothing() {
     // ring overwrite inside the measured region.
     let flight =
         FlightConfig { ring_capacity: 16, slow_threshold_ns: u64::MAX, top_k: 0, sample_every: 0 };
-    let obs = RuntimeObs::with_flight(4, 2, 1, flight);
+    // Query log armed with a deliberately small ring and no drainer
+    // running: the measured region exercises both the accepted-write
+    // and the ring-full drop path, neither of which may allocate
+    // (rendering to JSON lines happens on the control path, in drain).
+    let qlog = QlogConfig { enabled: true, ring_capacity: 64, ..Default::default() };
+    let obs = RuntimeObs::with_config(4, 2, 1, flight, qlog);
     let hist = Histogram::new();
     let mut totals = StepTotals::default();
     totals.add_step(&StepStats {
@@ -132,4 +154,17 @@ fn telemetry_hot_path_allocates_nothing() {
     assert_eq!(stats.flight.events, 11 * total);
     assert_eq!(stats.flight.retained, 0);
     assert!(obs.flight_retained().is_empty());
+    // Query log: every delivery attempted a record; the undrained ring
+    // accepted its capacity's worth and dropped the rest — both paths
+    // ran inside the measured region.
+    let totals = obs.qlog_totals();
+    assert_eq!(totals.logged + totals.dropped, total);
+    assert!(totals.logged >= 63, "ring capacity's worth accepted");
+    assert!(totals.dropped > 0, "undrained small ring must have dropped");
+    // Draining and rendering (the control path) is allowed to allocate
+    // — and the lines carry the wire identity the deliveries recorded.
+    let lines = obs.qlog_lines();
+    assert_eq!(lines.len() as u64, totals.logged);
+    assert!(lines[0].contains("\"request_id\":"), "{}", lines[0]);
+    assert!(lines[0].contains("\"hops\":17"), "{}", lines[0]);
 }

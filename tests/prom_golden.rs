@@ -15,9 +15,12 @@
 use algas::core::control::ControlStats;
 use algas::core::engine::RerankStats;
 use algas::core::merge::MergeStats;
-use algas::core::net::NetStats;
+use algas::core::net::{ConnStats, NetStats};
 use algas::core::obs::prom::check_exposition;
-use algas::core::obs::{FlightTotals, Histogram, HostStats, RuntimeStats, SlotStats, WorkerStats};
+use algas::core::obs::{
+    FlightTotals, Histogram, HostStats, QlogTotals, RuntimeStats, SlotStats, TailExemplar,
+    WorkerStats,
+};
 use algas::core::tracer::StepTotals;
 use std::path::Path;
 
@@ -83,6 +86,33 @@ fn fixture() -> RuntimeStats {
         protocol_errors: 2,
         backpressure_rejects: 7,
     };
+    s.net_conns = vec![
+        ConnStats {
+            id: 5,
+            inflight: 3,
+            bytes_in: 8_000,
+            bytes_out: 9_900,
+            backlog_high_water: 4_096,
+            errors: 1,
+            retry_afters: 5,
+        },
+        ConnStats {
+            id: 6,
+            inflight: 1,
+            bytes_in: 2_560,
+            bytes_out: 3_316,
+            backlog_high_water: 512,
+            errors: 1,
+            retry_afters: 2,
+        },
+    ];
+    let backoff = Histogram::new();
+    for v in [200u64, 400, 800, 1_600, 12_800, 51_200, 102_400] {
+        backoff.record(v);
+    }
+    s.retry_backoff = backoff.snapshot();
+    s.qlog = QlogTotals { logged: 36, dropped: 2, drained: 30 };
+    s.exemplar = TailExemplar { e2e_ns: 100_000, request_id: 0xC0FF_EE07 };
     s
 }
 
