@@ -197,6 +197,14 @@ impl SloController {
         self.cfg
     }
 
+    /// The configured SLO target in ns (0 = no SLO armed). This is the
+    /// declared target even when the effort ladder has no room to
+    /// adapt, so burn-rate health can judge attainment on engines the
+    /// controller itself leaves alone.
+    pub fn slo_ns(&self) -> u64 {
+        self.cfg.slo_ns
+    }
+
     /// The ladder the controller moves along.
     pub fn ladder(&self) -> &EffortLadder {
         &self.ladder

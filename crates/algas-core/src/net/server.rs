@@ -59,6 +59,11 @@ pub struct NetConfig {
     /// How long `stop()` keeps draining in-flight replies and
     /// unflushed write buffers before closing connections.
     pub linger: Duration,
+    /// Max open connections exported as individual `conn`-labeled
+    /// Prometheus series; the overflow is summed into one
+    /// `conn="other"` sample so scrape cardinality stays bounded under
+    /// connection churn. 0 = uncapped.
+    pub conn_series_max: usize,
 }
 
 impl Default for NetConfig {
@@ -68,6 +73,7 @@ impl Default for NetConfig {
             max_payload: frame::DEFAULT_MAX_PAYLOAD,
             max_conns: 1024,
             linger: Duration::from_millis(500),
+            conn_series_max: 64,
         }
     }
 }
@@ -77,6 +83,7 @@ pub struct NetServer {
     server: Arc<AlgasServer>,
     counters: Arc<NetCounters>,
     handle: ListenerHandle,
+    cfg: NetConfig,
 }
 
 impl NetServer {
@@ -96,7 +103,7 @@ impl NetServer {
         let handle = ListenerHandle::spawn("algas-net", addr, move |listener, stop, parker| {
             event_loop(&listener, stop, parker, &loop_server, &loop_counters, cfg);
         })?;
-        Ok(Self { server, counters, handle })
+        Ok(Self { server, counters, handle, cfg })
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -116,6 +123,8 @@ impl NetServer {
         let mut out = self.server.runtime_stats();
         out.net = self.counters.snapshot();
         out.net_conns = self.counters.conn_snapshots();
+        out.net_closed = self.counters.closed_totals();
+        out.conn_series_max = self.cfg.conn_series_max as u64;
         out.retry_backoff = self.counters.backoff_snapshot();
         out
     }
@@ -146,6 +155,14 @@ impl crate::obs::StatsSource for NetServer {
 
     fn query_log_lines(&self) -> Vec<String> {
         self.server.qlog_lines()
+    }
+
+    fn profile_folded(&self, seconds: f64) -> String {
+        self.server.profile_capture(seconds)
+    }
+
+    fn health_state(&self) -> String {
+        self.server.window_stats().health
     }
 
     fn readyz(&self) -> bool {
@@ -208,6 +225,10 @@ fn event_loop(
     let mut next_gen: u64 = 0;
     let mut scratch_query: Vec<f32> = Vec::with_capacity(dim);
     let mut linger_deadline: Option<Instant> = None;
+    // Thread-state marker for the sampling profiler: one relaxed store
+    // per phase transition (a no-op with `obs` compiled out).
+    let prof = server.prof_registry().register(crate::obs::ThreadKind::Net, "net-loop");
+    use crate::obs::ProfState;
 
     loop {
         let mut progress = false;
@@ -217,6 +238,7 @@ fn event_loop(
             linger_deadline.get_or_insert_with(|| Instant::now() + cfg.linger);
         } else {
             // 1. Accept burst.
+            prof.stamp(ProfState::Accept);
             loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
@@ -256,6 +278,7 @@ fn event_loop(
             }
 
             // 2–3. Read, decode, submit.
+            prof.stamp(ProfState::Read);
             for (idx, slot) in conns.iter_mut().enumerate() {
                 let Some(conn) = slot.as_mut() else { continue };
                 if conn.closing {
@@ -270,6 +293,7 @@ fn event_loop(
                     }
                 }
                 let conn = slot.as_mut().expect("checked above");
+                prof.stamp(ProfState::Decode);
                 if decode_and_handle(
                     conn,
                     idx,
@@ -286,6 +310,7 @@ fn event_loop(
         }
 
         // 4. Complete: poll the in-flight table, out of order.
+        prof.stamp(ProfState::Complete);
         let mut i = 0;
         while i < pending.len() {
             match pending[i].rx.try_recv() {
@@ -323,6 +348,7 @@ fn event_loop(
         }
 
         // 5. Flush writes; reap drained connections.
+        prof.stamp(ProfState::Flush);
         for slot in &mut conns {
             let Some(conn) = slot.as_mut() else { continue };
             if !flush_some(conn, counters, &mut progress) {
@@ -345,6 +371,7 @@ fn event_loop(
         if progress {
             parker.reset();
         } else {
+            prof.stamp(ProfState::Idle);
             parker.park();
         }
     }

@@ -116,6 +116,25 @@ impl Histogram {
             max: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Copies the current state into `out`, reusing its bucket storage.
+    /// Allocation-free once `out` has materialized its counts (the
+    /// first call on a default snapshot allocates the `N_BUCKETS` cells
+    /// once) — the form the windowed-telemetry ring uses so periodic
+    /// rotation never allocates on a warm ring slot.
+    pub fn snapshot_into(&self, out: &mut HistogramSnapshot) {
+        if out.counts.len() != N_BUCKETS {
+            out.counts.resize(N_BUCKETS, 0);
+        }
+        for (dst, src) in out.counts.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        out.count = self.count.load(Ordering::Relaxed);
+        out.sum = self.sum.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        out.min = if out.count == 0 { 0 } else { min };
+        out.max = self.max.load(Ordering::Relaxed);
+    }
 }
 
 impl Default for Histogram {
@@ -225,6 +244,54 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// An all-zero snapshot with full bucket storage already
+    /// allocated, for ring slots refilled in place via
+    /// [`Histogram::snapshot_into`] (the refill then never resizes).
+    pub fn preallocated() -> HistogramSnapshot {
+        HistogramSnapshot { counts: vec![0; N_BUCKETS], ..HistogramSnapshot::default() }
+    }
+
+    /// The values recorded between `earlier` and `self`, where both are
+    /// cumulative snapshots of the *same* histogram with `earlier`
+    /// taken first — the subtraction that turns lifetime histograms
+    /// into windowed ones.
+    ///
+    /// Per-bucket counts, `count`, and `sum` subtract exactly
+    /// (saturating, so a torn pair of racy snapshots degrades to zero
+    /// rather than wrapping). `min`/`max` are not recoverable from
+    /// cumulative scalars, so they are re-derived from the delta's own
+    /// bucket bounds: `min` is the lower bound of the first non-empty
+    /// delta bucket (clamped up to the lifetime min) and `max` the
+    /// upper bound of the last (clamped down to the lifetime max) —
+    /// within the same ≤1/32 relative error as every quantile.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let mut counts = vec![0u64; N_BUCKETS];
+        let (mut first, mut last) = (None, 0usize);
+        for (i, dst) in counts.iter_mut().enumerate() {
+            let now = self.counts.get(i).copied().unwrap_or(0);
+            let then = earlier.counts.get(i).copied().unwrap_or(0);
+            *dst = now.saturating_sub(then);
+            if *dst > 0 {
+                first.get_or_insert(i);
+                last = i;
+            }
+        }
+        let Some(first) = first else {
+            return HistogramSnapshot::default();
+        };
+        HistogramSnapshot {
+            min: bucket_lower(first).max(self.min),
+            max: bucket_upper(last).min(self.max),
+            counts,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
     /// Mean of the recorded values (exact: tracked as a running sum).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -237,6 +304,15 @@ impl HistogramSnapshot {
     /// The `(p50, p95, p99, p999)` quantile estimates.
     pub fn percentiles(&self) -> (u64, u64, u64, u64) {
         (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99), self.quantile(0.999))
+    }
+
+    /// How many recorded values were `≤ v`, to bucket resolution: every
+    /// bucket up to and including `v`'s own counts in full, so the
+    /// estimate can overshoot by at most the straddling bucket (≤1/32
+    /// relative in value terms). The SLO burn-rate attainment uses this
+    /// against windowed deltas.
+    pub fn count_le(&self, v: u64) -> u64 {
+        self.counts.iter().take(bucket_index(v) + 1).sum()
     }
 }
 
@@ -351,6 +427,82 @@ mod tests {
         let back = HistogramSnapshot::from_sparse(&s.sparse(), s.sum, s.min, s.max).unwrap();
         assert_eq!(back, s);
         assert!(HistogramSnapshot::from_sparse(&[(N_BUCKETS, 1)], 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn delta_recovers_the_interval() {
+        // Record in two phases; the delta of the cumulative snapshots
+        // must equal a histogram that saw only the second phase.
+        let h = Histogram::new();
+        let second_only = Histogram::new();
+        for v in [5u64, 70, 900, 900, 40_000] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [12u64, 300, 300, 1 << 20] {
+            h.record(v);
+            second_only.record(v);
+        }
+        let d = h.snapshot().delta(&earlier);
+        let expect = second_only.snapshot();
+        assert_eq!(d.count, expect.count);
+        assert_eq!(d.sum, expect.sum);
+        assert_eq!(d.sparse(), expect.sparse());
+        // min/max are re-derived from bucket bounds: within one bucket
+        // of the true interval extrema.
+        let (lo, hi) = (bucket_index(expect.min), bucket_index(expect.max));
+        assert!(bucket_lower(lo) <= d.min && d.min <= bucket_upper(lo), "min {}", d.min);
+        assert!(bucket_lower(hi) <= d.max && d.max <= bucket_upper(hi), "max {}", d.max);
+        // Lifetime max (1<<20) is in the window, so quantiles match
+        // the second-phase histogram exactly.
+        for q in [0.5, 0.99, 1.0] {
+            assert_eq!(d.quantile(q), expect.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn delta_edge_cases() {
+        let h = Histogram::new();
+        h.record(10);
+        let s = h.snapshot();
+        // Nothing in between: normalized empty delta.
+        assert_eq!(s.delta(&s), HistogramSnapshot::default());
+        // Against the default (empty) snapshot: the full histogram.
+        assert_eq!(s.delta(&HistogramSnapshot::default()), s);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_storage_and_matches() {
+        let h = Histogram::new();
+        let mut out = HistogramSnapshot::default();
+        h.snapshot_into(&mut out); // empty: materializes the buckets
+        assert_eq!(out.count, 0);
+        for v in [1u64, 64, 4096] {
+            h.record(v);
+        }
+        let ptr = out.counts.as_ptr();
+        h.snapshot_into(&mut out);
+        assert_eq!(ptr, out.counts.as_ptr(), "warm snapshot_into must not reallocate");
+        let fresh = h.snapshot();
+        assert_eq!((out.count, out.sum, out.min, out.max), (3, 4161, 1, 4096));
+        assert_eq!(out.sparse(), fresh.sparse());
+        assert_eq!(out.delta(&HistogramSnapshot::default()), fresh);
+    }
+
+    #[test]
+    fn count_le_tracks_the_cdf() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count_le(0), 0);
+        // Exact range: exact CDF.
+        assert_eq!(s.count_le(50), 50);
+        // Log-linear range: within one bucket of the truth.
+        let est = s.count_le(80);
+        assert!((80..=82).contains(&est), "count_le(80) = {est}");
+        assert_eq!(s.count_le(u64::MAX), 100);
     }
 
     #[test]

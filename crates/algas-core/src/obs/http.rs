@@ -8,8 +8,14 @@
 //! * `GET /traces` — retained flight-recorder traces as JSON,
 //! * `GET /query-log` — retained wide-event query-log records as
 //!   newline-delimited JSON,
+//! * `GET /profile?seconds=N` — a folded-stack (flamegraph-ready)
+//!   thread-state profile captured over the next `N` seconds (default
+//!   2, clamped to 0.1–30). The capture blocks this serial scrape
+//!   surface for its duration — deliberate, as with every other
+//!   tradeoff here,
 //! * `GET /healthz` / `GET /readyz` — liveness and readiness probes
-//!   (`200 ok` / `503 unavailable`).
+//!   (`200` / `503 unavailable`), with the body carrying the SLO
+//!   burn-rate health state (`ok` / `degraded`).
 //!
 //! One accept-loop thread handles connections serially with
 //! `Connection: close` semantics — this is an operator scrape surface
@@ -43,6 +49,18 @@ pub trait StatsSource: Send + Sync {
     /// empty — sources without a query log serve an empty body.
     fn query_log_lines(&self) -> Vec<String> {
         Vec::new()
+    }
+    /// The `/profile` body: a folded-stack thread-state profile
+    /// captured (blocking) over `seconds`. Default: empty — sources
+    /// without a profiler serve an empty body.
+    fn profile_folded(&self, _seconds: f64) -> String {
+        String::new()
+    }
+    /// Burn-rate health detail reported in the probe bodies:
+    /// `"ok"` or `"degraded"`. Default `"ok"` — sources without
+    /// windowed telemetry are never degraded.
+    fn health_state(&self) -> String {
+        "ok".to_string()
     }
     /// Liveness: the process is up and the scrape surface responds.
     /// Default `true` — reaching the handler at all is the signal.
@@ -113,9 +131,9 @@ fn accept_loop(
     }
 }
 
-fn probe(up: bool) -> (&'static str, &'static str, String) {
+fn probe(up: bool, state: String) -> (&'static str, &'static str, String) {
     if up {
-        ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
+        ("200 OK", "text/plain; charset=utf-8", state + "\n")
     } else {
         ("503 Service Unavailable", "text/plain; charset=utf-8", "unavailable\n".to_string())
     }
@@ -139,8 +157,8 @@ fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()
     let head = String::from_utf8_lossy(&buf[..len]);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
+    let raw_path = parts.next().unwrap_or("");
+    let (path, query) = raw_path.split_once('?').unwrap_or((raw_path, ""));
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
     } else {
@@ -159,12 +177,21 @@ fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()
                 }
                 ("200 OK", "application/x-ndjson", body)
             }
-            "/healthz" => probe(source.healthz()),
-            "/readyz" => probe(source.readyz()),
+            "/profile" => {
+                let seconds = query
+                    .split('&')
+                    .find_map(|kv| kv.strip_prefix("seconds="))
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or(2.0);
+                ("200 OK", "text/plain; charset=utf-8", source.profile_folded(seconds))
+            }
+            "/healthz" => probe(source.healthz(), source.health_state()),
+            "/readyz" => probe(source.readyz(), source.health_state()),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /stats.json, /traces, /query-log, /healthz, /readyz\n"
+                "not found; try /metrics, /stats.json, /traces, /query-log, /profile, /healthz, \
+                 /readyz\n"
                     .to_string(),
             ),
         }
@@ -273,6 +300,60 @@ mod tests {
         assert_eq!(body, "unavailable\n");
         let (head, _) = get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200"), "draining is alive, not ready: {head}");
+        server.stop();
+    }
+
+    #[test]
+    fn serves_profile_and_degraded_health() {
+        // A source with a profiler and a burning SLO: /profile echoes
+        // the requested capture window back as folded text, and both
+        // probes carry the degraded state (healthz stays 200 — the
+        // process is alive, just missing its SLO).
+        struct Burning;
+        impl StatsSource for Burning {
+            fn metrics_text(&self) -> String {
+                String::new()
+            }
+            fn stats_json(&self) -> String {
+                String::new()
+            }
+            fn traces_json(&self) -> String {
+                String::new()
+            }
+            fn profile_folded(&self, seconds: f64) -> String {
+                format!("worker;worker-0;scan {}\n", (seconds * 10.0) as u64)
+            }
+            fn health_state(&self) -> String {
+                "degraded".to_string()
+            }
+        }
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(Burning)).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/profile?seconds=0.5");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        assert_eq!(body, "worker;worker-0;scan 5\n");
+        // No query string: the default 2-second capture applies.
+        let (_, body) = get(addr, "/profile");
+        assert_eq!(body, "worker;worker-0;scan 20\n");
+        // A malformed seconds= also falls back to the default.
+        let (_, body) = get(addr, "/profile?seconds=bogus");
+        assert_eq!(body, "worker;worker-0;scan 20\n");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "degraded\n");
+        let (head, body) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "degraded\n");
+        server.stop();
+
+        // The default profile body is empty (no profiler attached).
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(FixedSource)).unwrap();
+        let (head, body) = get(server.local_addr(), "/profile");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "");
         server.stop();
     }
 

@@ -24,9 +24,16 @@
 //! * [`qlog`] — the wide-event query log ([`QueryLog`]): one
 //!   structured record per completed query, written allocation-free
 //!   into a lock-free ring and drained as JSON lines.
+//! * [`prof`] — the thread-state sampling profiler: runtime threads
+//!   publish a one-word state marker, a 97 Hz sampler accumulates the
+//!   (thread, state) attribution table, exported as folded-stack text
+//!   (`/profile`, `algas profile`) and a JSON block.
+//! * [`window`] — rotating windowed aggregation: a ring of periodic
+//!   histogram snapshots whose deltas give moving p50/p99, rates, and
+//!   the SLO burn-rate health behind `/healthz` + `/readyz`.
 //! * [`http`] — a dependency-free `std::net` stats server exposing
-//!   `/metrics`, `/stats.json`, `/traces`, `/query-log`, and
-//!   health/readiness probes from a live server.
+//!   `/metrics`, `/stats.json`, `/traces`, `/query-log`, `/profile`,
+//!   and health/readiness probes from a live server.
 //! * [`json`] / [`prom`] — the self-contained wire formats (the
 //!   hermetic workspace has no `serde_json`).
 
@@ -36,10 +43,12 @@ pub mod flight;
 pub mod hist;
 pub mod http;
 pub mod json;
+pub mod prof;
 pub mod prom;
 pub mod qlog;
 pub mod recorder;
 pub mod snapshot;
+pub mod window;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use counters::{CachePadded, Counter};
@@ -49,6 +58,11 @@ pub use flight::{
 };
 pub use hist::{Histogram, HistogramSnapshot};
 pub use http::{StatsServer, StatsSource};
+pub use prof::{
+    ProfHandle, ProfRegistry, ProfState, ProfStateCount, ProfStats, ProfThreadStats,
+    SharedProfRegistry, ThreadKind,
+};
 pub use qlog::{DeliveryCtx, QlogConfig, QlogRecord, QlogTotals, QueryLog};
-pub use recorder::{stamp, JobStamps, RuntimeObs, Stamp};
+pub use recorder::{stamp, JobStamps, ObsTickConfig, RuntimeObs, Stamp, OBS_ENABLED};
 pub use snapshot::{HostStats, PhaseStats, RuntimeStats, SlotStats, TailExemplar, WorkerStats};
+pub use window::{WindowBlock, WindowRing, WindowStats};

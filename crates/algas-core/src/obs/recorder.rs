@@ -18,6 +18,31 @@ pub use enabled::{stamp, JobStamps, RuntimeObs, Stamp};
 #[cfg(not(feature = "obs"))]
 pub use disabled::{stamp, JobStamps, RuntimeObs, Stamp};
 
+/// Whether the `obs` recording layer is compiled in. A runtime `bool`
+/// so call sites can skip spawning obs-only threads without `#[cfg]`.
+pub const OBS_ENABLED: bool = cfg!(feature = "obs");
+
+/// Configuration of the background obs tick thread — the single timer
+/// driving both the [`prof`](crate::obs::prof) sampler and the
+/// [`window`](crate::obs::window) ring rotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsTickConfig {
+    /// Profiler sampling frequency (passes/second). 0 disables
+    /// sampling; window rotation still runs.
+    pub prof_hz: u32,
+    /// Window ring rotation period (ms).
+    pub window_period_ms: u64,
+    /// Window ring capacity (snapshots retained); 64 × 1s covers the
+    /// 60s window with headroom.
+    pub window_slots: usize,
+}
+
+impl Default for ObsTickConfig {
+    fn default() -> Self {
+        Self { prof_hz: 97, window_period_ms: 1_000, window_slots: 64 }
+    }
+}
+
 #[cfg(feature = "obs")]
 mod enabled {
     use crate::engine::RerankStats;
@@ -27,13 +52,18 @@ mod enabled {
         EventKind, FlightConfig, FlightRecorder, FlightTotals, LifecycleNs, QueryIds, QueryTrace,
     };
     use crate::obs::hist::Histogram;
+    use crate::obs::prof::{ProfRegistry, ProfState, SharedProfRegistry, ThreadKind};
     use crate::obs::qlog::{
         DeliveryCtx, QlogConfig, QlogRecord, QlogTotals, QueryLog, STATUS_REJECTED,
     };
     use crate::obs::snapshot::{HostStats, RuntimeStats, SlotStats, TailExemplar, WorkerStats};
+    use crate::obs::window::{WindowBlock, WindowRing};
     use crate::tracer::StepTotals;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::time::Instant;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use super::ObsTickConfig;
 
     /// Deliveries between tail-exemplar resets: the exemplar tracks the
     /// slowest end-to-end latency (and its request id) within the
@@ -160,6 +190,11 @@ mod enabled {
         exemplar_e2e_ns: AtomicU64,
         /// Wire request id of that slowest delivery.
         exemplar_request_id: AtomicU64,
+        /// Thread-state marker registry + sample table.
+        prof: Arc<ProfRegistry>,
+        /// Rotating ring of periodic histogram snapshots.
+        window: WindowRing,
+        tick: ObsTickConfig,
     }
 
     impl RuntimeObs {
@@ -190,7 +225,27 @@ mod enabled {
             flight_cfg: FlightConfig,
             qlog_cfg: QlogConfig,
         ) -> Self {
-            Self {
+            Self::with_telemetry(
+                n_slots,
+                n_workers,
+                n_host_threads,
+                flight_cfg,
+                qlog_cfg,
+                ObsTickConfig::default(),
+            )
+        }
+
+        /// [`RuntimeObs::with_config`] plus an explicit obs tick
+        /// configuration (profiler Hz, window period/capacity).
+        pub fn with_telemetry(
+            n_slots: usize,
+            n_workers: usize,
+            n_host_threads: usize,
+            flight_cfg: FlightConfig,
+            qlog_cfg: QlogConfig,
+            tick: ObsTickConfig,
+        ) -> Self {
+            let obs = Self {
                 workers: (0..n_workers).map(|_| CachePadded::default()).collect(),
                 hosts: (0..n_host_threads).map(|_| CachePadded::default()).collect(),
                 slots: (0..n_slots).map(|_| CachePadded::default()).collect(),
@@ -205,7 +260,76 @@ mod enabled {
                 exemplar_count: AtomicU64::new(0),
                 exemplar_e2e_ns: AtomicU64::new(0),
                 exemplar_request_id: AtomicU64::new(0),
+                prof: Arc::new(ProfRegistry::new(tick.prof_hz)),
+                window: WindowRing::new(tick.window_period_ms, tick.window_slots),
+                tick,
+            };
+            // Baseline snapshot at construction (synchronous, so it
+            // deterministically precedes all queries): the first
+            // periodic rotation then forms a window covering startup
+            // activity — work finishing before the first rotation
+            // would otherwise be invisible to every window.
+            obs.rotate_window();
+            obs
+        }
+
+        /// The thread-state marker registry, for threads that want to
+        /// [`register`](ProfRegistry::register) and stamp.
+        pub fn prof_registry(&self) -> SharedProfRegistry {
+            Arc::clone(&self.prof)
+        }
+
+        /// Blocking folded-stack delta capture over `seconds` (the
+        /// `/profile` endpoint's worker).
+        pub fn prof_capture(&self, seconds: f64) -> String {
+            self.prof.capture(seconds)
+        }
+
+        /// The windowed view of the end-to-end histogram against
+        /// `slo_ns` (0 = no SLO armed).
+        pub fn window_stats(&self, slo_ns: u64) -> WindowBlock {
+            self.window.stats(slo_ns)
+        }
+
+        /// Rotates the window ring once off the live histograms
+        /// (normally the tick thread's job; public for tests and
+        /// simulators that drive time themselves).
+        pub fn rotate_window(&self) {
+            self.window.rotate(&self.end_to_end, self.submit_to_slot.count());
+        }
+
+        /// The obs tick thread body: drives the profiler sampler at
+        /// `prof_hz` and rotates the window ring every
+        /// `window_period_ms` until `shutdown` flips. Spawn gated on
+        /// [`OBS_ENABLED`](super::OBS_ENABLED); with `obs` off this is
+        /// a no-op.
+        pub fn run_ticker(&self, shutdown: &AtomicBool) {
+            let handle = self.prof.register(ThreadKind::Sampler, "obs-tick");
+            handle.stamp(ProfState::Idle);
+            // The sleep stays short even with sampling off so shutdown
+            // joins promptly; rotation cadence is kept by tick count.
+            let sleep = if self.tick.prof_hz == 0 {
+                Duration::from_millis(self.tick.window_period_ms.clamp(1, 250))
+            } else {
+                Duration::from_secs_f64(1.0 / f64::from(self.tick.prof_hz))
+            };
+            let ticks_per_rotation = if self.tick.prof_hz == 0 {
+                (self.tick.window_period_ms / (sleep.as_millis() as u64).max(1)).max(1)
+            } else {
+                (u64::from(self.tick.prof_hz) * self.tick.window_period_ms / 1_000).max(1)
+            };
+            let mut n: u64 = 0;
+            while !shutdown.load(Ordering::Acquire) {
+                if self.tick.prof_hz > 0 {
+                    self.prof.sample_once();
+                }
+                n += 1;
+                if n.is_multiple_of(ticks_per_rotation) {
+                    self.rotate_window();
+                }
+                std::thread::sleep(sleep);
             }
+            handle.stamp(ProfState::Shutdown);
         }
 
         /// The retained (tail-sampled) flight-recorder traces,
@@ -575,6 +699,7 @@ mod enabled {
                 e2e_ns: self.exemplar_e2e_ns.load(Ordering::Relaxed),
                 request_id: self.exemplar_request_id.load(Ordering::Relaxed),
             };
+            out.prof = self.prof.table();
         }
     }
 }
@@ -583,8 +708,12 @@ mod enabled {
 mod disabled {
     use crate::merge::MergeStats;
     use crate::obs::flight::{EventKind, FlightConfig, FlightTotals, QueryTrace};
+    use crate::obs::prof::{ProfRegistry, SharedProfRegistry};
     use crate::obs::qlog::{DeliveryCtx, QlogConfig, QlogTotals};
     use crate::obs::snapshot::RuntimeStats;
+    use crate::obs::window::WindowBlock;
+
+    use super::ObsTickConfig;
 
     /// Zero-sized stand-in for `Instant` when `obs` is compiled out.
     pub type Stamp = ();
@@ -642,6 +771,39 @@ mod disabled {
         ) -> Self {
             Self
         }
+
+        /// No-op.
+        pub fn with_telemetry(
+            _n_slots: usize,
+            _n_workers: usize,
+            _n_host_threads: usize,
+            _flight_cfg: FlightConfig,
+            _qlog_cfg: QlogConfig,
+            _tick: ObsTickConfig,
+        ) -> Self {
+            Self
+        }
+
+        /// The zero-sized registry stand-in (stamps are no-ops).
+        pub fn prof_registry(&self) -> SharedProfRegistry {
+            ProfRegistry
+        }
+
+        /// Always empty.
+        pub fn prof_capture(&self, _seconds: f64) -> String {
+            String::new()
+        }
+
+        /// Always the empty block.
+        pub fn window_stats(&self, _slo_ns: u64) -> WindowBlock {
+            WindowBlock::default()
+        }
+
+        /// No-op.
+        pub fn rotate_window(&self) {}
+
+        /// Returns immediately: there is nothing to sample or rotate.
+        pub fn run_ticker(&self, _shutdown: &std::sync::atomic::AtomicBool) {}
 
         /// No-op; nothing to drain.
         pub fn qlog_drain(&self) -> usize {

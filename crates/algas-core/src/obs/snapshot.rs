@@ -17,12 +17,14 @@
 use super::flight::FlightTotals;
 use super::hist::HistogramSnapshot;
 use super::json::{obj, Value};
+use super::prof::{ProfStateCount, ProfStats, ProfThreadStats};
 use super::prom::PromWriter;
 use super::qlog::QlogTotals;
+use super::window::{WindowBlock, WindowStats};
 use crate::control::ControlStats;
 use crate::engine::RerankStats;
 use crate::merge::MergeStats;
-use crate::net::{ConnStats, NetStats};
+use crate::net::{ClosedConnTotals, ConnStats, NetStats};
 use crate::tracer::StepTotals;
 use algas_gpu_sim::sched::SimReport;
 
@@ -176,12 +178,25 @@ pub struct RuntimeStats {
     /// Per-connection telemetry of the currently open connections
     /// (empty when no listener is running).
     pub net_conns: Vec<ConnStats>,
+    /// Totals folded in from closed connections (the traffic retired
+    /// out of `net_conns`).
+    pub net_closed: ClosedConnTotals,
+    /// Cap on `conn`-labeled Prometheus series: connections past the
+    /// first `conn_series_max` collapse into one `conn="other"` series
+    /// (0 = uncapped).
+    pub conn_series_max: u64,
     /// Advised RETRY_AFTER backoff delays (µs).
     pub retry_backoff: HistogramSnapshot,
     /// Wide-event query-log totals.
     pub qlog: QlogTotals,
     /// Tail exemplar: the slowest recent delivery and its request id.
     pub exemplar: TailExemplar,
+    /// Moving-window view of the end-to-end histogram plus the SLO
+    /// burn-rate health verdict (empty until the window ring has run).
+    pub window: WindowBlock,
+    /// Thread-state profiler attribution table (empty with `obs` off
+    /// or before the sampler has run).
+    pub prof: ProfStats,
 }
 
 impl RuntimeStats {
@@ -425,6 +440,16 @@ impl RuntimeStats {
                         .collect(),
                 ),
             ),
+            (
+                "net_closed",
+                obj(vec![
+                    ("bytes_in", Value::Uint(self.net_closed.bytes_in)),
+                    ("bytes_out", Value::Uint(self.net_closed.bytes_out)),
+                    ("errors", Value::Uint(self.net_closed.errors)),
+                    ("retry_afters", Value::Uint(self.net_closed.retry_afters)),
+                ]),
+            ),
+            ("conn_series_max", Value::Uint(self.conn_series_max)),
             ("retry_backoff_us", hist(&self.retry_backoff)),
             (
                 "qlog",
@@ -439,6 +464,72 @@ impl RuntimeStats {
                 obj(vec![
                     ("e2e_ns", Value::Uint(self.exemplar.e2e_ns)),
                     ("request_id", Value::Uint(self.exemplar.request_id)),
+                ]),
+            ),
+            (
+                "window",
+                obj(vec![
+                    ("period_ms", Value::Uint(self.window.period_ms)),
+                    ("slots", Value::Uint(self.window.slots)),
+                    ("slo_ns", Value::Uint(self.window.slo_ns)),
+                    ("health", Value::Str(self.window.health.clone())),
+                    (
+                        "windows",
+                        Value::Arr(
+                            self.window
+                                .windows
+                                .iter()
+                                .map(|wd| {
+                                    obj(vec![
+                                        ("target_s", Value::Uint(wd.target_s)),
+                                        ("span_ms", Value::Uint(wd.span_ms)),
+                                        ("completed", Value::Uint(wd.completed)),
+                                        ("submitted", Value::Uint(wd.submitted)),
+                                        ("p50_ns", Value::Uint(wd.p50_ns)),
+                                        ("p99_ns", Value::Uint(wd.p99_ns)),
+                                        ("max_ns", Value::Uint(wd.max_ns)),
+                                        ("attainment_ppm", Value::Uint(wd.attainment_ppm)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "prof",
+                obj(vec![
+                    ("hz", Value::Uint(u64::from(self.prof.hz))),
+                    ("passes", Value::Uint(self.prof.passes)),
+                    (
+                        "threads",
+                        Value::Arr(
+                            self.prof
+                                .threads
+                                .iter()
+                                .map(|t| {
+                                    obj(vec![
+                                        ("kind", Value::Str(t.kind.clone())),
+                                        ("label", Value::Str(t.label.clone())),
+                                        (
+                                            "states",
+                                            Value::Arr(
+                                                t.states
+                                                    .iter()
+                                                    .map(|sc| {
+                                                        obj(vec![
+                                                            ("state", Value::Str(sc.state.clone())),
+                                                            ("samples", Value::Uint(sc.samples)),
+                                                        ])
+                                                    })
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
         ]);
@@ -625,6 +716,75 @@ impl RuntimeStats {
         if let Some(e) = doc.get("exemplar") {
             out.exemplar =
                 TailExemplar { e2e_ns: u(e, "e2e_ns")?, request_id: u(e, "request_id")? };
+        }
+        if let Some(nc) = doc.get("net_closed") {
+            out.net_closed = ClosedConnTotals {
+                bytes_in: u(nc, "bytes_in")?,
+                bytes_out: u(nc, "bytes_out")?,
+                errors: u(nc, "errors")?,
+                retry_afters: u(nc, "retry_afters")?,
+            };
+        }
+        out.conn_series_max = doc.get("conn_series_max").and_then(Value::as_u64).unwrap_or(0);
+        if let Some(wb) = doc.get("window") {
+            out.window = WindowBlock {
+                period_ms: u(wb, "period_ms")?,
+                slots: u(wb, "slots")?,
+                slo_ns: u(wb, "slo_ns")?,
+                health: wb.get("health").and_then(Value::as_str).unwrap_or("").to_string(),
+                windows: wb
+                    .get("windows")
+                    .and_then(Value::as_arr)
+                    .ok_or("missing `window.windows`")?
+                    .iter()
+                    .map(|wd| -> Result<WindowStats, String> {
+                        Ok(WindowStats {
+                            target_s: u(wd, "target_s")?,
+                            span_ms: u(wd, "span_ms")?,
+                            completed: u(wd, "completed")?,
+                            submitted: u(wd, "submitted")?,
+                            p50_ns: u(wd, "p50_ns")?,
+                            p99_ns: u(wd, "p99_ns")?,
+                            max_ns: u(wd, "max_ns")?,
+                            attainment_ppm: u(wd, "attainment_ppm")?,
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+        }
+        if let Some(p) = doc.get("prof") {
+            out.prof = ProfStats {
+                hz: u(p, "hz")? as u32,
+                passes: u(p, "passes")?,
+                threads: p
+                    .get("threads")
+                    .and_then(Value::as_arr)
+                    .ok_or("missing `prof.threads`")?
+                    .iter()
+                    .map(|t| -> Result<ProfThreadStats, String> {
+                        Ok(ProfThreadStats {
+                            kind: t.get("kind").and_then(Value::as_str).unwrap_or("").to_string(),
+                            label: t.get("label").and_then(Value::as_str).unwrap_or("").to_string(),
+                            states: t
+                                .get("states")
+                                .and_then(Value::as_arr)
+                                .ok_or("missing `prof.threads[].states`")?
+                                .iter()
+                                .map(|sc| -> Result<ProfStateCount, String> {
+                                    Ok(ProfStateCount {
+                                        state: sc
+                                            .get("state")
+                                            .and_then(Value::as_str)
+                                            .unwrap_or("")
+                                            .to_string(),
+                                        samples: u(sc, "samples")?,
+                                    })
+                                })
+                                .collect::<Result<_, _>>()?,
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
         }
         Ok(out)
     }
@@ -913,14 +1073,56 @@ impl RuntimeStats {
         ] {
             w.family(name, "counter", help).scalar(name, v);
         }
+        for (name, help, v) in [
+            (
+                "algas_net_conn_closed_bytes_in_total",
+                "Bytes read over all closed connections.",
+                self.net_closed.bytes_in,
+            ),
+            (
+                "algas_net_conn_closed_bytes_out_total",
+                "Bytes written over all closed connections.",
+                self.net_closed.bytes_out,
+            ),
+            (
+                "algas_net_conn_closed_errors_total",
+                "Protocol errors answered over all closed connections.",
+                self.net_closed.errors,
+            ),
+            (
+                "algas_net_conn_closed_retry_afters_total",
+                "RETRY_AFTER responses sent over all closed connections.",
+                self.net_closed.retry_afters,
+            ),
+        ] {
+            w.family(name, "counter", help).scalar(name, v);
+        }
+        // Per-connection series stay bounded: past `conn_series_max`
+        // the remaining connections collapse into one conn="other"
+        // series (counters sum; the high-water gauge takes the max).
+        let cap = if self.conn_series_max == 0 {
+            self.net_conns.len()
+        } else {
+            self.conn_series_max as usize
+        };
+        let (head, tail) = self.net_conns.split_at(cap.min(self.net_conns.len()));
         let conn_series = |w: &mut PromWriter,
                            name: &str,
                            kind: &str,
                            help: &str,
-                           vals: &mut dyn Iterator<Item = (u64, u64)>| {
+                           get: &dyn Fn(&ConnStats) -> u64,
+                           overflow_max: bool| {
             w.family(name, kind, help);
-            for (id, v) in vals {
-                w.sample(name, &[("conn", &id.to_string())], v as f64);
+            for c in head {
+                w.sample(name, &[("conn", &c.id.to_string())], get(c) as f64);
+            }
+            if !tail.is_empty() {
+                let v = if overflow_max {
+                    tail.iter().map(get).max().unwrap_or(0)
+                } else {
+                    tail.iter().map(get).sum()
+                };
+                w.sample(name, &[("conn", "other")], v as f64);
             }
         };
         conn_series(
@@ -928,42 +1130,48 @@ impl RuntimeStats {
             "algas_net_conn_inflight",
             "gauge",
             "Requests in flight, per open connection.",
-            &mut self.net_conns.iter().map(|c| (c.id, c.inflight)),
+            &|c| c.inflight,
+            false,
         );
         conn_series(
             &mut w,
             "algas_net_conn_bytes_in_total",
             "counter",
             "Bytes read, per open connection.",
-            &mut self.net_conns.iter().map(|c| (c.id, c.bytes_in)),
+            &|c| c.bytes_in,
+            false,
         );
         conn_series(
             &mut w,
             "algas_net_conn_bytes_out_total",
             "counter",
             "Bytes written, per open connection.",
-            &mut self.net_conns.iter().map(|c| (c.id, c.bytes_out)),
+            &|c| c.bytes_out,
+            false,
         );
         conn_series(
             &mut w,
             "algas_net_conn_backlog_high_water_bytes",
             "gauge",
             "Largest pending-write backlog seen, per open connection.",
-            &mut self.net_conns.iter().map(|c| (c.id, c.backlog_high_water)),
+            &|c| c.backlog_high_water,
+            true,
         );
         conn_series(
             &mut w,
             "algas_net_conn_errors_total",
             "counter",
             "Protocol errors answered, per open connection.",
-            &mut self.net_conns.iter().map(|c| (c.id, c.errors)),
+            &|c| c.errors,
+            false,
         );
         conn_series(
             &mut w,
             "algas_net_conn_retry_afters_total",
             "counter",
             "RETRY_AFTER responses sent, per open connection.",
-            &mut self.net_conns.iter().map(|c| (c.id, c.retry_afters)),
+            &|c| c.retry_afters,
+            false,
         );
         w.family(
             "algas_net_retry_backoff_us",
@@ -997,6 +1205,91 @@ impl RuntimeStats {
             ),
         ] {
             w.family(name, "gauge", help).scalar(name, v);
+        }
+        if !self.window.windows.is_empty() {
+            let wl = |wd: &WindowStats| wd.target_s.to_string() + "s";
+            w.family(
+                "algas_window_completed",
+                "gauge",
+                "Queries completed inside the moving window.",
+            );
+            for wd in &self.window.windows {
+                w.sample("algas_window_completed", &[("window", &wl(wd))], wd.completed as f64);
+            }
+            w.family(
+                "algas_window_rate_qps",
+                "gauge",
+                "Completion rate over the moving window, queries/second.",
+            );
+            for wd in &self.window.windows {
+                w.sample("algas_window_rate_qps", &[("window", &wl(wd))], wd.rate_qps());
+            }
+            w.family(
+                "algas_window_latency_ns",
+                "gauge",
+                "Moving-window end-to-end latency quantiles, nanoseconds.",
+            );
+            for wd in &self.window.windows {
+                for (q, v) in [("0.5", wd.p50_ns), ("0.99", wd.p99_ns), ("1", wd.max_ns)] {
+                    w.sample(
+                        "algas_window_latency_ns",
+                        &[("window", &wl(wd)), ("quantile", q)],
+                        v as f64,
+                    );
+                }
+            }
+            w.family(
+                "algas_window_slo_attainment_ratio",
+                "gauge",
+                "Fraction of windowed completions inside the SLO (1 with no SLO armed).",
+            );
+            for wd in &self.window.windows {
+                w.sample(
+                    "algas_window_slo_attainment_ratio",
+                    &[("window", &wl(wd))],
+                    wd.attainment_ppm as f64 / 1e6,
+                );
+            }
+            w.family(
+                "algas_window_span_seconds",
+                "gauge",
+                "Actual span each moving window covers (truncated while warming up).",
+            );
+            for wd in &self.window.windows {
+                w.sample(
+                    "algas_window_span_seconds",
+                    &[("window", &wl(wd))],
+                    wd.span_ms as f64 / 1e3,
+                );
+            }
+            w.family(
+                "algas_window_degraded",
+                "gauge",
+                "1 when the multi-window SLO burn-rate rule says degraded.",
+            )
+            .scalar("algas_window_degraded", u64::from(self.window.degraded()));
+        }
+        if !self.prof.threads.is_empty() {
+            w.family(
+                "algas_prof_passes_total",
+                "counter",
+                "Thread-state sampler passes since start.",
+            )
+            .scalar("algas_prof_passes_total", self.prof.passes);
+            w.family(
+                "algas_prof_samples_total",
+                "counter",
+                "Sampler observations per thread and state (profiler attribution).",
+            );
+            for t in &self.prof.threads {
+                for sc in &t.states {
+                    w.sample(
+                        "algas_prof_samples_total",
+                        &[("kind", &t.kind), ("thread", &t.label), ("state", &sc.state)],
+                        sc.samples as f64,
+                    );
+                }
+            }
         }
         w.finish()
     }
@@ -1118,6 +1411,9 @@ mod tests {
                 retry_afters: 3,
             },
         ];
+        s.net_closed =
+            ClosedConnTotals { bytes_in: 4_000, bytes_out: 5_500, errors: 2, retry_afters: 3 };
+        s.conn_series_max = 1;
         let b = Histogram::new();
         for v in [150u64, 220, 900, 12_000] {
             b.record(v);
@@ -1125,6 +1421,53 @@ mod tests {
         s.retry_backoff = b.snapshot();
         s.qlog = QlogTotals { logged: 30, dropped: 2, drained: 28 };
         s.exemplar = TailExemplar { e2e_ns: 100_000, request_id: 777 };
+        s.window = WindowBlock {
+            period_ms: 1_000,
+            slots: 12,
+            slo_ns: 2_000_000,
+            health: "ok".to_string(),
+            windows: vec![
+                WindowStats {
+                    target_s: 1,
+                    span_ms: 1_000,
+                    completed: 5,
+                    submitted: 6,
+                    p50_ns: 90_000,
+                    p99_ns: 480_000,
+                    max_ns: 500_000,
+                    attainment_ppm: 1_000_000,
+                },
+                WindowStats {
+                    target_s: 10,
+                    span_ms: 10_000,
+                    completed: 38,
+                    submitted: 40,
+                    p50_ns: 100_000,
+                    p99_ns: 1_600_000,
+                    max_ns: 2_100_000,
+                    attainment_ppm: 973_684,
+                },
+            ],
+        };
+        s.prof = ProfStats {
+            hz: 97,
+            passes: 970,
+            threads: vec![
+                ProfThreadStats {
+                    kind: "worker".to_string(),
+                    label: "worker-0".to_string(),
+                    states: vec![
+                        ProfStateCount { state: "scan".to_string(), samples: 600 },
+                        ProfStateCount { state: "idle".to_string(), samples: 370 },
+                    ],
+                },
+                ProfThreadStats {
+                    kind: "host".to_string(),
+                    label: "host-0".to_string(),
+                    states: vec![ProfStateCount { state: "merge".to_string(), samples: 970 }],
+                },
+            ],
+        };
         s
     }
 
@@ -1177,11 +1520,43 @@ mod tests {
             .find(|x| x.name == "algas_net_conn_retry_afters_total" && x.label("conn") == Some("5"))
             .unwrap();
         assert_eq!(conn5.value, 4.0);
-        let conn6 = samples
+        // conn_series_max = 1, so connection 6 collapses into "other".
+        assert!(!samples
             .iter()
-            .find(|x| x.name == "algas_net_conn_inflight" && x.label("conn") == Some("6"))
+            .any(|x| x.name.starts_with("algas_net_conn_") && x.label("conn") == Some("6")));
+        let other = samples
+            .iter()
+            .find(|x| x.name == "algas_net_conn_bytes_in_total" && x.label("conn") == Some("other"))
             .unwrap();
-        assert_eq!(conn6.value, 0.0);
+        assert_eq!(other.value, 5_280.0);
+        assert_eq!(find("algas_net_conn_closed_bytes_out_total").value, 5_500.0);
+        assert_eq!(find("algas_net_conn_closed_retry_afters_total").value, 3.0);
+        let w10 = |name: &str| {
+            samples.iter().find(|x| x.name == name && x.label("window") == Some("10s")).unwrap()
+        };
+        assert_eq!(w10("algas_window_completed").value, 38.0);
+        assert_eq!(w10("algas_window_rate_qps").value, 3.8);
+        assert_eq!(w10("algas_window_slo_attainment_ratio").value, 0.973684);
+        let wp99 = samples
+            .iter()
+            .find(|x| {
+                x.name == "algas_window_latency_ns"
+                    && x.label("window") == Some("10s")
+                    && x.label("quantile") == Some("0.99")
+            })
+            .unwrap();
+        assert_eq!(wp99.value, 1_600_000.0);
+        assert_eq!(find("algas_window_degraded").value, 0.0);
+        assert_eq!(find("algas_prof_passes_total").value, 970.0);
+        let scan = samples
+            .iter()
+            .find(|x| {
+                x.name == "algas_prof_samples_total"
+                    && x.label("thread") == Some("worker-0")
+                    && x.label("state") == Some("scan")
+            })
+            .unwrap();
+        assert_eq!(scan.value, 600.0);
         let hops = find("algas_search_hops_per_query").value;
         assert!((hops - s.hops_per_query()).abs() < 1e-12);
         let ed = find("algas_entry_distance_mean").value;

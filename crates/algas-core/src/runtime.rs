@@ -18,8 +18,8 @@
 use crate::engine::{AlgasEngine, SearchScratch};
 use crate::merge::{merge_topk_into, MergeScratch};
 use crate::obs::{
-    self, DeliveryCtx, FlightConfig, JobStamps, QlogConfig, QlogTotals, QueryTrace, RuntimeObs,
-    RuntimeStats,
+    self, DeliveryCtx, FlightConfig, JobStamps, ObsTickConfig, ProfState, QlogConfig, QlogTotals,
+    QueryTrace, RuntimeObs, RuntimeStats, SharedProfRegistry, ThreadKind,
 };
 use crate::state::{AtomicSlotState, SlotState};
 use algas_vector::metric::DistValue;
@@ -50,6 +50,10 @@ pub struct RuntimeConfig {
     /// ring and retention sizes (ignored when the `obs` feature is
     /// compiled out; the log is off by default).
     pub qlog: QlogConfig,
+    /// Obs tick thread policy: profiler sampling Hz and window ring
+    /// rotation period/capacity (ignored when the `obs` feature is
+    /// compiled out; no tick thread is spawned then).
+    pub tick: ObsTickConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -61,6 +65,7 @@ impl Default for RuntimeConfig {
             queue_capacity: 1024,
             flight: FlightConfig::default(),
             qlog: QlogConfig::default(),
+            tick: ObsTickConfig::default(),
         }
     }
 }
@@ -181,6 +186,9 @@ pub struct AlgasServer {
     submit_tx: Sender<Job>,
     workers: Vec<JoinHandle<()>>,
     hosts: Vec<JoinHandle<()>>,
+    /// The obs tick thread (profiler sampler + window rotation); absent
+    /// with `obs` compiled out.
+    ticker: Option<JoinHandle<()>>,
     next_tag: std::sync::atomic::AtomicU64,
 }
 
@@ -227,12 +235,13 @@ impl AlgasServer {
             submissions: submit_rx,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
-            obs: RuntimeObs::with_config(
+            obs: RuntimeObs::with_telemetry(
                 cfg.n_slots,
                 cfg.n_workers,
                 cfg.n_host_threads,
                 cfg.flight,
                 cfg.qlog,
+                cfg.tick,
             ),
         });
 
@@ -257,12 +266,24 @@ impl AlgasServer {
             })
             .collect();
 
+        // One background thread drives both the thread-state sampler
+        // and the window ring rotation; with `obs` compiled out there
+        // is nothing to drive, so none is spawned.
+        let ticker = obs::OBS_ENABLED.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("algas-obs-tick".to_string())
+                .spawn(move || shared.obs.run_ticker(&shared.shutdown))
+                .expect("spawn obs ticker")
+        });
+
         Self {
             shared,
             cfg,
             submit_tx,
             workers,
             hosts,
+            ticker,
             next_tag: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -380,7 +401,32 @@ impl AlgasServer {
         // server stamps its state in so every exposition surface
         // (JSON, Prometheus, `algas stats`) carries the control rung.
         out.control = self.shared.engine.controller().stats();
+        // Windowed view of the end-to-end histogram, judged against
+        // the declared SLO (0 when none is armed → always "ok").
+        out.window = self.shared.obs.window_stats(self.shared.engine.controller().slo_ns());
         out
+    }
+
+    /// The thread-state marker registry, so auxiliary threads outside
+    /// this runtime (the network readiness loop, the query-log writer)
+    /// can register and stamp into the same profile.
+    pub fn prof_registry(&self) -> SharedProfRegistry {
+        self.shared.obs.prof_registry()
+    }
+
+    /// Blocking folded-stack profile capture over `seconds` (clamped
+    /// to 0.1–30): samples the thread-state markers for the duration
+    /// and returns the delta as flamegraph-ready collapsed-stack text.
+    /// Empty when the `obs` feature is compiled out.
+    pub fn profile_capture(&self, seconds: f64) -> String {
+        self.shared.obs.prof_capture(seconds)
+    }
+
+    /// The windowed telemetry block (moving p50/p99, rates, burn-rate
+    /// health) as of the last ring rotation. Empty until two rotations
+    /// have happened or when the `obs` feature is compiled out.
+    pub fn window_stats(&self) -> crate::obs::WindowBlock {
+        self.shared.obs.window_stats(self.shared.engine.controller().slo_ns())
     }
 
     /// The flight recorder's retained (tail-sampled) query traces,
@@ -479,6 +525,9 @@ impl AlgasServer {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -517,6 +566,14 @@ impl crate::obs::StatsSource for AlgasServer {
 
     fn query_log_lines(&self) -> Vec<String> {
         self.qlog_lines()
+    }
+
+    fn profile_folded(&self, seconds: f64) -> String {
+        self.profile_capture(seconds)
+    }
+
+    fn health_state(&self) -> String {
+        self.window_stats().health
     }
 
     fn readyz(&self) -> bool {
@@ -572,6 +629,11 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
     let mut scratch = SearchScratch::new();
     let mut query_buf: Vec<f32> = Vec::new();
     let mut backoff = Backoff::new();
+    // Thread-state marker for the sampling profiler: each stamp is one
+    // relaxed store into this thread's own cache-padded cell (a no-op
+    // with `obs` off). Dropping the handle on exit clears the marker.
+    let prof = shared.obs.prof_registry().register(ThreadKind::Worker, &format!("worker-{first}"));
+    prof.stamp(ProfState::Idle);
     loop {
         let mut all_quit = true;
         let mut did_work = false;
@@ -581,6 +643,7 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                 SlotState::Quit => {}
                 SlotState::Work => {
                     all_quit = false;
+                    prof.stamp(ProfState::Scan);
                     // Copy the job's query into the reusable staging
                     // buffer under the lock, then search without it.
                     let tag = {
@@ -595,6 +658,7 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
                     // Physical-id search: the host poller translates to
                     // original ids exactly once, at delivery.
                     shared.engine.search_physical_into(&query_buf, tag, &mut scratch);
+                    prof.stamp(ProfState::Publish);
                     let stamps = {
                         // Copy the result lists into the slot's own
                         // buffers element-wise so both the scratch and
@@ -645,6 +709,7 @@ fn worker_loop(shared: &Shared, first: usize, stride: usize) {
         if did_work {
             backoff.reset();
         } else {
+            prof.stamp(ProfState::Idle);
             backoff.snooze();
         }
     }
@@ -663,6 +728,9 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
     let mut merge = MergeScratch::new();
     let mut merged: Vec<(DistValue, u32)> = Vec::new();
     let mut backoff = Backoff::new();
+    // Thread-state marker for the sampling profiler (see worker_loop).
+    let prof = shared.obs.prof_registry().register(ThreadKind::Host, &format!("host-{first}"));
+    prof.stamp(ProfState::Idle);
     loop {
         let mut all_quit = true;
         let mut did_work = false;
@@ -673,6 +741,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                 SlotState::Quit => continue,
                 SlotState::Finish => {
                     all_quit = false;
+                    prof.stamp(ProfState::Merge);
                     let merge_before = merge.stats;
                     let picked_up = obs::stamp();
                     let job = {
@@ -684,6 +753,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                         payload.job.take().expect("Finish implies a job")
                     };
                     let merged_at = obs::stamp();
+                    prof.stamp(ProfState::Deliver);
                     // Per-CTA lists carry physical (relayouted) ids;
                     // replies speak the caller's original id space.
                     shared.engine.index().externalize(&mut merged);
@@ -745,6 +815,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
                     all_quit = false;
                     match shared.submissions.try_recv() {
                         Ok(mut job) => {
+                            prof.stamp(ProfState::Refill);
                             job.stamps.mark_slot();
                             let stamps = job.stamps;
                             slot.payload.lock().job = Some(job);
@@ -774,6 +845,7 @@ fn host_loop(shared: &Shared, first: usize, stride: usize) {
         if did_work {
             backoff.reset();
         } else {
+            prof.stamp(ProfState::Idle);
             backoff.snooze();
         }
     }
@@ -1040,6 +1112,7 @@ mod tests {
                 // Retain everything: threshold 0 marks every query slow.
                 flight: FlightConfig { slow_threshold_ns: 0, ..Default::default() },
                 qlog: QlogConfig::default(),
+                tick: ObsTickConfig::default(),
             },
         );
         for i in 0..6 {
@@ -1094,6 +1167,7 @@ mod tests {
                 // Retain + log everything: threshold 0 marks all slow.
                 flight: FlightConfig { slow_threshold_ns: 0, ..Default::default() },
                 qlog: QlogConfig { enabled: true, ..Default::default() },
+                ..Default::default()
             },
         );
         for i in 0..4u64 {
@@ -1132,6 +1206,96 @@ mod tests {
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("request_id").and_then(Value::as_u64), Some(tag));
         assert_eq!(v.get("conn").and_then(Value::as_u64), Some(0));
+        server.shutdown();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn windowed_stats_match_recomputation_from_raw_snapshots() {
+        let ds = DatasetSpec::tiny(500, 12, Metric::L2, 31).generate();
+        let index = AlgasIndex::build_cagra(ds.base.clone(), Metric::L2, CagraParams::default());
+        let cfg =
+            EngineConfig { k: 8, l: 32, slots: 4, beam: BeamMode::Auto, ..Default::default() };
+        let server = AlgasServer::start(
+            AlgasEngine::new(index, cfg).unwrap(),
+            RuntimeConfig {
+                n_slots: 4,
+                n_workers: 2,
+                n_host_threads: 1,
+                queue_capacity: 64,
+                // Park the ticker (no sampling, hour-long rotation) so
+                // this test drives rotations deterministically.
+                tick: ObsTickConfig { prof_hz: 0, window_period_ms: 3_600_000, window_slots: 8 },
+                ..Default::default()
+            },
+        );
+        assert!(
+            server.window_stats().windows.is_empty(),
+            "no windows before two rotations exist to subtract"
+        );
+        for i in 0..10 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        // Raw snapshot at the same instant as the baseline rotation
+        // (no queries run in between, so the two views are identical).
+        let base = server.runtime_stats().phases.end_to_end.clone();
+        server.shared.obs.rotate_window();
+        for i in 0..10 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        let full = server.runtime_stats().phases.end_to_end.clone();
+        server.shared.obs.rotate_window();
+
+        // Every window target must agree exactly with the delta
+        // recomputed from the raw histogram snapshots.
+        let recomputed = full.delta(&base);
+        let block = server.window_stats();
+        assert_eq!(block.health, "ok", "no SLO armed, never degraded");
+        for target in [1u64, 10, 60] {
+            let w = block.window(target).expect("window present after two rotations");
+            assert_eq!(w.completed, recomputed.count, "window {target}s completions");
+            assert_eq!(w.p50_ns, recomputed.quantile(0.5), "window {target}s p50");
+            assert_eq!(w.p99_ns, recomputed.quantile(0.99), "window {target}s p99");
+            assert_eq!(w.max_ns, recomputed.max, "window {target}s max");
+        }
+        // The same block rides runtime_stats into every exposition
+        // surface.
+        let s = server.runtime_stats();
+        assert_eq!(s.window.window(10).unwrap().p99_ns, recomputed.quantile(0.99));
+        server.shutdown();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn live_profile_capture_attributes_thread_states() {
+        use crate::obs::StatsSource;
+        let (server, ds, _) = test_server(4, 2, 1);
+        for i in 0..10 {
+            let q = ds.queries.get(i % ds.queries.len()).to_vec();
+            let _ = server.search_blocking(q).unwrap();
+        }
+        // The default 97 Hz ticker is live; a short capture must
+        // attribute samples to the registered runtime threads.
+        let folded = server.profile_capture(0.2);
+        assert!(!folded.is_empty(), "a live sampler must accumulate samples");
+        for line in folded.lines() {
+            let (frames, count) = line.rsplit_once(' ').expect("folded line has a count");
+            assert_eq!(frames.split(';').count(), 3, "kind;label;state in {line:?}");
+            assert!(count.parse::<u64>().unwrap() > 0, "counts are positive in {line:?}");
+        }
+        assert!(
+            folded.lines().any(|l| l.starts_with("worker;worker-")),
+            "worker threads must appear in {folded:?}"
+        );
+        assert!(
+            folded.lines().any(|l| l.starts_with("host;host-0;")),
+            "host threads must appear in {folded:?}"
+        );
+        // The StatsSource forwarding serves the same capture.
+        assert!(!StatsSource::profile_folded(&server, 0.1).is_empty());
+        assert_eq!(StatsSource::health_state(&server), "ok");
         server.shutdown();
     }
 

@@ -133,7 +133,9 @@ impl CagraBuilder {
         // detour when *both* hops are shorter than the direct edge
         // (CAGRA's detourable-route rule); otherwise greedy search would
         // not actually take it.
+        crate::progress::global().start_phase(crate::progress::BuildPhase::Prune, n as u64);
         let kept_forward: Vec<Vec<u32>> = parallel::par_map(n, 32, threads, |v| {
+            crate::progress::global().node_done(1);
             let row: Vec<u32> = knn.neighbors(v as u32).collect();
             let mut row_dists: Vec<f32> = Vec::with_capacity(row.len());
             self.metric.distance_batch(base.get(v), base, &row, &mut row_dists);
@@ -171,7 +173,9 @@ impl CagraBuilder {
                 reverse[u as usize].push((DistValue(d), v as u32));
             }
         }
+        crate::progress::global().start_phase(crate::progress::BuildPhase::Augment, n as u64);
         let rows: Vec<Vec<u32>> = parallel::par_map(n, 64, threads, |v| {
+            crate::progress::global().node_done(1);
             let mut ids = kept_forward[v].clone();
             let mut rev = reverse[v].clone();
             rev.sort();

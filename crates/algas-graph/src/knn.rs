@@ -38,7 +38,9 @@ pub fn build_knn_graph_exact_threads(
     let n = base.len();
     assert!(k > 0, "k must be positive");
     assert!(k < n, "k={k} must be < n={n}");
+    crate::progress::global().start_phase(crate::progress::BuildPhase::KnnExact, n as u64);
     let rows: Vec<Vec<u32>> = parallel::par_map(n, 16, threads, |v| {
+        crate::progress::global().node_done(1);
         // One batched sweep over the whole corpus, then a bounded
         // heap pass skipping the self-distance.
         let mut dists = Vec::with_capacity(n);
@@ -164,7 +166,11 @@ pub fn build_knn_graph_nn_descent_threads(
         }
     }
 
-    for _round in 0..params.max_rounds {
+    for round in 0..params.max_rounds {
+        // Each round re-walks every vertex: reset the node counter,
+        // report the round number as the batch.
+        crate::progress::global().start_phase(crate::progress::BuildPhase::NnDescent, n as u64);
+        crate::progress::global().set_batch(round as u64 + 1);
         // Collect per-vertex (new, old) samples.
         let samples: Vec<(Vec<u32>, Vec<u32>)> = lists
             .iter()
@@ -213,6 +219,7 @@ pub fn build_knn_graph_nn_descent_threads(
             let hi = (lo + WINDOW).min(n);
             let pair_batches: Vec<Vec<(u32, u32, DistValue)>> =
                 parallel::par_map(hi - lo, 64, threads, |i| {
+                    crate::progress::global().node_done(1);
                     let v = lo + i;
                     let mut new_ids = samples[v].0.clone();
                     let mut old_ids = samples[v].1.clone();

@@ -37,6 +37,7 @@ pub mod knn;
 pub mod layout;
 pub mod nsw;
 pub mod parallel;
+pub mod progress;
 pub mod stats;
 
 pub use cagra::CagraBuilder;
@@ -45,6 +46,7 @@ pub use entry::{DescentLadder, EntryIndex, EntryParams, EntryPolicy, HashEntryTa
 pub use hnsw::{build_hnsw, HnswIndex, HnswParams};
 pub use layout::NodePermutation;
 pub use nsw::NswBuilder;
+pub use progress::{BuildPhase, BuildProgress, ProgressSnapshot};
 
 /// Which graph family an index was built as; used by benchmarks to label
 /// series exactly like the paper (`CAGRA-ALGAS`, `NSW-GANNS`, …).

@@ -64,7 +64,9 @@ impl NswBuilder {
         if n == 0 {
             return graph;
         }
+        crate::progress::global().start_phase(crate::progress::BuildPhase::NswInsert, n as u64);
         for v in 1..n as u32 {
+            crate::progress::global().node_done(1);
             // Entry: vertex 0, the first inserted point (classic NSW uses
             // an arbitrary fixed entry for construction).
             let found = beam_search(
@@ -105,6 +107,7 @@ impl NswBuilder {
         if n == 0 {
             return graph;
         }
+        crate::progress::global().start_phase(crate::progress::BuildPhase::NswInsert, n as u64);
         for (lo, hi) in BatchSchedule::default().batches(n) {
             // Phase A: snapshot searches, parallel over the batch.
             let found = parallel::par_map(hi - lo, PAR_CHUNK, threads, |i| {
@@ -128,6 +131,8 @@ impl NswBuilder {
                     connect_capped(&mut graph, base, self.metric, u, v, dist);
                 }
             }
+            crate::progress::global().node_done((hi - lo) as u64);
+            crate::progress::global().batch_done();
         }
         graph
     }

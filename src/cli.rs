@@ -4,7 +4,7 @@
 //! algas gen    --out base.fvecs --queries q.fvecs --n 20000 --dim 64 --metric l2
 //! algas gt     --base base.fvecs --queries q.fvecs --metric l2 --k 100 --out gt.ivecs
 //! algas build  --base base.fvecs --metric l2 --graph cagra [--quantize true]
-//!              [--entry true] --out index.algas
+//!              [--entry true] [--progress true] --out index.algas
 //! algas info   --index index.algas
 //! algas search --index index.algas --queries q.fvecs --k 10 --l 64 [--quantize true]
 //!              [--rerank 32] [--entry-policy hash-table] [--gt gt.ivecs] [--out r.ivecs]
@@ -15,7 +15,9 @@
 //!              [--linger-ms 0] [--trace-out trace.json] [--trace-threshold-us N]
 //!              [--trace-top 8] [--trace-sample N] [--trace-ring 1024]
 //!              [--query-log qlog.ndjson] [--qlog-sample N] [--qlog-slow-us N]
-//!              [--qlog-retain 1024]
+//!              [--qlog-retain 1024] [--conn-series-max 64] [--prof-hz 97]
+//!              [--window-period-ms 1000]
+//! algas profile --addr 127.0.0.1:9100 [--seconds 2] [--out profile.folded]
 //! algas bench-net --addr 127.0.0.1:7700 --queries q.fvecs [--qps 1000|500,1000,2000]
 //!              [--requests 1000] [--connections 1] [--seed 42] [--warmup 0.2]
 //!              [--slo-us 2000] [--normalize true] [--recv-timeout-ms 10000]
@@ -63,6 +65,15 @@
 //! least that slow, and the retained tail is also served live at
 //! `/query-log` on the `--listen` endpoint (next to `/healthz` and
 //! `/readyz` probes).
+//! `--conn-series-max` caps how many live per-connection Prometheus
+//! series `/metrics` exposes (overflow aggregates under
+//! `conn="other"`); `--prof-hz` sets the thread-state sampling
+//! profiler rate (0 disables sampling, rotation continues) and
+//! `--window-period-ms` the windowed-telemetry rotation period.
+//! `profile` is the matching one-shot client: it scrapes
+//! `GET /profile?seconds=N` from a running `--listen` endpoint and
+//! prints (or writes) the folded-stack text, ready for
+//! `flamegraph.pl` / speedscope.
 //! `bench-net` is the matching open-loop client: seeded Poisson
 //! arrivals at `--qps` replayed against `--addr` regardless of reply
 //! progress (no coordinated omission), reporting completed/rejected
@@ -83,7 +94,9 @@
 
 use algas_core::engine::{AlgasEngine, AlgasIndex, EngineConfig};
 use algas_core::net::{loadgen, NetConfig, NetServer};
-use algas_core::obs::{FlightConfig, QlogConfig, StatsServer, StatsSource};
+use algas_core::obs::{
+    FlightConfig, ObsTickConfig, ProfState, QlogConfig, StatsServer, StatsSource, ThreadKind,
+};
 use algas_core::runtime::{AlgasServer, RuntimeConfig};
 use algas_graph::cagra::CagraParams;
 use algas_graph::nsw::NswParams;
@@ -109,6 +122,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "info" => cmd_info(&flags, out),
         "search" => cmd_search(&flags, out),
         "serve" => cmd_serve(&flags, out),
+        "profile" => cmd_profile(&flags, out),
         "bench-net" => cmd_bench_net(&flags, out),
         "stats" => cmd_stats(&flags, out),
         "trace" => cmd_trace(&flags, out),
@@ -122,7 +136,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: algas <gen|gt|build|info|search|serve|bench-net|stats|trace|trace-check> [--flag value]...\n\
+    "usage: algas <gen|gt|build|info|search|serve|profile|bench-net|stats|trace|trace-check> [--flag value]...\n\
      see crate docs (src/cli.rs) for the flags of each command"
         .to_string()
 }
@@ -243,6 +257,33 @@ fn cmd_build(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
     if metric.requires_normalization() {
         base.normalize_l2();
     }
+    // `--progress true`: a reporter thread polls the builders' shared
+    // phase/progress counters (relaxed atomics — the built graph is
+    // bit-identical with or without it) and repaints one stderr line.
+    let progress = algas_graph::progress::global();
+    progress.reset();
+    let reporter = if parse_bool(flags, "progress")? {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handle = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let progress = algas_graph::progress::global();
+                let mut last = String::new();
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let line = progress.snapshot().render();
+                    if line != last {
+                        eprint!("\r\x1b[K{line}");
+                        last = line;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                eprintln!("\r\x1b[K{}", progress.snapshot().render());
+            })
+        };
+        Some((stop, handle))
+    } else {
+        None
+    };
     let t0 = std::time::Instant::now();
     let index = match flags.get("graph").map(|s| s.as_str()).unwrap_or("cagra") {
         "cagra" => {
@@ -265,14 +306,27 @@ fn cmd_build(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
                 NswParams { m: m.max(2), ef_construction: (m * 4).max(32) },
             )
         }
-        other => return Err(format!("--graph must be cagra|nsw, got `{other}`")),
+        other => {
+            if let Some((stop, handle)) = reporter {
+                stop.store(true, std::sync::atomic::Ordering::Release);
+                let _ = handle.join();
+            }
+            return Err(format!("--graph must be cagra|nsw, got `{other}`"));
+        }
     };
     let mut index = index;
     if parse_bool(flags, "quantize")? {
+        progress.start_phase(algas_graph::BuildPhase::Quantize, index.len() as u64);
         index.quantize();
     }
     if parse_bool(flags, "entry")? {
+        progress.start_phase(algas_graph::BuildPhase::EntryIndex, index.len() as u64);
         index.build_entry_index(&EntryParams::default());
+    }
+    progress.finish();
+    if let Some((stop, handle)) = reporter {
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        handle.join().map_err(|_| "progress reporter panicked".to_string())?;
     }
     let path = req(flags, "out")?;
     index.save(path).map_err(io_err)?;
@@ -446,6 +500,7 @@ fn start_server_from_flags(
             queue_capacity: 4096,
             flight: flight_from_flags(flags)?,
             qlog: qlog_from_flags(flags)?,
+            tick: tick_from_flags(flags)?,
         },
     );
     Ok((server, queries))
@@ -468,6 +523,18 @@ fn flight_from_flags(flags: &HashMap<String, String>) -> Result<FlightConfig, St
         },
         top_k: opt_parse(flags, "trace-top", 8usize)?,
         sample_every: opt_parse(flags, "trace-sample", 0u64)?,
+    })
+}
+
+/// The obs tick cadence from `--prof-hz` (thread-state sampling rate,
+/// 0 disables sampling while window rotation continues) and
+/// `--window-period-ms` (windowed-telemetry rotation period).
+fn tick_from_flags(flags: &HashMap<String, String>) -> Result<ObsTickConfig, String> {
+    let defaults = ObsTickConfig::default();
+    Ok(ObsTickConfig {
+        prof_hz: opt_parse(flags, "prof-hz", defaults.prof_hz)?,
+        window_period_ms: opt_parse(flags, "window-period-ms", defaults.window_period_ms)?.max(1),
+        window_slots: defaults.window_slots,
     })
 }
 
@@ -537,10 +604,12 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
                 let server = server.clone();
                 let stop = stop.clone();
                 std::thread::spawn(move || -> std::io::Result<u64> {
+                    let prof = server.prof_registry().register(ThreadKind::Qlog, "qlog-writer");
                     let mut w = std::io::BufWriter::new(file);
                     let (mut cursor, mut written) = (0u64, 0u64);
                     loop {
                         let done = stop.load(std::sync::atomic::Ordering::Acquire);
+                        prof.stamp(ProfState::Drain);
                         let (lines, next) = server.qlog_lines_since(cursor);
                         cursor = next;
                         for line in &lines {
@@ -551,6 +620,7 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
                             w.flush()?;
                             return Ok(written);
                         }
+                        prof.stamp(ProfState::Idle);
                         std::thread::sleep(std::time::Duration::from_millis(20));
                     }
                 })
@@ -561,9 +631,11 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
     };
     let net_server = match flags.get("net") {
         Some(addr) => {
+            let defaults = NetConfig::default();
             let cfg = NetConfig {
-                max_inflight: opt_parse(flags, "max-inflight", NetConfig::default().max_inflight)?,
-                ..NetConfig::default()
+                max_inflight: opt_parse(flags, "max-inflight", defaults.max_inflight)?,
+                conn_series_max: opt_parse(flags, "conn-series-max", defaults.conn_series_max)?,
+                ..defaults
             };
             let srv = NetServer::start(addr.as_str(), server.clone(), cfg)
                 .map_err(|e| format!("--net {addr}: {e}"))?;
@@ -624,6 +696,22 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
             p99_us(&stats.phases.finish_to_merged),
             p99_us(&stats.phases.merged_to_delivered),
             stats.search.sort_fraction(),
+        )
+        .map_err(io_err)?;
+    }
+    // The windowed view: the shortest window with completions is the
+    // most current picture of the server, next to the lifetime p99
+    // above; the health verdict is the burn-rate rule from /readyz.
+    if let Some(w) = stats.window.windows.iter().find(|w| w.completed > 0) {
+        writeln!(
+            out,
+            "windowed (~{}s): {:.0} q/s, p50 {} µs, p99 {} µs, attainment {:.2}%; health {}",
+            w.target_s,
+            w.rate_qps(),
+            w.p50_ns / 1000,
+            w.p99_ns / 1000,
+            w.attainment_ppm as f64 / 10_000.0,
+            stats.window.health,
         )
         .map_err(io_err)?;
     }
@@ -744,6 +832,46 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
         Err(_) => return Err("internal: server still shared at shutdown".into()),
     }
     Ok(())
+}
+
+/// `algas profile`: one-shot profile capture from a running
+/// `serve --listen` endpoint. Scrapes `GET /profile?seconds=N` and
+/// prints the folded-stack text to stdout (or `--out`); feed it to
+/// `flamegraph.pl` or paste into speedscope. The request blocks for
+/// the capture duration by design.
+fn cmd_profile(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
+    let addr = req(flags, "addr")?;
+    let seconds = opt_parse(flags, "seconds", 2.0f64)?;
+    let body = http_get_text(addr, &format!("/profile?seconds={seconds}"), seconds + 35.0)?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+            writeln!(out, "wrote {} folded-stack line(s) to {path}", body.lines().count())
+                .map_err(io_err)
+        }
+        None => write!(out, "{body}").map_err(io_err),
+    }
+}
+
+/// A minimal HTTP/1.1 GET against the stats endpoint (the server
+/// closes after each response, so read-to-end delimits the body).
+fn http_get_text(addr: &str, path: &str, timeout_s: f64) -> Result<String, String> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs_f64(timeout_s.max(1.0))))
+        .map_err(io_err)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .map_err(io_err)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("{addr}: read: {e}"))?;
+    let (head, body) =
+        raw.split_once("\r\n\r\n").ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200") {
+        return Err(format!("{addr}: GET {path}: {status}"));
+    }
+    Ok(body.to_string())
 }
 
 /// `algas bench-net`: the open-loop load generator against a running
@@ -1388,6 +1516,108 @@ mod tests {
         assert!(!text.contains("served "), "{text}");
         assert!(text.contains("net: 2 conns accepted"), "{text}");
         assert!(text.contains("0 protocol errors"), "{text}");
+
+        for p in [base, queries, index] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn profile_subcommand_and_windowed_summary() {
+        let base = tmp("p-base.fvecs");
+        let queries = tmp("p-q.fvecs");
+        let index = tmp("p-index.algas");
+        run_ok(&[
+            "gen",
+            "--out",
+            &base,
+            "--queries",
+            &queries,
+            "--n",
+            "400",
+            "--nq",
+            "24",
+            "--dim",
+            "10",
+            "--seed",
+            "21",
+        ]);
+        run_ok(&[
+            "build",
+            "--base",
+            &base,
+            "--graph",
+            "cagra",
+            "--progress",
+            "true",
+            "--out",
+            &index,
+        ]);
+        // (`--progress` exercised above; the counter mechanics are
+        // pinned by algas-graph's progress unit tests — the global
+        // instance is shared, so no cross-test snapshot asserts here.)
+
+        // Serve with a stats listener, fast window rotation, and a
+        // linger long enough to scrape a live profile.
+        let serve_out = SharedOut::default();
+        let serve_thread = {
+            let mut out = serve_out.clone();
+            let args: Vec<String> = [
+                "serve",
+                "--index",
+                &index,
+                "--queries",
+                &queries,
+                "--slots",
+                "4",
+                "--repeat",
+                "2",
+                "--listen",
+                "127.0.0.1:0",
+                "--linger-ms",
+                "3000",
+                "--window-period-ms",
+                "200",
+                "--prof-hz",
+                "199",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || run(&args, &mut out))
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            let text = serve_out.text();
+            if let Some(line) = text.lines().find(|l| l.starts_with("stats listening on http://")) {
+                break line.split("http://").nth(1).unwrap().trim().to_string();
+            }
+            assert!(std::time::Instant::now() < deadline, "serve never bound: {text}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        // One-shot capture through the real HTTP endpoint.
+        let profile = run_ok(&["profile", "--addr", &addr, "--seconds", "0.3"]);
+        if cfg!(feature = "obs") {
+            assert!(!profile.is_empty(), "profile body empty");
+            for line in profile.lines() {
+                let (stack, count) = line.rsplit_once(' ').expect("folded line");
+                assert_eq!(stack.split(';').count(), 3, "bad frame depth: {line}");
+                assert!(count.parse::<u64>().expect("sample count") > 0, "{line}");
+            }
+            assert!(profile.lines().any(|l| l.starts_with("worker;")), "{profile}");
+        } else {
+            assert!(profile.is_empty(), "{profile}");
+        }
+
+        serve_thread.join().unwrap().expect("serve exits cleanly");
+        if cfg!(feature = "obs") {
+            let text = serve_out.text();
+            // The summary reports the windowed view next to the
+            // lifetime percentiles, with the burn-rate verdict.
+            assert!(text.contains("windowed (~"), "{text}");
+            assert!(text.contains("health ok"), "{text}");
+        }
 
         for p in [base, queries, index] {
             let _ = std::fs::remove_file(p);

@@ -125,6 +125,7 @@ fn wire_request_ids_resolve_to_flight_traces_and_query_log_lines() {
         // are retained; the query log keeps every completion too.
         flight: FlightConfig { slow_threshold_ns: 0, ..Default::default() },
         qlog: QlogConfig { enabled: true, ..Default::default() },
+        ..Default::default()
     };
     let stack = start_stack(runtime, NetConfig::default());
     let mut client = stack.client();

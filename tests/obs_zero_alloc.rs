@@ -1,9 +1,11 @@
 //! Pins the zero-allocation invariant for the serving-path telemetry:
 //! every operation the hot path performs — phase stamps, histogram
 //! records, per-worker/host/slot counter bumps, flight-recorder event
-//! writes (including ring overwrite), and the full delivery-accounting
+//! writes (including ring overwrite), the full delivery-accounting
 //! call including its wide-event query-log write (both the accepted
-//! and the ring-full drop path) — must never touch the heap.
+//! and the ring-full drop path), thread-state profiler marker stamps,
+//! profiler sampling passes, and window-ring rotation — must never
+//! touch the heap.
 //! Snapshotting ([`RuntimeObs::populate`]), trace capture (retention),
 //! and query-log draining/rendering allocate and are deliberately
 //! outside the measured region: they run on the control path, not per
@@ -17,7 +19,8 @@
 
 use algas::core::merge::MergeStats;
 use algas::core::obs::{
-    stamp, DeliveryCtx, EventKind, FlightConfig, Histogram, JobStamps, QlogConfig, RuntimeObs,
+    stamp, DeliveryCtx, EventKind, FlightConfig, Histogram, JobStamps, ProfHandle, ProfState,
+    QlogConfig, RuntimeObs, ThreadKind,
 };
 use algas::core::tracer::{StepStats, StepTotals};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -50,8 +53,17 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 /// runtime issues it: stamps on the submit/refill/worker/host path,
 /// flight-recorder events (the small ring below forces overwrite),
 /// then search accounting, then delivery accounting.
-fn instrument_one_query(obs: &RuntimeObs, hist: &Histogram, totals: &StepTotals, q: u64) {
+fn instrument_one_query(
+    obs: &RuntimeObs,
+    hist: &Histogram,
+    totals: &StepTotals,
+    prof: &ProfHandle,
+    q: u64,
+) {
     let s = (q % 4) as usize;
+    // Thread-state markers bracket the pass exactly as the worker loop
+    // stamps them: one relaxed store each.
+    prof.stamp(ProfState::Scan);
     let mut stamps = JobStamps::new();
     stamps.mark_slot();
     obs.slot_assigned(0, s, &stamps);
@@ -82,9 +94,18 @@ fn instrument_one_query(obs: &RuntimeObs, hist: &Histogram, totals: &StepTotals,
         entry_code: 2,
         ..DeliveryCtx::local(q)
     };
+    prof.stamp(ProfState::Publish);
     obs.record_delivery(0, s, &ctx, &stamps, picked_up, merged_at, stamp(), &delta);
     obs.host_pass(0, q.is_multiple_of(3));
     hist.record(1 + q * 17);
+    // The obs tick thread's work rides the same budget: a profiler
+    // sampling pass over every registered marker, and (each 8th
+    // query) a window rotation into its preallocated ring slot.
+    obs.prof_registry().sample_once();
+    if q.is_multiple_of(8) {
+        obs.rotate_window();
+    }
+    prof.stamp(ProfState::Idle);
 }
 
 #[test]
@@ -100,6 +121,8 @@ fn telemetry_hot_path_allocates_nothing() {
     // (rendering to JSON lines happens on the control path, in drain).
     let qlog = QlogConfig { enabled: true, ring_capacity: 64, ..Default::default() };
     let obs = RuntimeObs::with_config(4, 2, 1, flight, qlog);
+    // Registration allocates (label copy) — setup, not hot path.
+    let prof = obs.prof_registry().register(ThreadKind::Worker, "worker-0");
     let hist = Histogram::new();
     let mut totals = StepTotals::default();
     totals.add_step(&StepStats {
@@ -115,7 +138,7 @@ fn telemetry_hot_path_allocates_nothing() {
     // Warmup: one pass exercises any lazily-initialized state (the
     // first `Instant::now` clock read, histogram bucket touch, ...).
     for q in 0..64 {
-        instrument_one_query(&obs, &hist, &totals, q);
+        instrument_one_query(&obs, &hist, &totals, &prof, q);
     }
 
     // Measured passes: the identical instrumentation stream must not
@@ -128,7 +151,7 @@ fn telemetry_hot_path_allocates_nothing() {
     for _ in 0..3 {
         let before = ALLOC_CALLS.load(Ordering::Relaxed);
         for q in 0..512 {
-            instrument_one_query(&obs, &hist, &totals, q);
+            instrument_one_query(&obs, &hist, &totals, &prof, q);
         }
         counts.push(ALLOC_CALLS.load(Ordering::Relaxed) - before);
         if counts.last() == Some(&0) {
@@ -167,4 +190,11 @@ fn telemetry_hot_path_allocates_nothing() {
     assert_eq!(lines.len() as u64, totals.logged);
     assert!(lines[0].contains("\"request_id\":"), "{}", lines[0]);
     assert!(lines[0].contains("\"hops\":17"), "{}", lines[0]);
+    // The profiler attributed the in-region sampling passes to the
+    // stamped marker, and the rotated ring yields windows — both fed
+    // entirely from inside the measured (allocation-free) region.
+    let worker =
+        stats.prof.threads.iter().find(|t| t.label == "worker-0").expect("profiled thread");
+    assert!(worker.states.iter().map(|s| s.samples).sum::<u64>() > 0, "no samples attributed");
+    assert!(!obs.window_stats(0).windows.is_empty(), "rotations must yield windows");
 }

@@ -15,11 +15,11 @@
 use algas::core::control::ControlStats;
 use algas::core::engine::RerankStats;
 use algas::core::merge::MergeStats;
-use algas::core::net::{ConnStats, NetStats};
+use algas::core::net::{ClosedConnTotals, ConnStats, NetStats};
 use algas::core::obs::prom::check_exposition;
 use algas::core::obs::{
-    FlightTotals, Histogram, HostStats, QlogTotals, RuntimeStats, SlotStats, TailExemplar,
-    WorkerStats,
+    FlightTotals, Histogram, HostStats, ProfStateCount, ProfStats, ProfThreadStats, QlogTotals,
+    RuntimeStats, SlotStats, TailExemplar, WindowBlock, WindowStats, WorkerStats,
 };
 use algas::core::tracer::StepTotals;
 use std::path::Path;
@@ -106,6 +106,12 @@ fn fixture() -> RuntimeStats {
             retry_afters: 2,
         },
     ];
+    // Closed-connection aggregates plus a live-series cap of 1: the
+    // golden page pins both the `algas_net_conn_closed_*` totals and
+    // connection 6 collapsing into the `conn="other"` overflow series.
+    s.net_closed =
+        ClosedConnTotals { bytes_in: 4_100, bytes_out: 5_425, errors: 1, retry_afters: 3 };
+    s.conn_series_max = 1;
     let backoff = Histogram::new();
     for v in [200u64, 400, 800, 1_600, 12_800, 51_200, 102_400] {
         backoff.record(v);
@@ -113,6 +119,63 @@ fn fixture() -> RuntimeStats {
     s.retry_backoff = backoff.snapshot();
     s.qlog = QlogTotals { logged: 36, dropped: 2, drained: 30 };
     s.exemplar = TailExemplar { e2e_ns: 100_000, request_id: 0xC0FF_EE07 };
+    s.window = WindowBlock {
+        period_ms: 1_000,
+        slots: 16,
+        slo_ns: 2_000_000,
+        health: "ok".to_string(),
+        windows: vec![
+            WindowStats {
+                target_s: 1,
+                span_ms: 1_000,
+                completed: 4,
+                submitted: 5,
+                p50_ns: 95_000,
+                p99_ns: 510_000,
+                max_ns: 520_000,
+                attainment_ppm: 1_000_000,
+            },
+            WindowStats {
+                target_s: 10,
+                span_ms: 10_000,
+                completed: 38,
+                submitted: 40,
+                p50_ns: 110_000,
+                p99_ns: 1_700_000,
+                max_ns: 2_000_000,
+                attainment_ppm: 973_684,
+            },
+            WindowStats {
+                target_s: 60,
+                span_ms: 30_000,
+                completed: 38,
+                submitted: 40,
+                p50_ns: 110_000,
+                p99_ns: 1_700_000,
+                max_ns: 2_000_000,
+                attainment_ppm: 973_684,
+            },
+        ],
+    };
+    s.prof = ProfStats {
+        hz: 97,
+        passes: 1_940,
+        threads: vec![
+            ProfThreadStats {
+                kind: "worker".to_string(),
+                label: "worker-0".to_string(),
+                states: vec![
+                    ProfStateCount { state: "scan".to_string(), samples: 1_200 },
+                    ProfStateCount { state: "idle".to_string(), samples: 740 },
+                ],
+            },
+            ProfThreadStats {
+                kind: "net".to_string(),
+                label: "net-loop".to_string(),
+                states: vec![ProfStateCount { state: "read".to_string(), samples: 1_940 }],
+            },
+        ],
+    };
     s
 }
 
