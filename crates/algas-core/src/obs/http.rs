@@ -10,9 +10,12 @@
 //!   newline-delimited JSON,
 //! * `GET /profile?seconds=N` — a folded-stack (flamegraph-ready)
 //!   thread-state profile captured over the next `N` seconds (default
-//!   2, clamped to 0.1–30). The capture blocks this serial scrape
-//!   surface for its duration — deliberate, as with every other
-//!   tradeoff here,
+//!   2, clamped to 0.1–30, non-finite rejected). The capture sleeps
+//!   for its whole window, so it is handed to a short-lived spawned
+//!   thread instead of blocking the serial scrape loop — a 30s
+//!   capture must not black out `/healthz`/`/readyz` past a probe
+//!   failure window. One capture runs at a time; a concurrent second
+//!   request gets `429`,
 //! * `GET /healthz` / `GET /readyz` — liveness and readiness probes
 //!   (`200` / `503 unavailable`), with the body carrying the SLO
 //!   burn-rate health state (`ok` / `degraded`).
@@ -89,7 +92,7 @@ impl StatsServer {
     pub fn start(addr: impl ToSocketAddrs, source: Arc<dyn StatsSource>) -> std::io::Result<Self> {
         let handle =
             ListenerHandle::spawn("algas-stats-http", addr, move |listener, stop, parker| {
-                accept_loop(&listener, stop, parker, source.as_ref());
+                accept_loop(&listener, stop, parker, &source);
             })?;
         Ok(Self { handle })
     }
@@ -101,7 +104,10 @@ impl StatsServer {
 
     /// Stops the accept loop and joins its thread (flag + join via the
     /// shared listener lifecycle — bounded by the park interval plus
-    /// at most one in-progress scrape).
+    /// at most one in-progress scrape). An in-flight `/profile`
+    /// capture runs on its own detached thread and is not joined; it
+    /// finishes its sleep, writes to its (possibly dead) client, and
+    /// exits.
     pub fn stop(self) {
         self.handle.stop();
     }
@@ -111,8 +117,10 @@ fn accept_loop(
     listener: &TcpListener,
     stop: &AtomicBool,
     parker: &mut IdleParker,
-    source: &dyn StatsSource,
+    source: &Arc<dyn StatsSource>,
 ) {
+    // At most one /profile capture thread at a time; extras get 429.
+    let profile_busy = Arc::new(AtomicBool::new(false));
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -122,7 +130,7 @@ fn accept_loop(
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                let _ = handle(stream, source);
+                let _ = handle(stream, source, &profile_busy);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => parker.park(),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -139,7 +147,11 @@ fn probe(up: bool, state: String) -> (&'static str, &'static str, String) {
     }
 }
 
-fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()> {
+fn handle(
+    mut stream: TcpStream,
+    source: &Arc<dyn StatsSource>,
+    profile_busy: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
     // Read until the end of the request head (no bodies on GETs; a
     // small fixed cap bounds a misbehaving client).
     let mut buf = [0u8; 4096];
@@ -159,6 +171,44 @@ fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()
     let method = parts.next().unwrap_or("");
     let raw_path = parts.next().unwrap_or("");
     let (path, query) = raw_path.split_once('?').unwrap_or((raw_path, ""));
+    if method == "GET" && path == "/profile" {
+        // The capture sleeps for its whole window (up to 30s); served
+        // inline it would starve /healthz and /readyz past typical
+        // probe failure windows and stretch StatsServer::stop() by the
+        // same amount. Hand the stream to a short-lived thread and
+        // keep the serial loop free. `filter(is_finite)` keeps
+        // `?seconds=nan` (which Duration::from_secs_f64 panics on
+        // downstream) and `inf` on the 2s default.
+        let seconds = query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix("seconds="))
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| s.is_finite())
+            .unwrap_or(2.0);
+        if profile_busy.swap(true, Ordering::AcqRel) {
+            return respond(
+                &mut stream,
+                "429 Too Many Requests",
+                "text/plain; charset=utf-8",
+                "a profile capture is already in progress\n",
+            );
+        }
+        let source = Arc::clone(source);
+        let busy = Arc::clone(profile_busy);
+        let spawned =
+            std::thread::Builder::new().name("algas-profile".to_string()).spawn(move || {
+                let body = source.profile_folded(seconds);
+                let _ = respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body);
+                busy.store(false, Ordering::Release);
+            });
+        return match spawned {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                profile_busy.store(false, Ordering::Release);
+                Err(e)
+            }
+        };
+    }
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
     } else {
@@ -177,14 +227,6 @@ fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()
                 }
                 ("200 OK", "application/x-ndjson", body)
             }
-            "/profile" => {
-                let seconds = query
-                    .split('&')
-                    .find_map(|kv| kv.strip_prefix("seconds="))
-                    .and_then(|v| v.parse::<f64>().ok())
-                    .unwrap_or(2.0);
-                ("200 OK", "text/plain; charset=utf-8", source.profile_folded(seconds))
-            }
             "/healthz" => probe(source.healthz(), source.health_state()),
             "/readyz" => probe(source.readyz(), source.health_state()),
             _ => (
@@ -196,6 +238,15 @@ fn handle(mut stream: TcpStream, source: &dyn StatsSource) -> std::io::Result<()
             ),
         }
     };
+    respond(&mut stream, status, content_type, &body)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let header = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -340,6 +391,18 @@ mod tests {
         // A malformed seconds= also falls back to the default.
         let (_, body) = get(addr, "/profile?seconds=bogus");
         assert_eq!(body, "worker;worker-0;scan 20\n");
+        // Non-finite values parse as f64 but are filtered to the
+        // default instead of reaching Duration::from_secs_f64 (which
+        // panics on NaN) — and the server keeps serving afterwards.
+        let (head, body) = get(addr, "/profile?seconds=nan");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "worker;worker-0;scan 20\n");
+        let (_, body) = get(addr, "/profile?seconds=inf");
+        assert_eq!(body, "worker;worker-0;scan 20\n");
+        let (_, body) = get(addr, "/profile?seconds=-inf");
+        assert_eq!(body, "worker;worker-0;scan 20\n");
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "alive after nan scrape: {head}");
 
         let (head, body) = get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
@@ -354,6 +417,47 @@ mod tests {
         let (head, body) = get(server.local_addr(), "/profile");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert_eq!(body, "");
+        server.stop();
+    }
+
+    #[test]
+    fn profile_capture_does_not_block_probes() {
+        // A capture that sleeps must leave /healthz responsive (it runs
+        // on its own thread), and a second concurrent capture is
+        // refused with 429 rather than queued behind the first.
+        struct Slow;
+        impl StatsSource for Slow {
+            fn metrics_text(&self) -> String {
+                String::new()
+            }
+            fn stats_json(&self) -> String {
+                String::new()
+            }
+            fn traces_json(&self) -> String {
+                String::new()
+            }
+            fn profile_folded(&self, _seconds: f64) -> String {
+                std::thread::sleep(Duration::from_millis(1_500));
+                "worker;w;scan 1\n".to_string()
+            }
+        }
+        let server = StatsServer::start("127.0.0.1:0", Arc::new(Slow)).unwrap();
+        let addr = server.local_addr();
+        let capture = std::thread::spawn(move || get(addr, "/profile?seconds=0.1"));
+        // Let the capture thread reach its sleep before probing.
+        std::thread::sleep(Duration::from_millis(300));
+        let start = std::time::Instant::now();
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(
+            start.elapsed() < Duration::from_millis(1_000),
+            "probe answered while the capture was still sleeping"
+        );
+        let (head, _) = get(addr, "/profile");
+        assert!(head.starts_with("HTTP/1.1 429"), "concurrent capture refused: {head}");
+        let (head, body) = capture.join().unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "worker;w;scan 1\n");
         server.stop();
     }
 

@@ -430,12 +430,16 @@ mod enabled {
         }
 
         /// Blocking delta capture: snapshot the table, sleep
-        /// `seconds` (clamped to `0.1..=30`), snapshot again, and
-        /// return the interval's samples as folded-stack text. Backs
-        /// `GET /profile?seconds=N`; assumes a sampler is being driven
-        /// concurrently (otherwise the capture is empty, not wrong).
+        /// `seconds` (clamped to `0.1..=30`; NaN falls to the 0.1
+        /// floor), snapshot again, and return the interval's samples
+        /// as folded-stack text. Backs `GET /profile?seconds=N`;
+        /// assumes a sampler is being driven concurrently (otherwise
+        /// the capture is empty, not wrong).
         pub fn capture(&self, seconds: f64) -> String {
-            let seconds = seconds.clamp(0.1, 30.0);
+            // `clamp` propagates NaN and `Duration::from_secs_f64`
+            // panics on it — an unauthenticated `?seconds=nan` must
+            // not take down the scrape thread.
+            let seconds = if seconds.is_nan() { 0.1 } else { seconds.clamp(0.1, 30.0) };
             let before = self.table();
             std::thread::sleep(Duration::from_secs_f64(seconds));
             self.table().delta(&before).to_folded()
@@ -625,6 +629,19 @@ mod tests {
             drop(w);
             reg.sample_once();
             assert_eq!(reg.table().total_samples(), 1, "post-drop passes see no marker");
+        }
+
+        #[test]
+        fn capture_survives_non_finite_seconds() {
+            // NaN would otherwise reach Duration::from_secs_f64 and
+            // panic the calling (scrape) thread; it falls to the 0.1s
+            // clamp floor instead, so this returns in ~100ms.
+            let reg = Arc::new(ProfRegistry::new(97));
+            let w = reg.register(ThreadKind::Worker, "w");
+            w.stamp(ProfState::Scan);
+            reg.sample_once();
+            let folded = reg.capture(f64::NAN);
+            assert!(folded.is_empty(), "no sampler ran during the capture: {folded}");
         }
 
         #[test]

@@ -306,19 +306,25 @@ mod enabled {
         pub fn run_ticker(&self, shutdown: &AtomicBool) {
             let handle = self.prof.register(ThreadKind::Sampler, "obs-tick");
             handle.stamp(ProfState::Idle);
-            // The sleep stays short even with sampling off so shutdown
+            // The period stays short even with sampling off so shutdown
             // joins promptly; rotation cadence is kept by tick count.
-            let sleep = if self.tick.prof_hz == 0 {
+            let period = if self.tick.prof_hz == 0 {
                 Duration::from_millis(self.tick.window_period_ms.clamp(1, 250))
             } else {
                 Duration::from_secs_f64(1.0 / f64::from(self.tick.prof_hz))
             };
             let ticks_per_rotation = if self.tick.prof_hz == 0 {
-                (self.tick.window_period_ms / (sleep.as_millis() as u64).max(1)).max(1)
+                (self.tick.window_period_ms / (period.as_millis() as u64).max(1)).max(1)
             } else {
                 (u64::from(self.tick.prof_hz) * self.tick.window_period_ms / 1_000).max(1)
             };
             let mut n: u64 = 0;
+            // Absolute-deadline schedule: each iteration sleeps until
+            // the next deadline rather than for a fixed duration, so
+            // sample/rotation work time doesn't stretch real window
+            // periods past window_period_ms (which would overstate
+            // rate_qps against the nominal span_ms).
+            let mut next = Instant::now() + period;
             while !shutdown.load(Ordering::Acquire) {
                 if self.tick.prof_hz > 0 {
                     self.prof.sample_once();
@@ -327,7 +333,15 @@ mod enabled {
                 if n.is_multiple_of(ticks_per_rotation) {
                     self.rotate_window();
                 }
-                std::thread::sleep(sleep);
+                let now = Instant::now();
+                if let Some(wait) = next.checked_duration_since(now).filter(|w| !w.is_zero()) {
+                    std::thread::sleep(wait);
+                } else {
+                    // Fell behind a full period: resynchronize from now
+                    // instead of bursting ticks to catch up.
+                    next = now;
+                }
+                next += period;
             }
             handle.stamp(ProfState::Shutdown);
         }

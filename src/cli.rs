@@ -842,6 +842,12 @@ fn cmd_serve(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(),
 fn cmd_profile(flags: &HashMap<String, String>, out: &mut dyn Write) -> Result<(), String> {
     let addr = req(flags, "addr")?;
     let seconds = opt_parse(flags, "seconds", 2.0f64)?;
+    // "nan"/"inf" parse as f64 but would poison the request timeout
+    // below (Duration::from_secs_f64 panics on non-finite input); the
+    // server filters them too, but fail fast with a real message.
+    if !seconds.is_finite() || seconds <= 0.0 {
+        return Err(format!("--seconds must be a positive finite number, got {seconds}"));
+    }
     let body = http_get_text(addr, &format!("/profile?seconds={seconds}"), seconds + 35.0)?;
     match flags.get("out") {
         Some(path) => {
@@ -1621,6 +1627,20 @@ mod tests {
 
         for p in [base, queries, index] {
             let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn profile_rejects_non_finite_seconds() {
+        // The guard fires before any connection attempt, so the bogus
+        // addr is never dialed.
+        for bad in ["nan", "inf", "-inf", "0", "-1"] {
+            let args: Vec<String> = ["profile", "--addr", "127.0.0.1:1", "--seconds", bad]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let err = run(&args, &mut Vec::new()).expect_err(bad);
+            assert!(err.contains("--seconds"), "{bad}: {err}");
         }
     }
 
